@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the simulation kernel: the event calendar and the
+//! RNG/distribution layer are on the hot path of every simulated event.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_sim::calendar::Calendar;
+use rtx_sim::dist::{exponential, sample_distinct, uniform_below, NormalSampler};
+use rtx_sim::rng::{StreamSeeder, Xoshiro256};
+use rtx_sim::time::SimTime;
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for &n in &[64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_pop_churn", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut cal = Calendar::new();
+                    // Seed with n events, then steady-state churn: pop one,
+                    // schedule one — the simulator's dominant pattern.
+                    for i in 0..n {
+                        cal.schedule(SimTime::from_micros((i * 37 % 997) as u64), i);
+                    }
+                    for i in 0..n {
+                        let fired = cal.pop().expect("non-empty");
+                        cal.schedule(fired.time + rtx_sim::SimDuration::from_micros(1_000), i);
+                    }
+                    while cal.pop().is_some() {}
+                    black_box(cal.scheduled_total())
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cal = Calendar::new();
+                let handles: Vec<_> = (0..n)
+                    .map(|i| cal.schedule(SimTime::from_micros((i * 13 % 509) as u64), i))
+                    .collect();
+                // Cancel half — the preemption-heavy regime.
+                for h in handles.iter().step_by(2) {
+                    cal.cancel(*h);
+                }
+                while cal.pop().is_some() {}
+                black_box(cal.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("xoshiro_next", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_raw()));
+    });
+    group.bench_function("exponential_draw", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        b.iter(|| black_box(exponential(&mut rng, 125.0)));
+    });
+    group.bench_function("normal_draw", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut normal = NormalSampler::new();
+        b.iter(|| black_box(normal.sample(&mut rng, 20.0, 10.0)));
+    });
+    group.bench_function("uniform_below_draw", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        b.iter(|| black_box(uniform_below(&mut rng, 50)));
+    });
+    group.bench_function("sample_20_of_30", |b| {
+        // The per-type item draw of the paper's workload generator.
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        b.iter(|| black_box(sample_distinct(&mut rng, 30, 20)));
+    });
+    group.bench_function("stream_derivation", |b| {
+        let seeder = StreamSeeder::new(42);
+        b.iter(|| black_box(seeder.stream("arrivals").next_raw()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_calendar, bench_rng
+}
+criterion_main!(benches);

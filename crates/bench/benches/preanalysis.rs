@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the pre-analysis: tree construction is a per-type
+//! one-off, but the set operations behind the conflict/safety relations
+//! run at every scheduling point.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_preanalysis::program::{Program, ProgramBuilder};
+use rtx_preanalysis::relations::{conflict, safety, Position};
+use rtx_preanalysis::sets::{DataSet, ItemId};
+use rtx_preanalysis::table::AnalysisSet;
+use rtx_preanalysis::tree::TransactionTree;
+
+/// A program with `depth` nested binary decision points (2^depth leaves).
+fn deep_program(depth: u32) -> Program {
+    fn build(b: rtx_preanalysis::program::BlockBuilder, depth: u32, base: u32)
+        -> rtx_preanalysis::program::BlockBuilder {
+        let b = b.access(ItemId(base));
+        if depth == 0 {
+            return b;
+        }
+        b.decision(move |d| {
+            d.branch(move |b| build(b, depth - 1, base * 2 + 1))
+                .branch(move |b| build(b, depth - 1, base * 2 + 2))
+        })
+    }
+    // ProgramBuilder and BlockBuilder share the shape; wrap manually.
+    let mut pb = ProgramBuilder::new("deep").access(ItemId(0));
+    pb = pb.decision(|d| {
+        d.branch(|b| build(b, depth - 1, 1))
+            .branch(|b| build(b, depth - 1, 2))
+    });
+    pb.build()
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    for &depth in &[2u32, 5, 8] {
+        let program = deep_program(depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &program,
+            |b, program| {
+                b.iter(|| black_box(TransactionTree::from_program(program)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relations");
+    let a = TransactionTree::from_program(&deep_program(6));
+    let bt = TransactionTree::from_program(&deep_program(6));
+    group.bench_function("conflict_deep_roots", |bch| {
+        bch.iter(|| {
+            black_box(conflict(
+                Position::at_root(&a),
+                Position::at_root(&bt),
+            ))
+        });
+    });
+    group.bench_function("safety_deep_roots", |bch| {
+        bch.iter(|| black_box(safety(Position::at_root(&a), Position::at_root(&bt))));
+    });
+
+    // The paper's 50-type straight-line workload: full table precompute.
+    let programs: Vec<Program> = (0..50)
+        .map(|k| {
+            Program::straight_line(
+                format!("T{k}"),
+                (0..20u32).map(move |i| ItemId((k * 7 + i * 3) % 30)),
+            )
+        })
+        .collect();
+    group.bench_function("analysis_set_50_types", |bch| {
+        bch.iter(|| black_box(AnalysisSet::new(&programs)));
+    });
+    group.finish();
+}
+
+fn bench_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_sets");
+    let a: DataSet = (0..30u32).step_by(2).collect();
+    let b: DataSet = (1..30u32).step_by(2).collect();
+    let overlap: DataSet = (0..30u32).step_by(3).collect();
+    group.bench_function("disjoint_test_hit", |bch| {
+        bch.iter(|| black_box(a.is_disjoint(&overlap)));
+    });
+    group.bench_function("disjoint_test_miss", |bch| {
+        bch.iter(|| black_box(a.is_disjoint(&b)));
+    });
+    group.bench_function("union", |bch| {
+        bch.iter(|| black_box(a.union(&b)));
+    });
+    group.bench_function("build_from_20_items", |bch| {
+        bch.iter(|| {
+            let s: DataSet = (0..20u32).collect();
+            black_box(s)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tree_build, bench_relations, bench_sets
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end simulation throughput: how many simulated transactions per
+//! wall-clock second the engine processes under each policy and resource
+//! model. These are the numbers that determine how long the paper-scale
+//! experiment harness takes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_core::{Cca, EdfHp};
+use rtx_rtdb::engine::run_simulation;
+use rtx_rtdb::policy::Policy;
+use rtx_rtdb::SimConfig;
+
+fn bench_mm_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_mm");
+    group.sample_size(10);
+    let policies: Vec<(&str, Box<dyn Policy>)> =
+        vec![("edf_hp", Box::new(EdfHp)), ("cca", Box::new(Cca::base()))];
+    for (name, policy) in &policies {
+        for &rate in &[5.0f64, 10.0] {
+            let mut cfg = SimConfig::mm_base();
+            cfg.run.num_transactions = 300;
+            cfg.run.arrival_rate_tps = rate;
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{rate}tps")),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| black_box(run_simulation(cfg, policy.as_ref())));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_disk_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_disk");
+    group.sample_size(10);
+    let policies: Vec<(&str, Box<dyn Policy>)> =
+        vec![("edf_hp", Box::new(EdfHp)), ("cca", Box::new(Cca::base()))];
+    for (name, policy) in &policies {
+        let mut cfg = SimConfig::disk_base();
+        cfg.run.num_transactions = 150;
+        cfg.run.arrival_rate_tps = 5.0;
+        group.bench_with_input(BenchmarkId::new(*name, "5tps"), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_simulation(cfg, policy.as_ref())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use rtx_rtdb::workload::{ArrivalGenerator, TypeTable};
+    use rtx_sim::rng::StreamSeeder;
+    let mut group = c.benchmark_group("workload");
+    let cfg = SimConfig::mm_base();
+    group.bench_function("type_table_50", |b| {
+        b.iter(|| black_box(TypeTable::generate(&cfg, &StreamSeeder::new(1))));
+    });
+    group.bench_function("generate_1000_arrivals", |b| {
+        let seeder = StreamSeeder::new(1);
+        let table = TypeTable::generate(&cfg, &seeder);
+        b.iter(|| {
+            let mut gen = ArrivalGenerator::new(&cfg, &table, &seeder);
+            let mut count = 0;
+            while gen.next_transaction().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_mm_runs, bench_disk_runs, bench_workload_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] <id>... | all | list
+//! ```
+//!
+//! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
+//! fig5c fig5d fig5e fig5f ablate-recovery ablate-iowait ablate-policies
+//! ablate-disk-sched ext-shared-locks ext-criticality ext-branching
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtx_bench::experiments::{run_group_with, ALL_IDS};
+use rtx_bench::plot::render_chart;
+use rtx_bench::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: experiments [--quick] [--plot] [--out DIR] <id>... | all | list");
+    eprintln!("ids: {}", ALL_IDS.join(" "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut plot = false;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--plot" => plot = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+    for id in &ids {
+        if id != "all" && !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id}");
+            return usage();
+        }
+    }
+
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let started = Instant::now();
+    let mut count = 0usize;
+    let mut failed = false;
+    run_group_with(&id_refs, scale, |table| {
+        eprintln!("[{:7.1}s] {} done", started.elapsed().as_secs_f64(), table.title);
+        println!("{}", table.render());
+        if plot {
+            if let Some(chart) = render_chart(&table, 64, 16) {
+                println!("{chart}");
+            }
+        }
+        match table.write_csv(&out_dir) {
+            Ok(path) => println!("   -> {}\n", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", table.title);
+                failed = true;
+            }
+        }
+        count += 1;
+    });
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    if count == 0 {
+        eprintln!("nothing to run");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "completed {count} table(s) in {:.1}s ({:?} scale)",
+        started.elapsed().as_secs_f64(),
+        scale
+    );
+    ExitCode::SUCCESS
+}

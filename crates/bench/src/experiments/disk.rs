@@ -1,0 +1,143 @@
+//! Disk-resident experiments (§5, Figure 5.b–5.f and Table 2).
+
+use rtx_core::Cca;
+use rtx_rtdb::runner::run_replications;
+use rtx_rtdb::SimConfig;
+
+use super::compare;
+use crate::table::Table;
+use crate::Scale;
+
+/// Replications for disk experiments ("30 different random number seeds").
+const DISK_REPS: usize = 30;
+/// Transactions per run ("300 transactions are executed at each run").
+const DISK_TXNS: usize = 300;
+
+/// Table 2: the disk-resident base parameters.
+pub fn table2() -> Table {
+    let cfg = SimConfig::disk_base();
+    let d = cfg.system.disk.expect("disk config");
+    let w = &cfg.workload;
+    let mut t = Table::new("table2", &["Parameter", "Value"]);
+    t.push_row(vec!["Transaction type".into(), w.num_types.to_string()]);
+    t.push_row(vec![
+        "Update per transaction (mean, std)".into(),
+        format!("({}, {})", w.updates_mean, w.updates_std),
+    ]);
+    t.push_row(vec!["Database size".into(), w.db_size.to_string()]);
+    t.push_row(vec![
+        "Min-slack as fraction of total runtime".into(),
+        format!("{}%", w.min_slack * 100.0),
+    ]);
+    t.push_row(vec![
+        "Max-slack as fraction of total runtime".into(),
+        format!("{}%", w.max_slack * 100.0),
+    ]);
+    t.push_row(vec![
+        "abort cost (ms)".into(),
+        format!("{}", cfg.system.abort_cost_ms),
+    ]);
+    t.push_row(vec!["weight of penalty of conflict".into(), "1".into()]);
+    t.push_row(vec![
+        "Computation/Update time (ms)".into(),
+        format!("{}", w.update_time_classes_ms[0]),
+    ]);
+    t.push_row(vec![
+        "Disk access time (ms)".into(),
+        format!("{}", d.access_time_ms),
+    ]);
+    t.push_row(vec![
+        "Disk access probability".into(),
+        format!("{}", d.access_prob),
+    ]);
+    t.push_row(vec![
+        "Disk utilization at CPU capacity (derived)".into(),
+        format!("{:.1}%", cfg.disk_utilization_at(cfg.cpu_capacity_tps()) * 100.0),
+    ]);
+    t
+}
+
+/// Figures 5.b–5.d: the disk-resident arrival-rate sweep (1–7 tps).
+/// Returns `[fig5b (miss %), fig5d (improvement), fig5c (restarts/txn)]`.
+pub fn base_sweep(scale: Scale) -> Vec<Table> {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.num_transactions = scale.txns(DISK_TXNS);
+    let reps = scale.reps(DISK_REPS);
+    let rates: Vec<f64> = (1..=7).map(|r| r as f64).collect();
+
+    let mut fig5b = Table::new(
+        "fig5b",
+        &["arrival_tps", "edf_miss_pct", "cca_miss_pct", "edf_ci", "cca_ci"],
+    );
+    let mut fig5d = Table::new(
+        "fig5d",
+        &["arrival_tps", "improve_miss_pct", "improve_lateness_pct"],
+    );
+    let mut fig5c = Table::new(
+        "fig5c",
+        &[
+            "arrival_tps",
+            "edf_restarts_per_txn",
+            "cca_restarts_per_txn",
+            "edf_noncontrib_aborts",
+            "cca_noncontrib_aborts",
+        ],
+    );
+    for &rate in &rates {
+        cfg.run.arrival_rate_tps = rate;
+        let pair = compare(&cfg, reps);
+        fig5b.push_numeric_row(&[
+            rate,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+            pair.edf.miss_percent.half_width,
+            pair.cca.miss_percent.half_width,
+        ]);
+        let (im, il) = pair.improvements();
+        fig5d.push_numeric_row(&[rate, im, il]);
+        fig5c.push_numeric_row(&[
+            rate,
+            pair.edf.restarts_per_txn.mean,
+            pair.cca.restarts_per_txn.mean,
+            pair.edf.noncontributing_aborts.mean,
+            pair.cca.noncontributing_aborts.mean,
+        ]);
+    }
+    vec![fig5b, fig5d, fig5c]
+}
+
+/// Figure 5.e: effect of database size at arrival rate 4 (disk resident).
+pub fn db_size_sweep(scale: Scale) -> Table {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.num_transactions = scale.txns(DISK_TXNS);
+    cfg.run.arrival_rate_tps = 4.0;
+    let reps = scale.reps(DISK_REPS);
+
+    let mut t = Table::new("fig5e", &["db_size", "edf_miss_pct", "cca_miss_pct"]);
+    for db in (100..=600).step_by(100) {
+        cfg.workload.db_size = db;
+        let pair = compare(&cfg, reps);
+        t.push_numeric_row(&[
+            db as f64,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+        ]);
+    }
+    t
+}
+
+/// Figure 5.f: stability of the penalty weight at 4 tps (disk resident).
+pub fn penalty_weight_sweep(scale: Scale) -> Table {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.num_transactions = scale.txns(DISK_TXNS);
+    cfg.run.arrival_rate_tps = 4.0;
+    let reps = scale.reps(DISK_REPS);
+    let weights = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0];
+
+    let mut t = Table::new("fig5f", &["penalty_weight", "miss_pct_4tps"]);
+    for &w in &weights {
+        let agg = run_replications(&cfg, &Cca::new(w), reps);
+        t.push_numeric_row(&[w, agg.miss_percent.mean]);
+    }
+    t
+}

@@ -1,0 +1,165 @@
+//! Main-memory experiments (§4, Figure 4 and Table 1).
+
+use rtx_core::Cca;
+use rtx_rtdb::runner::run_replications;
+use rtx_rtdb::SimConfig;
+
+use super::compare;
+use crate::table::Table;
+use crate::Scale;
+
+/// Replications for the main-memory experiments ("10 different random
+/// number seeds").
+const MM_REPS: usize = 10;
+/// Transactions per run ("1000 transactions are executed at each run").
+const MM_TXNS: usize = 1000;
+
+/// Table 1: the base parameters, rendered as the paper prints them.
+pub fn table1() -> Table {
+    let cfg = SimConfig::mm_base();
+    let mut t = Table::new("table1", &["Parameter", "Value"]);
+    let w = &cfg.workload;
+    t.push_row(vec!["Transaction type".into(), w.num_types.to_string()]);
+    t.push_row(vec![
+        "Update per transaction (mean, std)".into(),
+        format!("({}, {})", w.updates_mean, w.updates_std),
+    ]);
+    t.push_row(vec![
+        "Computation/update (ms)".into(),
+        format!("{}", w.update_time_classes_ms[0]),
+    ]);
+    t.push_row(vec!["Database size".into(), w.db_size.to_string()]);
+    t.push_row(vec![
+        "Min-slack as fraction of total runtime".into(),
+        format!("{}%", w.min_slack * 100.0),
+    ]);
+    t.push_row(vec![
+        "Max-slack as fraction of total runtime".into(),
+        format!("{}%", w.max_slack * 100.0),
+    ]);
+    t.push_row(vec![
+        "abort cost (ms)".into(),
+        format!("{}", cfg.system.abort_cost_ms),
+    ]);
+    t.push_row(vec!["weight of penalty of conflict".into(), "1".into()]);
+    t.push_row(vec![
+        "CPU capacity (derived, trs/sec)".into(),
+        format!("{:.1}", cfg.cpu_capacity_tps()),
+    ]);
+    t
+}
+
+/// Figures 4.a–4.c: the base-parameter arrival-rate sweep (1–10 tps).
+/// Returns `[fig4a (miss %), fig4b (improvement), fig4c (restarts/txn)]`.
+pub fn base_sweep(scale: Scale) -> Vec<Table> {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = scale.txns(MM_TXNS);
+    let reps = scale.reps(MM_REPS);
+    let rates: Vec<f64> = (1..=10).map(|r| r as f64).collect();
+
+    let mut fig4a = Table::new(
+        "fig4a",
+        &["arrival_tps", "edf_miss_pct", "cca_miss_pct", "edf_ci", "cca_ci"],
+    );
+    let mut fig4b = Table::new(
+        "fig4b",
+        &["arrival_tps", "improve_miss_pct", "improve_lateness_pct"],
+    );
+    let mut fig4c = Table::new(
+        "fig4c",
+        &["arrival_tps", "edf_restarts_per_txn", "cca_restarts_per_txn"],
+    );
+    for &rate in &rates {
+        cfg.run.arrival_rate_tps = rate;
+        let pair = compare(&cfg, reps);
+        fig4a.push_numeric_row(&[
+            rate,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+            pair.edf.miss_percent.half_width,
+            pair.cca.miss_percent.half_width,
+        ]);
+        let (im, il) = pair.improvements();
+        fig4b.push_numeric_row(&[rate, im, il]);
+        fig4c.push_numeric_row(&[
+            rate,
+            pair.edf.restarts_per_txn.mean,
+            pair.cca.restarts_per_txn.mean,
+        ]);
+    }
+    vec![fig4a, fig4b, fig4c]
+}
+
+/// Figures 4.d–4.e: high-variance update times (3 classes: 0.4/4/40 ms),
+/// arrival 0.2–1.8 tps. Returns `[fig4d (miss %), fig4e (improvement)]`.
+pub fn high_variance_sweep(scale: Scale) -> Vec<Table> {
+    let mut cfg = SimConfig::mm_high_variance();
+    cfg.run.num_transactions = scale.txns(MM_TXNS);
+    let reps = scale.reps(MM_REPS);
+    let rates: Vec<f64> = (1..=9).map(|r| r as f64 * 0.2).collect();
+
+    let mut fig4d = Table::new(
+        "fig4d",
+        &["arrival_tps", "edf_miss_pct", "cca_miss_pct"],
+    );
+    let mut fig4e = Table::new(
+        "fig4e",
+        &["arrival_tps", "improve_miss_pct", "improve_lateness_pct"],
+    );
+    for &rate in &rates {
+        cfg.run.arrival_rate_tps = rate;
+        let pair = compare(&cfg, reps);
+        fig4d.push_numeric_row(&[
+            rate,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+        ]);
+        let (im, il) = pair.improvements();
+        fig4e.push_numeric_row(&[rate, im, il]);
+    }
+    vec![fig4d, fig4e]
+}
+
+/// Figure 4.f: effect of database size at arrival rate 10.
+pub fn db_size_sweep(scale: Scale) -> Table {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = scale.txns(MM_TXNS);
+    cfg.run.arrival_rate_tps = 10.0;
+    let reps = scale.reps(MM_REPS);
+
+    let mut t = Table::new("fig4f", &["db_size", "edf_miss_pct", "cca_miss_pct"]);
+    for db in (100..=1000).step_by(100) {
+        cfg.workload.db_size = db;
+        let pair = compare(&cfg, reps);
+        t.push_numeric_row(&[
+            db as f64,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+        ]);
+    }
+    t
+}
+
+/// Figure 5.a: stability of the penalty weight (miss % vs `w` at 5 and
+/// 8 tps, main memory). `w = 0` is EDF-HP.
+pub fn penalty_weight_sweep(scale: Scale) -> Table {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = scale.txns(MM_TXNS);
+    let reps = scale.reps(MM_REPS);
+    let weights = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0];
+
+    let mut t = Table::new(
+        "fig5a",
+        &["penalty_weight", "miss_pct_5tps", "miss_pct_8tps"],
+    );
+    for &w in &weights {
+        let mut row = vec![w];
+        for rate in [5.0, 8.0] {
+            cfg.run.arrival_rate_tps = rate;
+            let agg = run_replications(&cfg, &Cca::new(w), reps);
+            row.push(agg.miss_percent.mean);
+        }
+        t.push_numeric_row(&row);
+    }
+    t
+}

@@ -1,0 +1,157 @@
+//! The experiment registry: one entry per table/figure of the paper plus
+//! the ablation/extension studies from DESIGN.md.
+
+use rtx_core::{Cca, EdfHp};
+use rtx_rtdb::runner::{improvement_percent, run_replications, AggregateSummary};
+use rtx_rtdb::SimConfig;
+
+use crate::table::Table;
+use crate::Scale;
+
+pub mod ablate;
+pub mod disk;
+pub mod mm;
+
+/// All experiment ids, in presentation order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5a", "table2", "fig5b",
+    "fig5c", "fig5d", "fig5e", "fig5f", "ablate-recovery", "ablate-iowait", "ablate-policies", "ablate-disk-sched",
+    "ext-shared-locks", "ext-criticality", "ext-branching",
+];
+
+/// Run one experiment by id. Returns the tables it produces (several ids
+/// share one underlying sweep; each id returns only its own tables).
+pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    match id {
+        "table1" => Some(vec![mm::table1()]),
+        "fig4a" => Some(vec![mm::base_sweep(scale).remove(0)]),
+        "fig4b" => Some(vec![mm::base_sweep(scale).remove(1)]),
+        "fig4c" => Some(vec![mm::base_sweep(scale).remove(2)]),
+        "fig4d" => Some(vec![mm::high_variance_sweep(scale).remove(0)]),
+        "fig4e" => Some(vec![mm::high_variance_sweep(scale).remove(1)]),
+        "fig4f" => Some(vec![mm::db_size_sweep(scale)]),
+        "fig5a" => Some(vec![mm::penalty_weight_sweep(scale)]),
+        "table2" => Some(vec![disk::table2()]),
+        "fig5b" => Some(vec![disk::base_sweep(scale).remove(0)]),
+        "fig5c" => Some(vec![disk::base_sweep(scale).remove(2)]),
+        "fig5d" => Some(vec![disk::base_sweep(scale).remove(1)]),
+        "fig5e" => Some(vec![disk::db_size_sweep(scale)]),
+        "fig5f" => Some(vec![disk::penalty_weight_sweep(scale)]),
+        "ablate-recovery" => Some(vec![ablate::recovery_cost(scale)]),
+        "ablate-iowait" => Some(vec![ablate::iowait_mechanism(scale)]),
+        "ablate-policies" => Some(vec![ablate::policy_zoo(scale)]),
+        "ablate-disk-sched" => Some(vec![ablate::disk_scheduling(scale)]),
+        "ext-shared-locks" => Some(vec![ablate::shared_locks(scale)]),
+        "ext-criticality" => Some(vec![ablate::criticality_classes(scale)]),
+        "ext-branching" => Some(vec![ablate::branching_workload(scale)]),
+        _ => None,
+    }
+}
+
+/// Groups of ids that share a sweep, so `all` avoids recomputation.
+/// Tables are delivered to `emit` as soon as their group completes.
+pub fn run_group_with(ids: &[&str], scale: Scale, mut emit: impl FnMut(Table)) {
+    let want = |id: &str| ids.contains(&id) || ids.contains(&"all");
+    if want("table1") {
+        emit(mm::table1());
+    }
+    if want("fig4a") || want("fig4b") || want("fig4c") {
+        let tables = mm::base_sweep(scale);
+        for (i, id) in ["fig4a", "fig4b", "fig4c"].iter().enumerate() {
+            if want(id) {
+                emit(tables[i].clone());
+            }
+        }
+    }
+    if want("fig4d") || want("fig4e") {
+        let tables = mm::high_variance_sweep(scale);
+        for (i, id) in ["fig4d", "fig4e"].iter().enumerate() {
+            if want(id) {
+                emit(tables[i].clone());
+            }
+        }
+    }
+    if want("fig4f") {
+        emit(mm::db_size_sweep(scale));
+    }
+    if want("fig5a") {
+        emit(mm::penalty_weight_sweep(scale));
+    }
+    if want("table2") {
+        emit(disk::table2());
+    }
+    if want("fig5b") || want("fig5c") || want("fig5d") {
+        let tables = disk::base_sweep(scale);
+        // sweep emits [fig5b, fig5d, fig5c]; present in figure order.
+        for (i, id) in ["fig5b", "fig5d", "fig5c"].iter().enumerate() {
+            if want(id) {
+                emit(tables[i].clone());
+            }
+        }
+    }
+    if want("fig5e") {
+        emit(disk::db_size_sweep(scale));
+    }
+    if want("fig5f") {
+        emit(disk::penalty_weight_sweep(scale));
+    }
+    if want("ablate-recovery") {
+        emit(ablate::recovery_cost(scale));
+    }
+    if want("ablate-iowait") {
+        emit(ablate::iowait_mechanism(scale));
+    }
+    if want("ablate-policies") {
+        emit(ablate::policy_zoo(scale));
+    }
+    if want("ablate-disk-sched") {
+        emit(ablate::disk_scheduling(scale));
+    }
+    if want("ext-shared-locks") {
+        emit(ablate::shared_locks(scale));
+    }
+    if want("ext-criticality") {
+        emit(ablate::criticality_classes(scale));
+    }
+    if want("ext-branching") {
+        emit(ablate::branching_workload(scale));
+    }
+}
+
+/// Collect all tables of the requested ids (convenience over
+/// [`run_group_with`]).
+pub fn run_group(ids: &[&str], scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    run_group_with(ids, scale, |t| out.push(t));
+    out
+}
+
+/// One (EDF-HP, CCA) comparison at a single configuration.
+pub(crate) struct Pair {
+    pub edf: AggregateSummary,
+    pub cca: AggregateSummary,
+}
+
+/// Run EDF-HP and CCA(base) on the same configuration and replication
+/// count.
+pub(crate) fn compare(cfg: &SimConfig, reps: usize) -> Pair {
+    Pair {
+        edf: run_replications(cfg, &EdfHp, reps),
+        cca: run_replications(cfg, &Cca::base(), reps),
+    }
+}
+
+impl Pair {
+    /// The paper's improvement percentages `(EDF − CCA)/EDF × 100` for
+    /// miss percent and mean lateness.
+    pub fn improvements(&self) -> (f64, f64) {
+        (
+            improvement_percent(self.edf.miss_percent.mean, self.cca.miss_percent.mean),
+            improvement_percent(
+                self.edf.mean_lateness_ms.mean,
+                self.cca.mean_lateness_ms.mean,
+            ),
+        )
+    }
+}
+

@@ -1,0 +1,168 @@
+//! Terminal line charts, so `experiments --plot` can render each figure
+//! in the shape the paper prints it without leaving the console.
+//!
+//! Minimal but honest plotting: linear axes, one glyph per series,
+//! nearest-cell rasterization, axis labels with the data ranges.
+
+use crate::table::Table;
+
+/// Glyphs assigned to series, in column order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render `table` (first column = x, remaining numeric columns = series)
+/// as an ASCII chart of the given size. Non-numeric cells are skipped.
+///
+/// Returns `None` if fewer than two rows or no numeric series exist.
+pub fn render_chart(table: &Table, width: usize, height: usize) -> Option<String> {
+    let rows = table.rows();
+    if rows.len() < 2 || table.header.len() < 2 {
+        return None;
+    }
+    let parse = |s: &str| s.parse::<f64>().ok();
+    let xs: Vec<f64> = rows.iter().filter_map(|r| parse(&r[0])).collect();
+    if xs.len() != rows.len() {
+        return None;
+    }
+    let series_count = table.header.len() - 1;
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); series_count];
+    for row in rows {
+        let x = parse(&row[0])?;
+        for (si, cell) in row[1..].iter().enumerate() {
+            if let Some(y) = parse(cell) {
+                series[si].push((x, y));
+            }
+        }
+    }
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &series {
+        for &(x, y) in s {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || x_min == x_max {
+        return None;
+    }
+    if y_min == y_max {
+        y_min -= 1.0;
+        y_max += 1.0;
+    }
+    // A little headroom so the top point isn't clipped visually.
+    let y_span = y_max - y_min;
+    let y_max = y_max + 0.05 * y_span;
+    let y_min = (y_min - 0.05 * y_span).min(if y_min >= 0.0 { 0.0 } else { y_min });
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Plot line segments between consecutive points.
+        for pair in s.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let steps = width * 2;
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = x0 + (x1 - x0) * t;
+                let y = y0 + (y1 - y0) * t;
+                let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = glyph;
+            }
+        }
+        // Ensure the actual data points are visible over the segments.
+        for &(x, y) in s {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} (y: {:.2}..{:.2})\n", table.title, y_min, y_max));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:8.1} |")
+        } else if i == height - 1 {
+            format!("{y_min:8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          {:<10.2}{:>width$.2}\n",
+        "-".repeat(width),
+        x_min,
+        x_max,
+        width = width - 10
+    ));
+    // Legend.
+    for (si, name) in table.header[1..].iter().enumerate() {
+        out.push_str(&format!("          {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig_demo", &["x", "edf", "cca"]);
+        for i in 1..=10 {
+            t.push_numeric_row(&[i as f64, (i * i) as f64, (i * i) as f64 * 0.8]);
+        }
+        t
+    }
+
+    #[test]
+    fn renders_chart_with_legend_and_axes() {
+        let chart = render_chart(&sample(), 40, 12).expect("chart");
+        assert!(chart.contains("fig_demo"));
+        assert!(chart.contains('*'), "first series plotted");
+        assert!(chart.contains('o'), "second series plotted");
+        assert!(chart.contains("* edf"));
+        assert!(chart.contains("o cca"));
+        assert!(chart.contains("1.00"), "x axis start");
+        // 12 grid rows + header + axis + labels + legend
+        assert!(chart.lines().count() >= 16);
+    }
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        let mut t = Table::new("one_row", &["x", "y"]);
+        t.push_numeric_row(&[1.0, 2.0]);
+        assert!(render_chart(&t, 40, 10).is_none());
+
+        let mut t = Table::new("non_numeric", &["x", "y"]);
+        t.push_row(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["c".into(), "d".into()]);
+        assert!(render_chart(&t, 40, 10).is_none());
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let mut t = Table::new("flat", &["x", "y"]);
+        for i in 0..5 {
+            t.push_numeric_row(&[i as f64, 7.0]);
+        }
+        let chart = render_chart(&t, 30, 8).expect("chart");
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn parameter_tables_skip_gracefully() {
+        // table1-style: text cells → None, callers fall back to the table.
+        let mut t = Table::new("params", &["Parameter", "Value"]);
+        t.push_row(vec!["Transaction type".into(), "50".into()]);
+        t.push_row(vec!["Database size".into(), "30".into()]);
+        assert!(render_chart(&t, 40, 10).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! LSF: Least Slack First — a continuously evaluated baseline (§3.2).
+//!
+//! `slack = deadline − now − remaining service estimate`. The paper argues
+//! LSF "is not appropriate for RTDBS because it is not easy to estimate
+//! the worst case execution time of a transaction"; we give it the best
+//! estimate the simulator can honestly provide — the instance's remaining
+//! isolated resource time, prorated by progress — which is *optimistic*
+//! (it ignores blocking and restarts), exactly the weakness the paper
+//! points at.
+
+use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::txn::Transaction;
+
+/// The Least Slack First baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lsf;
+
+impl Lsf {
+    /// Remaining isolated service estimate, ms.
+    fn remaining_estimate_ms(txn: &Transaction) -> f64 {
+        let total = txn.total_updates().max(1) as f64;
+        let left = (txn.total_updates() - txn.progress) as f64;
+        txn.resource_time.as_ms() * (left / total)
+    }
+}
+
+impl Policy for Lsf {
+    fn name(&self) -> &str {
+        "LSF"
+    }
+
+    fn priority(&self, txn: &Transaction, view: &SystemView<'_>) -> Priority {
+        let slack = txn.deadline.as_ms() - view.now.as_ms() - Self::remaining_estimate_ms(txn);
+        Priority(-slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_preanalysis::table::TypeId;
+    use rtx_preanalysis::{DataSet, ItemId};
+    use rtx_rtdb::txn::{Stage, TxnId, TxnState};
+    use rtx_sim::time::{SimDuration, SimTime};
+
+    fn mk(id: u32, deadline_ms: f64, updates: usize, progress: usize) -> Transaction {
+        Transaction {
+            id: TxnId(id),
+            ty: TypeId(0),
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_ms(deadline_ms),
+            resource_time: SimDuration::from_ms(4.0 * updates as f64),
+            items: (0..updates as u32).map(ItemId).collect(),
+            io_pattern: vec![],
+            modes: Vec::new(),
+            update_time: SimDuration::from_ms(4.0),
+            might_access: (0..updates as u32).map(ItemId).collect(),
+            state: TxnState::Ready,
+            progress,
+            stage: Stage::Lock,
+            cpu_left: SimDuration::ZERO,
+            burst_start: SimTime::ZERO,
+            accessed: DataSet::new(),
+            written: DataSet::new(),
+            service: SimDuration::ZERO,
+            restarts: 0,
+            waiting_for: None,
+            decision: None,
+            criticality: 0,
+            doomed: false,
+            finish: None,
+        }
+    }
+
+    fn view_at(txns: &[Transaction], now_ms: f64) -> SystemView<'_> {
+        SystemView {
+            now: SimTime::from_ms(now_ms),
+            txns,
+            abort_cost: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn smaller_slack_is_higher_priority() {
+        // Same deadline, more remaining work → less slack → higher priority.
+        let txns = vec![mk(0, 200.0, 10, 0), mk(1, 200.0, 2, 0)];
+        let v = view_at(&txns, 0.0);
+        assert!(Lsf.priority(&txns[0], &v) > Lsf.priority(&txns[1], &v));
+    }
+
+    #[test]
+    fn progress_increases_slack() {
+        let fresh = mk(0, 200.0, 10, 0);
+        let half_done = mk(1, 200.0, 10, 5);
+        let txns = vec![fresh, half_done];
+        let v = view_at(&txns, 0.0);
+        assert!(
+            Lsf.priority(&txns[0], &v) > Lsf.priority(&txns[1], &v),
+            "completed work shrinks the remaining estimate"
+        );
+    }
+
+    #[test]
+    fn continuous_evaluation_raises_urgency_over_time() {
+        let txns = vec![mk(0, 200.0, 10, 0)];
+        let early = Lsf.priority(&txns[0], &view_at(&txns, 0.0));
+        let late = Lsf.priority(&txns[0], &view_at(&txns, 150.0));
+        assert!(late > early, "slack shrinks as the clock advances");
+    }
+
+    #[test]
+    fn name_and_defaults() {
+        assert_eq!(Lsf.name(), "LSF");
+        assert!(!Lsf.iowait_restrict());
+    }
+}

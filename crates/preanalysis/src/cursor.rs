@@ -1,0 +1,278 @@
+//! Execution cursors: tracking a live transaction's position in its tree.
+//!
+//! The scheduler needs two views of a running transaction:
+//!
+//! * the **analytic** view — which tree node it has reached, from which all
+//!   §3.2.2 relations are computed ("safety relationships are computed
+//!   based on the assumption that a transaction accesses its data items
+//!   when it begins and immediately after its decision points");
+//! * the **operational** view — the next concrete item to lock/update,
+//!   which the engine uses to drive execution item by item.
+//!
+//! A [`Cursor`] provides both, and supports `reset()` for restarts after an
+//! abort.
+
+use crate::relations::Position;
+use crate::sets::{DataSet, ItemId};
+use crate::tree::{NodeId, TransactionTree};
+
+/// What a transaction does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextAction {
+    /// Access (write-lock and update) this item.
+    Access(ItemId),
+    /// Execute a decision point with this many branches; the caller must
+    /// pick one via [`Cursor::choose`].
+    Decide(usize),
+    /// The transaction has reached its commit point.
+    Finished,
+}
+
+/// A cursor over one transaction's execution through its pre-analyzed tree.
+#[derive(Debug, Clone)]
+pub struct Cursor<'t> {
+    tree: &'t TransactionTree,
+    node: NodeId,
+    /// Index of the next access within the current node's segment.
+    step: usize,
+    /// Items concretely accessed so far (operational view; a subset of the
+    /// analytic `hasaccessed` of the current node).
+    accessed: DataSet,
+}
+
+impl<'t> Cursor<'t> {
+    /// Start a fresh execution at the tree root.
+    pub fn new(tree: &'t TransactionTree) -> Self {
+        Cursor {
+            tree,
+            node: tree.root(),
+            step: 0,
+            accessed: DataSet::new(),
+        }
+    }
+
+    /// The tree being executed.
+    pub fn tree(&self) -> &'t TransactionTree {
+        self.tree
+    }
+
+    /// The node reached so far (the analytic refinement state).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This cursor's [`Position`] for relation queries.
+    pub fn position(&self) -> Position<'t> {
+        Position::at(self.tree, self.node)
+    }
+
+    /// Items concretely accessed so far.
+    pub fn accessed(&self) -> &DataSet {
+        &self.accessed
+    }
+
+    /// The analytic `hasaccessed` set of the current node (what the
+    /// pre-analysis assumes has been touched by now).
+    pub fn hasaccessed_analytic(&self) -> &DataSet {
+        self.tree.hasaccessed(self.node)
+    }
+
+    /// Everything this transaction might still access (including what it
+    /// already has).
+    pub fn mightaccess(&self) -> &DataSet {
+        self.tree.mightaccess(self.node)
+    }
+
+    /// What happens next.
+    pub fn next_action(&self) -> NextAction {
+        let segment = self.tree.segment(self.node);
+        if self.step < segment.len() {
+            NextAction::Access(segment[self.step])
+        } else {
+            let children = self.tree.children(self.node);
+            if children.is_empty() {
+                NextAction::Finished
+            } else {
+                NextAction::Decide(children.len())
+            }
+        }
+    }
+
+    /// Perform the pending access, recording the item. Returns the item.
+    ///
+    /// # Panics
+    /// Panics if the next action is not an access.
+    pub fn advance_access(&mut self) -> ItemId {
+        match self.next_action() {
+            NextAction::Access(item) => {
+                self.accessed.insert(item);
+                self.step += 1;
+                item
+            }
+            other => panic!("advance_access called but next action is {other:?}"),
+        }
+    }
+
+    /// Take branch `branch` of the pending decision point.
+    ///
+    /// # Panics
+    /// Panics if the next action is not a decision, or the index is out of
+    /// range.
+    pub fn choose(&mut self, branch: usize) {
+        match self.next_action() {
+            NextAction::Decide(n) => {
+                assert!(branch < n, "branch {branch} out of range (decision has {n})");
+                self.node = self.tree.children(self.node)[branch];
+                self.step = 0;
+            }
+            other => panic!("choose called but next action is {other:?}"),
+        }
+    }
+
+    /// True iff the transaction has reached its commit point.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.next_action(), NextAction::Finished)
+    }
+
+    /// Reset to the root with no recorded accesses — a restart after an
+    /// abort (the transaction re-executes from the beginning).
+    pub fn reset(&mut self) {
+        self.node = self.tree.root();
+        self.step = 0;
+        self.accessed.clear();
+    }
+
+    /// Number of accesses performed since the last (re)start.
+    pub fn accesses_done(&self) -> usize {
+        // step counts only the current segment; walk ancestors for totals.
+        let mut total = self.step;
+        let mut node = self.node;
+        while let Some(parent) = self.tree.parent(node) {
+            total += self.tree.segment(parent).len();
+            node = parent;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Program, ProgramBuilder};
+
+    fn branching_tree() -> TransactionTree {
+        let p = ProgramBuilder::new("A")
+            .access(ItemId(0))
+            .decision(|d| {
+                d.branch(|b| b.access(ItemId(1)).access(ItemId(2)))
+                    .branch(|b| b.access(ItemId(3)))
+            })
+            .build();
+        TransactionTree::from_program(&p)
+    }
+
+    #[test]
+    fn straight_line_walk() {
+        let p = Program::straight_line("B", [ItemId(5), ItemId(6)]);
+        let t = TransactionTree::from_program(&p);
+        let mut c = Cursor::new(&t);
+        assert_eq!(c.next_action(), NextAction::Access(ItemId(5)));
+        assert_eq!(c.advance_access(), ItemId(5));
+        assert_eq!(c.advance_access(), ItemId(6));
+        assert!(c.is_finished());
+        assert_eq!(c.accesses_done(), 2);
+        assert!(c.accessed().contains(ItemId(5)));
+    }
+
+    #[test]
+    fn branching_walk_left() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        assert_eq!(c.advance_access(), ItemId(0));
+        assert_eq!(c.next_action(), NextAction::Decide(2));
+        c.choose(0);
+        assert_eq!(t.label(c.node()), "Aa");
+        assert_eq!(c.advance_access(), ItemId(1));
+        assert_eq!(c.advance_access(), ItemId(2));
+        assert!(c.is_finished());
+        assert_eq!(c.accesses_done(), 3);
+    }
+
+    #[test]
+    fn branching_walk_right() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        c.advance_access();
+        c.choose(1);
+        assert_eq!(t.label(c.node()), "Ab");
+        assert_eq!(c.advance_access(), ItemId(3));
+        assert!(c.is_finished());
+        assert!(!c.accessed().contains(ItemId(1)));
+    }
+
+    #[test]
+    fn analytic_vs_operational_hasaccessed() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        // Analytically, reaching the root node means item 0 is accessed
+        // even before the engine performs the access.
+        assert!(c.hasaccessed_analytic().contains(ItemId(0)));
+        assert!(!c.accessed().contains(ItemId(0)));
+        c.advance_access();
+        assert!(c.accessed().contains(ItemId(0)));
+        // Operational set is always a subset of the analytic one.
+        assert!(c.accessed().is_subset(c.hasaccessed_analytic()));
+    }
+
+    #[test]
+    fn mightaccess_narrows_at_decisions() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        assert_eq!(c.mightaccess().len(), 4); // {0,1,2,3}
+        c.advance_access();
+        c.choose(0);
+        assert_eq!(c.mightaccess().len(), 3); // {0,1,2}
+        assert!(!c.mightaccess().contains(ItemId(3)));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        c.advance_access();
+        c.choose(0);
+        c.advance_access();
+        c.reset();
+        assert_eq!(c.node(), t.root());
+        assert_eq!(c.accesses_done(), 0);
+        assert!(c.accessed().is_empty());
+        assert_eq!(c.next_action(), NextAction::Access(ItemId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "advance_access called")]
+    fn advance_at_decision_panics() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        c.advance_access();
+        c.advance_access(); // next action is Decide
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_branch_panics() {
+        let t = branching_tree();
+        let mut c = Cursor::new(&t);
+        c.advance_access();
+        c.choose(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "choose called")]
+    fn choose_without_decision_panics() {
+        let p = Program::straight_line("B", [ItemId(5)]);
+        let t = TransactionTree::from_program(&p);
+        let mut c = Cursor::new(&t);
+        c.choose(0);
+    }
+}

@@ -1,0 +1,452 @@
+//! A small text format for transaction programs.
+//!
+//! The paper's Figure 1 presents transaction types as program fragments;
+//! this module provides an equivalent notation so examples and tests can
+//! state workloads declaratively:
+//!
+//! ```text
+//! # Figure 1 of the paper
+//! program A {
+//!     access w
+//!     branch {                 # the `if (w > 100)` decision point
+//!         { access i1 i2 i3 }  # then-arm
+//!         { access i4 i5 i6 }  # else-arm
+//!     }
+//! }
+//! program B {
+//!     access i1 i2 i3
+//! }
+//! ```
+//!
+//! Item names are interned in order of first appearance; the resulting
+//! [`Interner`] maps names to the [`ItemId`]s used throughout the library.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::program::{Block, Program};
+use crate::sets::ItemId;
+
+/// Maps symbolic item names to dense [`ItemId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    by_name: HashMap<String, ItemId>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its id (allocating a new one if unseen).
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ItemId(self.names.len() as u32);
+        self.by_name.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<ItemId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an id, if allocated.
+    pub fn name(&self, id: ItemId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct items interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (0 for end-of-input errors).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    tokens: Vec<(Tok, u32)>,
+}
+
+impl<'s> Lexer<'s> {
+    fn lex(src: &'s str) -> Result<Vec<(Tok, u32)>, ParseError> {
+        let mut lexer = Lexer {
+            src,
+            tokens: Vec::new(),
+        };
+        lexer.run()?;
+        Ok(lexer.tokens)
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        for (lineno, line) in self.src.lines().enumerate() {
+            let line_no = lineno as u32 + 1;
+            // Strip comments: `#` or `//` to end of line.
+            let code = match (line.find('#'), line.find("//")) {
+                (Some(a), Some(b)) => &line[..a.min(b)],
+                (Some(a), None) => &line[..a],
+                (None, Some(b)) => &line[..b],
+                (None, None) => line,
+            };
+            let mut rest = code;
+            while !rest.is_empty() {
+                let c = rest.chars().next().expect("non-empty");
+                if c.is_whitespace() {
+                    rest = &rest[c.len_utf8()..];
+                } else if c == '{' {
+                    self.tokens.push((Tok::LBrace, line_no));
+                    rest = &rest[1..];
+                } else if c == '}' {
+                    self.tokens.push((Tok::RBrace, line_no));
+                    rest = &rest[1..];
+                } else if c.is_alphanumeric() || c == '_' {
+                    let end = rest
+                        .find(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
+                        .unwrap_or(rest.len());
+                    self.tokens
+                        .push((Tok::Ident(rest[..end].to_string()), line_no));
+                    rest = &rest[end..];
+                } else {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("unexpected character {c:?}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, u32)>,
+    pos: usize,
+    interner: Interner,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: if self.pos < self.tokens.len() {
+                self.line()
+            } else {
+                0
+            },
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(other) => Err(ParseError {
+                line: self.tokens[self.pos - 1].1,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(other) => Err(ParseError {
+                line: self.tokens[self.pos - 1].1,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn parse_programs(&mut self) -> Result<Vec<Program>, ParseError> {
+        let mut programs = Vec::new();
+        while self.peek().is_some() {
+            let kw = self.expect_ident("`program`")?;
+            if kw != "program" {
+                return Err(ParseError {
+                    line: self.tokens[self.pos - 1].1,
+                    message: format!("expected `program`, found `{kw}`"),
+                });
+            }
+            let name = self.expect_ident("program name")?;
+            self.expect_tok(Tok::LBrace, "`{`")?;
+            let body = self.parse_block()?;
+            programs.push(Program::new(name, body));
+        }
+        if programs.is_empty() {
+            return Err(ParseError {
+                line: 0,
+                message: "input contains no programs".to_string(),
+            });
+        }
+        Ok(programs)
+    }
+
+    /// Parses statements until the matching `}` (consumed).
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        let mut block = Block::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    return Ok(block);
+                }
+                Some(Tok::Ident(kw)) if kw == "access" => {
+                    self.next();
+                    let mut any = false;
+                    while let Some(Tok::Ident(_)) = self.peek() {
+                        // Stop if the identifier is a keyword starting the
+                        // next statement.
+                        if matches!(self.peek(), Some(Tok::Ident(k)) if k == "access" || k == "branch" || k == "program")
+                        {
+                            break;
+                        }
+                        let name = self.expect_ident("item name")?;
+                        block.push_access(self.interner.intern(&name));
+                        any = true;
+                    }
+                    if !any {
+                        return Err(self.err("`access` requires at least one item"));
+                    }
+                }
+                Some(Tok::Ident(kw)) if kw == "branch" => {
+                    self.next();
+                    self.expect_tok(Tok::LBrace, "`{` after `branch`")?;
+                    let mut branches = Vec::new();
+                    loop {
+                        match self.peek() {
+                            Some(Tok::LBrace) => {
+                                self.next();
+                                branches.push(self.parse_block()?);
+                            }
+                            Some(Tok::RBrace) => {
+                                self.next();
+                                break;
+                            }
+                            Some(other) => {
+                                let other = other.clone();
+                                return Err(
+                                    self.err(format!("expected `{{` or `}}` in branch list, found {other:?}"))
+                                );
+                            }
+                            None => return Err(self.err("unterminated branch list")),
+                        }
+                    }
+                    if branches.len() < 2 {
+                        return Err(self.err(format!(
+                            "`branch` requires at least two arms, found {}",
+                            branches.len()
+                        )));
+                    }
+                    block.push_decision(branches);
+                }
+                Some(other) => {
+                    let other = other.clone();
+                    return Err(self.err(format!(
+                        "expected `access`, `branch` or `}}`, found {other:?}"
+                    )));
+                }
+                None => return Err(self.err("unterminated block (missing `}`)")),
+            }
+        }
+    }
+}
+
+/// Parse a source string containing one or more programs.
+pub fn parse_programs(src: &str) -> Result<(Vec<Program>, Interner), ParseError> {
+    let tokens = Lexer::lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        interner: Interner::new(),
+    };
+    let programs = parser.parse_programs()?;
+    Ok((programs, parser.interner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relations::{conflict, safety, Conflict, Position, Safety};
+    use crate::tree::TransactionTree;
+
+    const FIGURE1: &str = r#"
+        # Figure 1 of the paper
+        program A {
+            access w
+            branch {
+                { access i1 i2 i3 }
+                { access i4 i5 i6 }
+            }
+        }
+        program B {
+            access i1 i2 i3
+        }
+    "#;
+
+    #[test]
+    fn parses_figure1() {
+        let (programs, interner) = parse_programs(FIGURE1).unwrap();
+        assert_eq!(programs.len(), 2);
+        assert_eq!(programs[0].name(), "A");
+        assert_eq!(programs[1].name(), "B");
+        assert_eq!(interner.len(), 7); // w, i1..i6
+        assert_eq!(interner.get("w"), Some(ItemId(0)));
+        assert_eq!(interner.name(ItemId(0)), Some("w"));
+        assert!(programs[1].is_straight_line());
+        assert_eq!(programs[0].body().decision_count(), 1);
+    }
+
+    #[test]
+    fn parsed_programs_reproduce_paper_relations() {
+        let (programs, _) = parse_programs(FIGURE1).unwrap();
+        let ta = TransactionTree::from_program(&programs[0]);
+        let tb = TransactionTree::from_program(&programs[1]);
+        assert_eq!(
+            conflict(Position::at_root(&ta), Position::at_root(&tb)),
+            Conflict::Conditional
+        );
+        let aa = ta.find("Aa").unwrap();
+        assert_eq!(
+            conflict(Position::at(&ta, aa), Position::at_root(&tb)),
+            Conflict::Conflicts
+        );
+        assert_eq!(
+            safety(Position::at_root(&tb), Position::at(&ta, aa)),
+            Safety::Unsafe
+        );
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let src = "program P { access a // trailing\n access b # other\n }";
+        let (programs, interner) = parse_programs(src).unwrap();
+        assert_eq!(programs[0].data_set().len(), 2);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn nested_branches() {
+        let src = r#"
+            program N {
+                access a
+                branch {
+                    { access b branch { { access c } { access d } } }
+                    { access e }
+                }
+            }
+        "#;
+        let (programs, _) = parse_programs(src).unwrap();
+        assert_eq!(programs[0].body().decision_count(), 2);
+        let t = TransactionTree::from_program(&programs[0]);
+        assert_eq!(t.leaves(t.root()).len(), 3);
+    }
+
+    #[test]
+    fn error_missing_brace() {
+        let err = parse_programs("program P { access a").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn error_single_arm_branch() {
+        let err = parse_programs("program P { branch { { access a } } }").unwrap_err();
+        assert!(err.message.contains("two arms"), "{err}");
+    }
+
+    #[test]
+    fn error_empty_access() {
+        let err = parse_programs("program P { access branch { { access a } { access b } } }")
+            .unwrap_err();
+        assert!(err.message.contains("at least one item"), "{err}");
+    }
+
+    #[test]
+    fn error_bad_keyword_reports_line() {
+        let err = parse_programs("program P {\n  write a\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("write"), "{err}");
+    }
+
+    #[test]
+    fn error_unexpected_character() {
+        let err = parse_programs("program P { access a; }").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+    }
+
+    #[test]
+    fn error_empty_input() {
+        let err = parse_programs("  \n # only a comment\n").unwrap_err();
+        assert!(err.message.contains("no programs"), "{err}");
+        assert_eq!(err.to_string(), "parse error at end of input: input contains no programs");
+    }
+
+    #[test]
+    fn shared_interner_across_programs() {
+        let (programs, interner) = parse_programs(
+            "program X { access a b } program Y { access b c }",
+        )
+        .unwrap();
+        let xb = programs[0].data_set();
+        let yb = programs[1].data_set();
+        assert!(xb.intersects(&yb));
+        assert_eq!(interner.len(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! `rtx-preanalysis` — transaction program pre-analysis (§3.2.2 of the
+//! paper).
+//!
+//! The Cost Conscious Approach rests on a *finer analysis of conflicts*
+//! than classic pessimistic pre-analysis: a transaction program is modeled
+//! as a **transaction tree** whose branches are *decision points*, and for
+//! every node the sets `accesses`, `hasaccessed` and `mightaccess` are
+//! precomputed. From those, two run-time relations are derived:
+//!
+//! * the three-valued **conflict** relation — conflict / conditionally
+//!   conflict / don't conflict — used by `IOwait-schedule` to pick
+//!   transactions that can safely run during IO waits;
+//! * the three-valued **safety** relation — safe / unsafe / conditionally
+//!   unsafe — used by the penalty-of-conflict priority term to price the
+//!   work that scheduling a transaction would destroy.
+//!
+//! # Modules
+//!
+//! * [`sets`] — bitset item sets;
+//! * [`program`] — the program AST and builders;
+//! * [`dsl`] — a textual notation for programs (Figure 1 style);
+//! * [`tree`] — transaction trees with the precomputed per-node sets;
+//! * [`relations`] — the conflict and safety definitions;
+//! * [`cursor`] — run-time execution position tracking;
+//! * [`table`] — dense relation tables for a whole workload.
+//!
+//! # Example: the paper's Figure 1
+//!
+//! ```
+//! use rtx_preanalysis::dsl::parse_programs;
+//! use rtx_preanalysis::relations::{conflict, Conflict, Position};
+//! use rtx_preanalysis::tree::TransactionTree;
+//!
+//! let (programs, _items) = parse_programs(r#"
+//!     program A {
+//!         access w
+//!         branch {
+//!             { access i1 i2 i3 }
+//!             { access i4 i5 i6 }
+//!         }
+//!     }
+//!     program B { access i1 i2 i3 }
+//! "#).unwrap();
+//!
+//! let a = TransactionTree::from_program(&programs[0]);
+//! let b = TransactionTree::from_program(&programs[1]);
+//!
+//! // Before A executes its decision point it *conditionally* conflicts
+//! // with B; once it takes the first branch they conflict outright.
+//! assert_eq!(conflict(Position::at_root(&a), Position::at_root(&b)),
+//!            Conflict::Conditional);
+//! let aa = a.find("Aa").unwrap();
+//! assert_eq!(conflict(Position::at(&a, aa), Position::at_root(&b)),
+//!            Conflict::Conflicts);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cursor;
+pub mod dsl;
+pub mod program;
+pub mod relations;
+pub mod sets;
+pub mod table;
+pub mod tree;
+
+pub use cursor::{Cursor, NextAction};
+pub use dsl::{parse_programs, Interner, ParseError};
+pub use program::{Block, Program, ProgramBuilder, Step};
+pub use relations::{conflict, safety, Conflict, Position, Safety};
+pub use sets::{DataSet, ItemId};
+pub use table::{AnalysisSet, TypeId};
+pub use tree::{NodeId, TransactionTree};

@@ -1,0 +1,350 @@
+//! Transaction programs.
+//!
+//! A transaction program is a loop-free program whose only analyzed
+//! operations are data accesses and *decision points* — conditional
+//! statements at which the transaction "commits itself to accessing a
+//! subset of its data set" (§3.2.2, Figure 1). We model a program as a
+//! block of steps, where each step either accesses an item or branches
+//! into alternative sub-blocks.
+
+use std::fmt;
+
+use crate::sets::{DataSet, ItemId};
+
+/// One step of a transaction program block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Write-access a database item (the paper analyzes write locks only).
+    Access(ItemId),
+    /// A decision point with two or more alternative continuations.
+    Decision(Vec<Block>),
+}
+
+/// A straight-line sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    steps: Vec<Step>,
+}
+
+impl Block {
+    /// Empty block.
+    pub fn new() -> Self {
+        Block::default()
+    }
+
+    /// The steps of the block.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Append an access step.
+    pub fn push_access(&mut self, item: ItemId) {
+        self.steps.push(Step::Access(item));
+    }
+
+    /// Append a decision point.
+    pub fn push_decision(&mut self, branches: Vec<Block>) {
+        self.steps.push(Step::Decision(branches));
+    }
+
+    /// All items this block (including nested branches) might access.
+    pub fn all_items(&self) -> DataSet {
+        let mut out = DataSet::new();
+        self.collect_items(&mut out);
+        out
+    }
+
+    fn collect_items(&self, out: &mut DataSet) {
+        for step in &self.steps {
+            match step {
+                Step::Access(item) => {
+                    out.insert(*item);
+                }
+                Step::Decision(branches) => {
+                    for b in branches {
+                        b.collect_items(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of decision points, including nested ones.
+    pub fn decision_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Access(_) => 0,
+                Step::Decision(branches) => {
+                    1 + branches.iter().map(Block::decision_count).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+
+    /// Longest possible number of accesses along any execution path.
+    pub fn max_path_accesses(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Access(_) => 1,
+                Step::Decision(branches) => branches
+                    .iter()
+                    .map(Block::max_path_accesses)
+                    .max()
+                    .unwrap_or(0),
+            })
+            .sum()
+    }
+}
+
+/// A named, pre-analyzable transaction program (one of the paper's
+/// "transaction types").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    body: Block,
+}
+
+impl Program {
+    /// Create a program from its name and body.
+    pub fn new(name: impl Into<String>, body: Block) -> Self {
+        Program {
+            name: name.into(),
+            body,
+        }
+    }
+
+    /// A straight-line program accessing the given items in order — the
+    /// shape used by the paper's simulation workloads, which have no
+    /// decision points.
+    pub fn straight_line(name: impl Into<String>, items: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut body = Block::new();
+        for item in items {
+            body.push_access(item);
+        }
+        Program::new(name, body)
+    }
+
+    /// The program's name (used as the transaction-tree root label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program body.
+    pub fn body(&self) -> &Block {
+        &self.body
+    }
+
+    /// The program's *data set*: every item any execution path might
+    /// access.
+    pub fn data_set(&self) -> DataSet {
+        self.body.all_items()
+    }
+
+    /// True iff the program has no decision points.
+    pub fn is_straight_line(&self) -> bool {
+        self.body.decision_count() == 0
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program {} {}", self.name, self.data_set())
+    }
+}
+
+/// Fluent builder for programs with nested decision points.
+///
+/// ```
+/// use rtx_preanalysis::program::ProgramBuilder;
+/// use rtx_preanalysis::sets::ItemId;
+///
+/// // Figure 1's program A: access w, then branch on (w > 100).
+/// let a = ProgramBuilder::new("A")
+///     .access(ItemId(0)) // w
+///     .decision(|d| {
+///         d.branch(|b| b.access(ItemId(1)).access(ItemId(2)).access(ItemId(3)))
+///          .branch(|b| b.access(ItemId(4)).access(ItemId(5)).access(ItemId(6)))
+///     })
+///     .build();
+/// assert_eq!(a.data_set().len(), 7);
+/// assert!(!a.is_straight_line());
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    block: BlockBuilder,
+}
+
+/// Builder for one block; obtained inside [`ProgramBuilder::decision`]
+/// closures.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    block: Block,
+}
+
+impl BlockBuilder {
+    /// Append an access.
+    pub fn access(mut self, item: ItemId) -> Self {
+        self.block.push_access(item);
+        self
+    }
+
+    /// Append a nested decision point.
+    pub fn decision<F>(mut self, f: F) -> Self
+    where
+        F: FnOnce(DecisionBuilder) -> DecisionBuilder,
+    {
+        let d = f(DecisionBuilder::default());
+        self.block.push_decision(d.branches);
+        self
+    }
+}
+
+/// Builder for the branches of one decision point.
+#[derive(Debug, Default)]
+pub struct DecisionBuilder {
+    branches: Vec<Block>,
+}
+
+impl DecisionBuilder {
+    /// Add one branch, built by the closure.
+    pub fn branch<F>(mut self, f: F) -> Self
+    where
+        F: FnOnce(BlockBuilder) -> BlockBuilder,
+    {
+        let b = f(BlockBuilder::default());
+        self.branches.push(b.block);
+        self
+    }
+}
+
+impl ProgramBuilder {
+    /// Start building a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            block: BlockBuilder::default(),
+        }
+    }
+
+    /// Append an access.
+    pub fn access(mut self, item: ItemId) -> Self {
+        self.block = self.block.access(item);
+        self
+    }
+
+    /// Append a decision point.
+    pub fn decision<F>(mut self, f: F) -> Self
+    where
+        F: FnOnce(DecisionBuilder) -> DecisionBuilder,
+    {
+        self.block = self.block.decision(f);
+        self
+    }
+
+    /// Finish, producing the [`Program`].
+    ///
+    /// # Panics
+    /// Panics if any decision point has fewer than two branches — a
+    /// one-armed "decision" is not a decision and would corrupt the
+    /// transaction tree's labelling.
+    pub fn build(self) -> Program {
+        fn validate(block: &Block) {
+            for step in block.steps() {
+                if let Step::Decision(branches) = step {
+                    assert!(
+                        branches.len() >= 2,
+                        "decision points need at least two branches"
+                    );
+                    for b in branches {
+                        validate(b);
+                    }
+                }
+            }
+        }
+        validate(&self.block.block);
+        Program::new(self.name, self.block.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_a() -> Program {
+        ProgramBuilder::new("A")
+            .access(ItemId(0))
+            .decision(|d| {
+                d.branch(|b| b.access(ItemId(1)).access(ItemId(2)).access(ItemId(3)))
+                    .branch(|b| b.access(ItemId(4)).access(ItemId(5)).access(ItemId(6)))
+            })
+            .build()
+    }
+
+    fn figure1_b() -> Program {
+        Program::straight_line("B", [ItemId(1), ItemId(2), ItemId(3)])
+    }
+
+    #[test]
+    fn straight_line_program() {
+        let b = figure1_b();
+        assert!(b.is_straight_line());
+        assert_eq!(b.data_set().len(), 3);
+        assert_eq!(b.body().decision_count(), 0);
+        assert_eq!(b.body().max_path_accesses(), 3);
+    }
+
+    #[test]
+    fn branching_program() {
+        let a = figure1_a();
+        assert!(!a.is_straight_line());
+        assert_eq!(a.data_set().len(), 7);
+        assert_eq!(a.body().decision_count(), 1);
+        // longest path: w + 3 items
+        assert_eq!(a.body().max_path_accesses(), 4);
+    }
+
+    #[test]
+    fn nested_decisions() {
+        let p = ProgramBuilder::new("N")
+            .access(ItemId(0))
+            .decision(|d| {
+                d.branch(|b| {
+                    b.access(ItemId(1)).decision(|d2| {
+                        d2.branch(|b2| b2.access(ItemId(2)))
+                            .branch(|b2| b2.access(ItemId(3)))
+                    })
+                })
+                .branch(|b| b.access(ItemId(4)))
+            })
+            .build();
+        assert_eq!(p.body().decision_count(), 2);
+        assert_eq!(p.data_set().len(), 5);
+        assert_eq!(p.body().max_path_accesses(), 3); // 0 → 1 → (2|3)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two branches")]
+    fn single_branch_decision_rejected() {
+        ProgramBuilder::new("bad")
+            .decision(|d| d.branch(|b| b.access(ItemId(1))))
+            .build();
+    }
+
+    #[test]
+    fn duplicate_accesses_collapse_in_data_set() {
+        let p = Program::straight_line("D", [ItemId(1), ItemId(1), ItemId(2)]);
+        assert_eq!(p.data_set().len(), 2);
+        assert_eq!(p.body().max_path_accesses(), 3);
+    }
+
+    #[test]
+    fn display_includes_name_and_items() {
+        let p = figure1_b();
+        let s = format!("{p}");
+        assert!(s.contains("program B"));
+        assert!(s.contains("i1"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Conflict and safety relations between (positions in) transactions.
+//!
+//! Direct transcriptions of the definitions in §3.2.2. Both relations are
+//! evaluated between *refinement states* — a transaction tree plus the node
+//! the transaction has reached — because that is exactly the information
+//! the scheduler has at run time.
+//!
+//! * **Conflict** (symmetric): do the two transactions' future executions
+//!   necessarily / possibly / never touch overlapping data?
+//! * **Safety** (asymmetric): if the *subject* transaction `T_P` has
+//!   partially executed and the *actor* `T_Q` is scheduled, must `T_P` be
+//!   rolled back (`Unsafe`), merely blocked (`Safe`), or does it depend on
+//!   `T_Q`'s future branches (`ConditionallyUnsafe`)?
+
+use std::fmt;
+
+use crate::tree::{NodeId, TransactionTree};
+
+/// A transaction's refinement state: its pre-analyzed tree and the node the
+/// execution has reached.
+#[derive(Debug, Clone, Copy)]
+pub struct Position<'t> {
+    /// The pre-analyzed tree.
+    pub tree: &'t TransactionTree,
+    /// The node reached so far.
+    pub node: NodeId,
+}
+
+impl<'t> Position<'t> {
+    /// Position at the tree's root (transaction just started).
+    pub fn at_root(tree: &'t TransactionTree) -> Self {
+        Position {
+            tree,
+            node: tree.root(),
+        }
+    }
+
+    /// Position at a specific node.
+    pub fn at(tree: &'t TransactionTree, node: NodeId) -> Self {
+        Position { tree, node }
+    }
+}
+
+/// The three-valued conflict relation between two transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Conflict {
+    /// "No matter what their execution paths, they will access overlapping
+    /// datasets."
+    Conflicts,
+    /// "Might or might not conflict based on their future execution."
+    Conditional,
+    /// "Given their current state, they won't access overlapping data sets
+    /// for all possible execution paths."
+    None,
+}
+
+impl Conflict {
+    /// True for `Conflicts` or `Conditional` — the predicate
+    /// `IOwait-schedule` uses ("don't conflict or conditionally conflict").
+    pub fn possible(self) -> bool {
+        !matches!(self, Conflict::None)
+    }
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Conflict::Conflicts => write!(f, "conflict"),
+            Conflict::Conditional => write!(f, "conditionally conflict"),
+            Conflict::None => write!(f, "don't conflict"),
+        }
+    }
+}
+
+/// The three-valued safety relation of a partially executed transaction
+/// with respect to another transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Safety {
+    /// The subject "has not yet accessed any data items that [the actor]
+    /// might access": blocking suffices, no rollback needed.
+    Safe,
+    /// The subject has accessed data the actor will access on every path:
+    /// it must be rolled back if the actor runs to commit.
+    Unsafe,
+    /// Depends on the actor's future branches.
+    ConditionallyUnsafe,
+}
+
+impl Safety {
+    /// True for `Unsafe` or `ConditionallyUnsafe` — the predicate that
+    /// contributes to the penalty of conflict (§3.3.1: "unsafe or
+    /// conditionally unsafe").
+    pub fn needs_rollback(self) -> bool {
+        !matches!(self, Safety::Safe)
+    }
+}
+
+impl fmt::Display for Safety {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Safety::Safe => write!(f, "safe"),
+            Safety::Unsafe => write!(f, "unsafe"),
+            Safety::ConditionallyUnsafe => write!(f, "conditionally unsafe"),
+        }
+    }
+}
+
+/// Compute the conflict relation between two positions.
+///
+/// Leaf case: leaves `p`, `q` conflict iff
+/// `mightaccess(p) ∩ mightaccess(q) ≠ ∅`. General case quantifies over all
+/// leaf pairs of the two subtrees.
+pub fn conflict(a: Position<'_>, b: Position<'_>) -> Conflict {
+    let mut any_overlap = false;
+    let mut any_disjoint = false;
+    for &la in a.tree.leaves(a.node) {
+        let ma = a.tree.mightaccess(la);
+        for &lb in b.tree.leaves(b.node) {
+            if ma.intersects(b.tree.mightaccess(lb)) {
+                any_overlap = true;
+            } else {
+                any_disjoint = true;
+            }
+            if any_overlap && any_disjoint {
+                return Conflict::Conditional;
+            }
+        }
+    }
+    match (any_overlap, any_disjoint) {
+        (true, false) => Conflict::Conflicts,
+        (false, _) => Conflict::None,
+        (true, true) => Conflict::Conditional, // unreachable (early return)
+    }
+}
+
+/// Compute the safety of `subject` (partially executed) with respect to
+/// `actor` (the transaction about to run).
+///
+/// * `Safe`   iff `hasaccessed(subject) ∩ mightaccess(actor) = ∅`;
+/// * `Unsafe` iff for **every** leaf `q` of the actor's subtree,
+///   `hasaccessed(subject) ∩ mightaccess(q) ≠ ∅`;
+/// * `ConditionallyUnsafe` otherwise (some leaf overlaps, some doesn't).
+pub fn safety(subject: Position<'_>, actor: Position<'_>) -> Safety {
+    let has = subject.tree.hasaccessed(subject.node);
+    if !has.intersects(actor.tree.mightaccess(actor.node)) {
+        return Safety::Safe;
+    }
+    let all_leaves_overlap = actor
+        .tree
+        .leaves(actor.node)
+        .iter()
+        .all(|&q| has.intersects(actor.tree.mightaccess(q)));
+    if all_leaves_overlap {
+        Safety::Unsafe
+    } else {
+        Safety::ConditionallyUnsafe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Program, ProgramBuilder};
+    use crate::sets::ItemId;
+
+    /// Figure 1 / 2: program A branches to {1,2,3} or {4,5,6} after reading
+    /// item 0; program B always accesses {1,2,3}.
+    fn figure_trees() -> (TransactionTree, TransactionTree) {
+        let a = ProgramBuilder::new("A")
+            .access(ItemId(0))
+            .decision(|d| {
+                d.branch(|b| b.access(ItemId(1)).access(ItemId(2)).access(ItemId(3)))
+                    .branch(|b| b.access(ItemId(4)).access(ItemId(5)).access(ItemId(6)))
+            })
+            .build();
+        let b = Program::straight_line("B", [ItemId(1), ItemId(2), ItemId(3)]);
+        (
+            TransactionTree::from_program(&a),
+            TransactionTree::from_program(&b),
+        )
+    }
+
+    #[test]
+    fn paper_example_conflicts() {
+        let (ta, tb) = figure_trees();
+        // "T_A1 [at the root] conditionally conflicts with T_B1": before the
+        // decision, A might take either branch.
+        let a_root = Position::at_root(&ta);
+        let b_root = Position::at_root(&tb);
+        assert_eq!(conflict(a_root, b_root), Conflict::Conditional);
+        // "T_Aa conflicts with T_B1"
+        let aa = Position::at(&ta, ta.find("Aa").unwrap());
+        assert_eq!(conflict(aa, b_root), Conflict::Conflicts);
+        // "T_Ab doesn't conflict with T_B1"
+        let ab = Position::at(&ta, ta.find("Ab").unwrap());
+        assert_eq!(conflict(ab, b_root), Conflict::None);
+    }
+
+    #[test]
+    fn conflict_is_symmetric() {
+        let (ta, tb) = figure_trees();
+        for node_a in ta.node_ids() {
+            for node_b in tb.node_ids() {
+                let ab = conflict(Position::at(&ta, node_a), Position::at(&tb, node_b));
+                let ba = conflict(Position::at(&tb, node_b), Position::at(&ta, node_a));
+                assert_eq!(ab, ba);
+            }
+        }
+    }
+
+    #[test]
+    fn self_conflict_of_overlapping_type() {
+        let (ta, _) = figure_trees();
+        // Two instances of A share item 0 on every path → conflict.
+        let p = Position::at_root(&ta);
+        assert_eq!(conflict(p, p), Conflict::Conflicts);
+    }
+
+    #[test]
+    fn disjoint_types_never_conflict() {
+        let p1 = Program::straight_line("X", [ItemId(1), ItemId(2)]);
+        let p2 = Program::straight_line("Y", [ItemId(3), ItemId(4)]);
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        let c = conflict(Position::at_root(&t1), Position::at_root(&t2));
+        assert_eq!(c, Conflict::None);
+        assert!(!c.possible());
+    }
+
+    #[test]
+    fn safety_of_fresh_transaction_is_safe() {
+        // A transaction that has accessed nothing is safe w.r.t. anything…
+        // unless its root segment is non-empty. Build one with an empty
+        // prefix (decision first).
+        let p = ProgramBuilder::new("F")
+            .decision(|d| {
+                d.branch(|b| b.access(ItemId(1)))
+                    .branch(|b| b.access(ItemId(2)))
+            })
+            .build();
+        let t = TransactionTree::from_program(&p);
+        let (ta, _) = figure_trees();
+        assert!(t.hasaccessed(t.root()).is_empty());
+        assert_eq!(
+            safety(Position::at_root(&t), Position::at_root(&ta)),
+            Safety::Safe
+        );
+    }
+
+    #[test]
+    fn safety_cases_from_figure() {
+        let (ta, tb) = figure_trees();
+        // B has executed fully (single node): hasaccessed = {1,2,3}.
+        let b_pos = Position::at_root(&tb);
+        // Actor A at root: leaves Aa (might {0,1,2,3}) and Ab ({0,4,5,6}).
+        // hasaccessed(B) overlaps mightaccess(A) but not every leaf
+        // → conditionally unsafe.
+        assert_eq!(
+            safety(b_pos, Position::at_root(&ta)),
+            Safety::ConditionallyUnsafe
+        );
+        // Actor A at Aa: every leaf overlaps → unsafe.
+        let aa = Position::at(&ta, ta.find("Aa").unwrap());
+        assert_eq!(safety(b_pos, aa), Safety::Unsafe);
+        // Actor A at Ab: no overlap → safe.
+        let ab = Position::at(&ta, ta.find("Ab").unwrap());
+        assert_eq!(safety(b_pos, ab), Safety::Safe);
+    }
+
+    #[test]
+    fn safety_depends_on_subject_progress() {
+        let (ta, tb) = figure_trees();
+        // Subject A at root has accessed only item 0; B never touches 0.
+        let a_root = Position::at_root(&ta);
+        let b = Position::at_root(&tb);
+        assert_eq!(safety(a_root, b), Safety::Safe);
+        // Subject A at Aa has accessed {0,1,2,3}; B accesses {1,2,3} on its
+        // only path → unsafe.
+        let aa = Position::at(&ta, ta.find("Aa").unwrap());
+        assert_eq!(safety(aa, b), Safety::Unsafe);
+        // Subject A at Ab accessed {0,4,5,6} → safe w.r.t. B.
+        let ab = Position::at(&ta, ta.find("Ab").unwrap());
+        assert_eq!(safety(ab, b), Safety::Safe);
+    }
+
+    #[test]
+    fn needs_rollback_predicate() {
+        assert!(!Safety::Safe.needs_rollback());
+        assert!(Safety::Unsafe.needs_rollback());
+        assert!(Safety::ConditionallyUnsafe.needs_rollback());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Conflict::Conflicts.to_string(), "conflict");
+        assert_eq!(Conflict::Conditional.to_string(), "conditionally conflict");
+        assert_eq!(Conflict::None.to_string(), "don't conflict");
+        assert_eq!(Safety::Safe.to_string(), "safe");
+        assert_eq!(Safety::Unsafe.to_string(), "unsafe");
+        assert_eq!(
+            Safety::ConditionallyUnsafe.to_string(),
+            "conditionally unsafe"
+        );
+    }
+
+    #[test]
+    fn straight_line_relations_degenerate_to_set_tests() {
+        // For straight-line programs the three-valued relations collapse to
+        // a binary intersection test — the regime of the paper's simulation.
+        let p1 = Program::straight_line("X", [ItemId(1), ItemId(2)]);
+        let p2 = Program::straight_line("Y", [ItemId(2), ItemId(3)]);
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        assert_eq!(
+            conflict(Position::at_root(&t1), Position::at_root(&t2)),
+            Conflict::Conflicts
+        );
+        assert_eq!(
+            safety(Position::at_root(&t1), Position::at_root(&t2)),
+            Safety::Unsafe
+        );
+    }
+}

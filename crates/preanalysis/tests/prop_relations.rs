@@ -1,0 +1,225 @@
+//! Property-based tests of the pre-analysis: the §3.2.2 relations must
+//! satisfy their defining axioms on arbitrary branching programs.
+
+use proptest::prelude::*;
+use rtx_preanalysis::program::{Block, Program};
+use rtx_preanalysis::relations::{conflict, safety, Conflict, Position, Safety};
+use rtx_preanalysis::sets::{DataSet, ItemId};
+use rtx_preanalysis::table::{AnalysisSet, TypeId};
+use rtx_preanalysis::tree::TransactionTree;
+use rtx_preanalysis::Cursor;
+use rtx_preanalysis::NextAction;
+
+/// Strategy for a random block over a small item universe, with bounded
+/// depth so trees stay small.
+fn block_strategy(depth: u32) -> BoxedStrategy<Block> {
+    let access_seq = proptest::collection::vec(0u32..12, 0..5);
+    if depth == 0 {
+        access_seq
+            .prop_map(|items| {
+                let mut b = Block::new();
+                for i in items {
+                    b.push_access(ItemId(i));
+                }
+                b
+            })
+            .boxed()
+    } else {
+        (
+            access_seq,
+            proptest::option::weighted(
+                0.6,
+                proptest::collection::vec(block_strategy(depth - 1), 2..4),
+            ),
+            proptest::collection::vec(0u32..12, 0..3),
+        )
+            .prop_map(|(pre, branches, post)| {
+                let mut b = Block::new();
+                for i in pre {
+                    b.push_access(ItemId(i));
+                }
+                if let Some(branches) = branches {
+                    b.push_decision(branches);
+                    for i in post {
+                        b.push_access(ItemId(i));
+                    }
+                }
+                b
+            })
+            .boxed()
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    block_strategy(2).prop_map(|b| Program::new("P", b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The per-node set invariants of transaction trees.
+    #[test]
+    fn tree_set_invariants(p in program_strategy()) {
+        let t = TransactionTree::from_program(&p);
+        for node in t.node_ids() {
+            // hasaccessed ⊆ mightaccess
+            prop_assert!(t.hasaccessed(node).is_subset(t.mightaccess(node)));
+            // hasaccessed grows along paths; mightaccess shrinks.
+            if let Some(parent) = t.parent(node) {
+                prop_assert!(t.hasaccessed(parent).is_subset(t.hasaccessed(node)));
+                prop_assert!(t.mightaccess(node).is_subset(t.mightaccess(parent)));
+            }
+            // Leaf: mightaccess == hasaccessed.
+            if t.is_leaf(node) {
+                prop_assert_eq!(t.mightaccess(node), t.hasaccessed(node));
+                prop_assert_eq!(t.leaves(node), &[node]);
+            } else {
+                // Internal: mightaccess = union of children's.
+                let mut union = DataSet::new();
+                for &c in t.children(node) {
+                    union.union_with(t.mightaccess(c));
+                }
+                prop_assert_eq!(&union, t.mightaccess(node));
+            }
+        }
+        // Root mightaccess equals the program's full data set.
+        prop_assert_eq!(&p.data_set(), t.mightaccess(t.root()));
+    }
+
+    /// Conflict is symmetric at every pair of positions.
+    #[test]
+    fn conflict_symmetry(p1 in program_strategy(), p2 in program_strategy()) {
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        for a in t1.node_ids() {
+            for b in t2.node_ids() {
+                prop_assert_eq!(
+                    conflict(Position::at(&t1, a), Position::at(&t2, b)),
+                    conflict(Position::at(&t2, b), Position::at(&t1, a))
+                );
+            }
+        }
+    }
+
+    /// Refinement monotonicity: once two positions definitely conflict
+    /// (resp. definitely don't), descending the trees cannot change that.
+    #[test]
+    fn conflict_refinement_monotone(p1 in program_strategy(), p2 in program_strategy()) {
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        for a in t1.node_ids() {
+            for b in t2.node_ids() {
+                let rel = conflict(Position::at(&t1, a), Position::at(&t2, b));
+                for &ca in t1.children(a) {
+                    let child_rel = conflict(Position::at(&t1, ca), Position::at(&t2, b));
+                    match rel {
+                        Conflict::Conflicts => prop_assert_eq!(child_rel, Conflict::Conflicts),
+                        Conflict::None => prop_assert_eq!(child_rel, Conflict::None),
+                        Conflict::Conditional => {} // may resolve either way
+                    }
+                }
+            }
+        }
+    }
+
+    /// Safety axioms: empty hasaccessed ⇒ Safe; disjoint data sets ⇒ Safe;
+    /// actor at a leaf never yields ConditionallyUnsafe.
+    #[test]
+    fn safety_axioms(p1 in program_strategy(), p2 in program_strategy()) {
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        for s in t1.node_ids() {
+            for a in t2.node_ids() {
+                let rel = safety(Position::at(&t1, s), Position::at(&t2, a));
+                if t1.hasaccessed(s).is_empty() {
+                    prop_assert_eq!(rel, Safety::Safe);
+                }
+                if !t1.hasaccessed(s).intersects(t2.mightaccess(a)) {
+                    prop_assert_eq!(rel, Safety::Safe);
+                } else {
+                    prop_assert!(rel.needs_rollback());
+                }
+                if t2.is_leaf(a) {
+                    prop_assert_ne!(rel, Safety::ConditionallyUnsafe);
+                }
+            }
+        }
+    }
+
+    /// Safety refinement w.r.t. the actor: if the subject is Unsafe against
+    /// an actor position, it stays Unsafe against every child of that
+    /// position (the actor can only narrow its future, and Unsafe says all
+    /// its leaves already overlap).
+    #[test]
+    fn safety_refines_with_actor(p1 in program_strategy(), p2 in program_strategy()) {
+        let t1 = TransactionTree::from_program(&p1);
+        let t2 = TransactionTree::from_program(&p2);
+        for s in t1.node_ids() {
+            for a in t2.node_ids() {
+                let rel = safety(Position::at(&t1, s), Position::at(&t2, a));
+                for &ca in t2.children(a) {
+                    let child = safety(Position::at(&t1, s), Position::at(&t2, ca));
+                    match rel {
+                        Safety::Unsafe => prop_assert_eq!(child, Safety::Unsafe),
+                        Safety::Safe => prop_assert_eq!(child, Safety::Safe),
+                        Safety::ConditionallyUnsafe => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// The precomputed AnalysisSet tables agree with direct evaluation.
+    #[test]
+    fn analysis_set_matches_direct(p1 in program_strategy(), p2 in program_strategy()) {
+        let set = AnalysisSet::new(&[p1.clone(), p2.clone()]);
+        let (a, b) = (TypeId(0), TypeId(1));
+        for na in set.tree(a).node_ids() {
+            for nb in set.tree(b).node_ids() {
+                prop_assert_eq!(
+                    set.conflict_at(a, na, b, nb),
+                    conflict(Position::at(set.tree(a), na), Position::at(set.tree(b), nb))
+                );
+                prop_assert_eq!(
+                    set.safety_at(a, na, b, nb),
+                    safety(Position::at(set.tree(a), na), Position::at(set.tree(b), nb))
+                );
+            }
+        }
+    }
+
+    /// Walking a cursor along random branch choices maintains:
+    /// accessed ⊆ hasaccessed(node) ⊆ mightaccess(node), and every item the
+    /// cursor touches is in the program's data set.
+    #[test]
+    fn cursor_walk_invariants(p in program_strategy(), choices in proptest::collection::vec(0usize..4, 0..16)) {
+        let t = TransactionTree::from_program(&p);
+        let data_set = p.data_set();
+        let mut cursor = Cursor::new(&t);
+        let mut pick = choices.into_iter();
+        loop {
+            match cursor.next_action() {
+                NextAction::Access(item) => {
+                    prop_assert!(data_set.contains(item));
+                    cursor.advance_access();
+                }
+                NextAction::Decide(n) => {
+                    let k = pick.next().unwrap_or(0) % n;
+                    cursor.choose(k);
+                }
+                NextAction::Finished => break,
+            }
+            prop_assert!(cursor.accessed().is_subset(cursor.hasaccessed_analytic()));
+            prop_assert!(cursor.hasaccessed_analytic().is_subset(cursor.mightaccess()));
+        }
+        // At the end the cursor sits at a leaf: analytic and operational
+        // views agree on *which items could still be touched* (nothing).
+        prop_assert!(t.is_leaf(cursor.node()));
+        prop_assert_eq!(cursor.hasaccessed_analytic(), cursor.mightaccess());
+        // Reset restores the initial state.
+        let before = cursor.tree().root();
+        cursor.reset();
+        prop_assert_eq!(cursor.node(), before);
+        prop_assert!(cursor.accessed().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Simulation parameters, mirroring Table 1 (main memory) and Table 2
+//! (disk resident) of the paper.
+
+use rtx_sim::time::SimDuration;
+
+/// Workload-shape parameters (shared by both resident models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of transaction types ("Transaction type 50").
+    pub num_types: usize,
+    /// Mean of the per-type update count ("Update per transaction (mean)").
+    pub updates_mean: f64,
+    /// Standard deviation of the update count.
+    pub updates_std: f64,
+    /// Number of objects in the database ("Database size").
+    pub db_size: u64,
+    /// Lower bound of slack as a fraction of the resource time
+    /// ("Min-slack as fraction of total runtime", 20% → 0.2).
+    pub min_slack: f64,
+    /// Upper bound of slack (800% → 8.0).
+    pub max_slack: f64,
+    /// Probability that an update only *reads* its item (shared lock).
+    /// The paper's model is write-only (`0.0`, §3.1); non-zero values
+    /// drive the §6 shared-lock extension experiment.
+    pub read_probability: f64,
+    /// Fraction of instances drawn as high-criticality (class 1). The
+    /// paper assumes "same criticalness" (`0.0`); non-zero values drive
+    /// the §6 "multiple criticalness" extension experiment.
+    pub high_criticality_fraction: f64,
+    /// Per-update CPU times, one per *class* of transaction types.
+    ///
+    /// The base experiments use a single class of 4 ms
+    /// ("Computation/update (ms) 4"); the high-variance experiment (§4.2)
+    /// classifies the 50 types into 3 classes with 0.4 / 4 / 40 ms. Types
+    /// are assigned to classes round-robin by type index.
+    pub update_time_classes_ms: Vec<f64>,
+}
+
+impl WorkloadConfig {
+    /// The per-update CPU time of type `type_index`.
+    pub fn update_time_for_type(&self, type_index: usize) -> SimDuration {
+        let class = type_index % self.update_time_classes_ms.len();
+        SimDuration::from_ms(self.update_time_classes_ms[class])
+    }
+
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_types == 0 {
+            return Err("num_types must be positive".into());
+        }
+        if self.db_size == 0 {
+            return Err("db_size must be positive".into());
+        }
+        if self.updates_mean <= 0.0 {
+            return Err("updates_mean must be positive".into());
+        }
+        if self.updates_std < 0.0 {
+            return Err("updates_std cannot be negative".into());
+        }
+        if self.min_slack < 0.0 || self.max_slack < self.min_slack {
+            return Err("slack range must satisfy 0 <= min <= max".into());
+        }
+        if !(0.0..=1.0).contains(&self.read_probability) {
+            return Err("read_probability must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.high_criticality_fraction) {
+            return Err("high_criticality_fraction must be in [0,1]".into());
+        }
+        if self.update_time_classes_ms.is_empty()
+            || self.update_time_classes_ms.iter().any(|&t| t <= 0.0)
+        {
+            return Err("update time classes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Disk parameters (§5; `None` in [`SystemConfig`] models the main-memory
+/// resident database of §4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskConfig {
+    /// Time for one disk access ("Disk access time (ms) 25").
+    pub access_time_ms: f64,
+    /// Probability that an update needs a disk access
+    /// ("Disk access probability 1/10").
+    pub access_prob: f64,
+    /// IO queue discipline (FCFS in the paper; EDF for the
+    /// `ablate-disk-sched` experiment).
+    pub discipline: crate::disk::DiskDiscipline,
+}
+
+impl DiskConfig {
+    /// Disk access duration.
+    pub fn access_time(&self) -> SimDuration {
+        SimDuration::from_ms(self.access_time_ms)
+    }
+}
+
+/// Resource-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// CPU time to roll a transaction back ("abort cost (ms)": 4 for main
+    /// memory, 5 for disk resident).
+    pub abort_cost_ms: f64,
+    /// Disk model, if the database is disk resident.
+    pub disk: Option<DiskConfig>,
+    /// When `true`, rollback consumes CPU time proportional to the work the
+    /// victim had performed (`abort_cost_ms` per performed update) instead
+    /// of the paper's flat cost. This is the §6 ablation: "if the recovery
+    /// cost is proportional to the execution of a transaction … then our
+    /// approach is very attractive".
+    pub proportional_recovery: bool,
+    /// Livelock escalation: once a transaction has been aborted this many
+    /// times, wound-wait stops aborting it — conflicting requesters wait
+    /// instead — until it commits. Continuous-evaluation policies like LSF
+    /// can otherwise livelock (a freshly restarted transaction always has
+    /// the least slack, so victims abort each other forever). The default
+    /// of 100 is far above anything the paper's policies produce (CCA and
+    /// EDF-HP runs never shield), and far below livelock's thousands.
+    pub starvation_threshold: u32,
+}
+
+impl SystemConfig {
+    /// Abort (rollback) cost as a duration.
+    pub fn abort_cost(&self) -> SimDuration {
+        SimDuration::from_ms(self.abort_cost_ms)
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Mean transaction arrival rate, transactions/second (Poisson).
+    pub arrival_rate_tps: f64,
+    /// Number of transactions per run (1000 main memory, 300 disk).
+    pub num_transactions: usize,
+    /// Master seed: the type table and all stochastic draws derive from it.
+    pub seed: u64,
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Resource model.
+    pub system: SystemConfig,
+    /// Run parameters.
+    pub run: RunConfig,
+}
+
+impl SimConfig {
+    /// Table 1: the main-memory base parameters.
+    pub fn mm_base() -> Self {
+        SimConfig {
+            workload: WorkloadConfig {
+                num_types: 50,
+                updates_mean: 20.0,
+                updates_std: 10.0,
+                db_size: 30,
+                min_slack: 0.2,
+                max_slack: 8.0,
+                read_probability: 0.0,
+                high_criticality_fraction: 0.0,
+                update_time_classes_ms: vec![4.0],
+            },
+            system: SystemConfig {
+                abort_cost_ms: 4.0,
+                disk: None,
+                proportional_recovery: false,
+                starvation_threshold: 100,
+            },
+            run: RunConfig {
+                arrival_rate_tps: 5.0,
+                num_transactions: 1000,
+                seed: 0,
+            },
+        }
+    }
+
+    /// §4.2: the high-variance main-memory workload — 3 classes with
+    /// 0.4 / 4 / 40 ms per update.
+    pub fn mm_high_variance() -> Self {
+        let mut cfg = Self::mm_base();
+        cfg.workload.update_time_classes_ms = vec![0.4, 4.0, 40.0];
+        cfg
+    }
+
+    /// Table 2: the disk-resident base parameters.
+    pub fn disk_base() -> Self {
+        SimConfig {
+            workload: WorkloadConfig {
+                num_types: 50,
+                updates_mean: 20.0,
+                updates_std: 10.0,
+                db_size: 30,
+                min_slack: 0.2,
+                max_slack: 8.0,
+                read_probability: 0.0,
+                high_criticality_fraction: 0.0,
+                update_time_classes_ms: vec![4.0],
+            },
+            system: SystemConfig {
+                abort_cost_ms: 5.0,
+                disk: Some(DiskConfig {
+                    access_time_ms: 25.0,
+                    access_prob: 0.1,
+                    discipline: crate::disk::DiskDiscipline::Fcfs,
+                }),
+                proportional_recovery: false,
+                starvation_threshold: 100,
+            },
+            run: RunConfig {
+                arrival_rate_tps: 4.0,
+                num_transactions: 300,
+                seed: 0,
+            },
+        }
+    }
+
+    /// The system's theoretical CPU capacity in transactions/second,
+    /// disregarding aborts (§4.1's "12.5 transactions/second" calculation).
+    pub fn cpu_capacity_tps(&self) -> f64 {
+        let mean_update_ms = self.workload.update_time_classes_ms.iter().sum::<f64>()
+            / self.workload.update_time_classes_ms.len() as f64;
+        1000.0 / (mean_update_ms * self.workload.updates_mean)
+    }
+
+    /// Expected disk utilization at a given arrival rate, disregarding
+    /// aborts (§5's "62.5%" calculation). Zero for main memory.
+    pub fn disk_utilization_at(&self, arrival_tps: f64) -> f64 {
+        match &self.system.disk {
+            None => 0.0,
+            Some(d) => {
+                arrival_tps * self.workload.updates_mean * d.access_prob * d.access_time_ms
+                    / 1000.0
+            }
+        }
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.workload.validate()?;
+        if self.system.abort_cost_ms < 0.0 {
+            return Err("abort cost cannot be negative".into());
+        }
+        if self.system.starvation_threshold == 0 {
+            return Err("starvation_threshold must be positive".into());
+        }
+        if let Some(d) = &self.system.disk {
+            if d.access_time_ms <= 0.0 {
+                return Err("disk access time must be positive".into());
+            }
+            if !(0.0..=1.0).contains(&d.access_prob) {
+                return Err("disk access probability must be in [0,1]".into());
+            }
+        }
+        if self.run.arrival_rate_tps <= 0.0 {
+            return Err("arrival rate must be positive".into());
+        }
+        if self.run.num_transactions == 0 {
+            return Err("num_transactions must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        let cfg = SimConfig::mm_base();
+        assert_eq!(cfg.workload.num_types, 50);
+        assert_eq!(cfg.workload.updates_mean, 20.0);
+        assert_eq!(cfg.workload.updates_std, 10.0);
+        assert_eq!(cfg.workload.db_size, 30);
+        assert_eq!(cfg.workload.min_slack, 0.2);
+        assert_eq!(cfg.workload.max_slack, 8.0);
+        assert_eq!(cfg.system.abort_cost_ms, 4.0);
+        assert!(cfg.system.disk.is_none());
+        assert_eq!(cfg.run.num_transactions, 1000);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn table2_parameters() {
+        let cfg = SimConfig::disk_base();
+        assert_eq!(cfg.system.abort_cost_ms, 5.0);
+        let d = cfg.system.disk.unwrap();
+        assert_eq!(d.access_time_ms, 25.0);
+        assert_eq!(d.access_prob, 0.1);
+        assert_eq!(cfg.run.num_transactions, 300);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_capacity_calculations() {
+        // §4.1: 4 ms/update × 20 updates → 80 ms/txn → 12.5 tps.
+        let mm = SimConfig::mm_base();
+        assert!((mm.cpu_capacity_tps() - 12.5).abs() < 1e-9);
+        // §4.2: mean of (0.4, 4, 40) × 20 → 296 ms → ≈3.37 tps.
+        let hv = SimConfig::mm_high_variance();
+        assert!((hv.cpu_capacity_tps() - 1000.0 / 296.0).abs() < 1e-9);
+        // §5: at 12.5 tps the disk is 62.5% utilized.
+        let disk = SimConfig::disk_base();
+        assert!((disk.disk_utilization_at(12.5) - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_assignment_round_robin() {
+        let hv = SimConfig::mm_high_variance();
+        assert_eq!(hv.workload.update_time_for_type(0), SimDuration::from_ms(0.4));
+        assert_eq!(hv.workload.update_time_for_type(1), SimDuration::from_ms(4.0));
+        assert_eq!(hv.workload.update_time_for_type(2), SimDuration::from_ms(40.0));
+        assert_eq!(hv.workload.update_time_for_type(3), SimDuration::from_ms(0.4));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.db_size = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.min_slack = 2.0;
+        cfg.workload.max_slack = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.arrival_rate_tps = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::disk_base();
+        cfg.system.disk = Some(DiskConfig {
+            access_time_ms: 25.0,
+            access_prob: 1.5,
+            discipline: crate::disk::DiskDiscipline::Fcfs,
+        });
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.update_time_classes_ms = vec![];
+        assert!(cfg.validate().is_err());
+    }
+}

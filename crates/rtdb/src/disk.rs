@@ -1,0 +1,294 @@
+//! The single disk with FCFS scheduling (§5: "we have single processor,
+//! single disk and FCFS IO scheduling").
+//!
+//! Only the *active* transfer has a completion event in the calendar;
+//! queued requests are just queue entries, so an abort while queued
+//! ("the transaction is deleted from the disk queue immediately") removes
+//! the entry without touching the calendar, while an abort during the
+//! transfer lets the transfer finish ("it is not deleted until it releases
+//! the disk") — the engine marks the victim *doomed* instead.
+
+use std::collections::VecDeque;
+
+use rtx_sim::time::{SimDuration, SimTime};
+
+use crate::txn::TxnId;
+
+/// Queue discipline for the disk.
+///
+/// The paper uses FCFS ("single disk and FCFS IO scheduling", §5) but
+/// cites real-time IO scheduling [AG89, CBB+89] as a way to reduce IO
+/// waits; `EarliestDeadline` services the request whose transaction has
+/// the earliest deadline first (the `ablate-disk-sched` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskDiscipline {
+    /// First come, first served (the paper's model).
+    #[default]
+    Fcfs,
+    /// Earliest-deadline-first over queued requests.
+    EarliestDeadline,
+}
+
+/// State of the simulated disk.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    access_time: SimDuration,
+    discipline: DiskDiscipline,
+    /// Queued requests: (transaction, priority key — smaller first under
+    /// `EarliestDeadline`; arrival order breaks ties and rules FCFS).
+    queue: VecDeque<(TxnId, u64)>,
+    active: Option<TxnId>,
+    /// Accumulated busy time, for the utilization metric.
+    busy: SimDuration,
+    active_since: SimTime,
+    completed: u64,
+}
+
+/// What the engine must do after a disk call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskAction {
+    /// Nothing to schedule.
+    None,
+    /// Schedule an IO-completion event for this transaction at `at`.
+    Start(TxnId, SimTime),
+}
+
+impl Disk {
+    /// An idle FCFS disk (the paper's model).
+    pub fn new(access_time: SimDuration) -> Self {
+        Disk::with_discipline(access_time, DiskDiscipline::Fcfs)
+    }
+
+    /// An idle disk with the given queue discipline.
+    pub fn with_discipline(access_time: SimDuration, discipline: DiskDiscipline) -> Self {
+        Disk {
+            access_time,
+            discipline,
+            queue: VecDeque::new(),
+            active: None,
+            busy: SimDuration::ZERO,
+            active_since: SimTime::ZERO,
+            completed: 0,
+        }
+    }
+
+    /// The queue discipline in use.
+    pub fn discipline(&self) -> DiskDiscipline {
+        self.discipline
+    }
+
+    /// The fixed per-access service time.
+    pub fn access_time(&self) -> SimDuration {
+        self.access_time
+    }
+
+    /// The transaction whose transfer is in progress, if any.
+    pub fn active(&self) -> Option<TxnId> {
+        self.active
+    }
+
+    /// Number of queued (not yet started) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Completed transfers so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Enqueue a request from `txn` at time `now`. `key` is the service
+    /// priority under [`DiskDiscipline::EarliestDeadline`] (smaller =
+    /// sooner; the engine passes the transaction's absolute deadline) and
+    /// ignored under FCFS. If the disk is idle the transfer starts
+    /// immediately and the returned action tells the engine when to fire
+    /// its completion.
+    pub fn enqueue(&mut self, txn: TxnId, key: u64, now: SimTime) -> DiskAction {
+        if self.active.is_none() {
+            self.start(txn, now)
+        } else {
+            self.queue.push_back((txn, key));
+            DiskAction::None
+        }
+    }
+
+    fn start(&mut self, txn: TxnId, now: SimTime) -> DiskAction {
+        debug_assert!(self.active.is_none());
+        self.active = Some(txn);
+        self.active_since = now;
+        DiskAction::Start(txn, now + self.access_time)
+    }
+
+    /// The active transfer finished at `now`. Returns the next transfer to
+    /// start, if the queue is non-empty.
+    ///
+    /// # Panics
+    /// Panics if no transfer was active.
+    pub fn complete(&mut self, now: SimTime) -> (TxnId, DiskAction) {
+        let done = self.active.take().expect("complete() with no active transfer");
+        self.busy += now.since(self.active_since);
+        self.completed += 1;
+        let next_idx = match self.discipline {
+            DiskDiscipline::Fcfs => (!self.queue.is_empty()).then_some(0),
+            DiskDiscipline::EarliestDeadline => self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (_, key))| (*key, *i))
+                .map(|(i, _)| i),
+        };
+        let next = match next_idx {
+            Some(i) => {
+                let (txn, _) = self.queue.remove(i).expect("index in range");
+                self.start(txn, now)
+            }
+            None => DiskAction::None,
+        };
+        (done, next)
+    }
+
+    /// Remove `txn` from the wait queue (abort while queued). Returns
+    /// `true` iff it was queued. Does **not** touch an active transfer.
+    pub fn remove_queued(&mut self, txn: TxnId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|&(t, _)| t == txn) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True iff `txn` has a request pending (queued or active).
+    pub fn involves(&self, txn: TxnId) -> bool {
+        self.active == Some(txn) || self.queue.iter().any(|&(t, _)| t == txn)
+    }
+
+    /// Total busy time up to `now` (includes the in-flight transfer).
+    pub fn busy_until(&self, now: SimTime) -> SimDuration {
+        match self.active {
+            Some(_) => self.busy + now.since(self.active_since),
+            None => self.busy,
+        }
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_until(now).as_secs() / now.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: f64) -> SimTime {
+        SimTime::from_ms(x)
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        let action = d.enqueue(TxnId(1), 0, ms(10.0));
+        assert_eq!(action, DiskAction::Start(TxnId(1), ms(35.0)));
+        assert_eq!(d.active(), Some(TxnId(1)));
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn fcfs_order() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.enqueue(TxnId(1), 0, ms(0.0));
+        assert_eq!(d.enqueue(TxnId(2), 0, ms(1.0)), DiskAction::None);
+        assert_eq!(d.enqueue(TxnId(3), 0, ms(2.0)), DiskAction::None);
+        assert_eq!(d.queue_len(), 2);
+        let (done, next) = d.complete(ms(25.0));
+        assert_eq!(done, TxnId(1));
+        assert_eq!(next, DiskAction::Start(TxnId(2), ms(50.0)));
+        let (done, next) = d.complete(ms(50.0));
+        assert_eq!(done, TxnId(2));
+        assert_eq!(next, DiskAction::Start(TxnId(3), ms(75.0)));
+        let (done, next) = d.complete(ms(75.0));
+        assert_eq!(done, TxnId(3));
+        assert_eq!(next, DiskAction::None);
+        assert_eq!(d.completed(), 3);
+    }
+
+    #[test]
+    fn remove_queued_only_touches_queue() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.enqueue(TxnId(1), 0, ms(0.0));
+        d.enqueue(TxnId(2), 0, ms(0.0));
+        d.enqueue(TxnId(3), 0, ms(0.0));
+        assert!(d.remove_queued(TxnId(2)));
+        assert!(!d.remove_queued(TxnId(2)), "already removed");
+        assert!(!d.remove_queued(TxnId(1)), "active transfer not removable");
+        assert_eq!(d.active(), Some(TxnId(1)));
+        let (_, next) = d.complete(ms(25.0));
+        assert_eq!(next, DiskAction::Start(TxnId(3), ms(50.0)));
+    }
+
+    #[test]
+    fn involves_checks_queue_and_active() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.enqueue(TxnId(1), 0, ms(0.0));
+        d.enqueue(TxnId(2), 0, ms(0.0));
+        assert!(d.involves(TxnId(1)));
+        assert!(d.involves(TxnId(2)));
+        assert!(!d.involves(TxnId(3)));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.enqueue(TxnId(1), 0, ms(0.0));
+        d.complete(ms(25.0));
+        // busy 25 of 100 ms → 25%.
+        assert!((d.utilization(ms(100.0)) - 0.25).abs() < 1e-9);
+        // In-flight transfer counts.
+        d.enqueue(TxnId(2), 0, ms(100.0));
+        assert!((d.utilization(ms(110.0)) - 35.0 / 110.0).abs() < 1e-9);
+        assert_eq!(d.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn edf_discipline_services_earliest_deadline_first() {
+        let mut d = Disk::with_discipline(
+            SimDuration::from_ms(25.0),
+            DiskDiscipline::EarliestDeadline,
+        );
+        assert_eq!(d.discipline(), DiskDiscipline::EarliestDeadline);
+        d.enqueue(TxnId(1), 500, ms(0.0)); // active immediately
+        d.enqueue(TxnId(2), 300, ms(1.0));
+        d.enqueue(TxnId(3), 100, ms(2.0));
+        d.enqueue(TxnId(4), 200, ms(3.0));
+        let (_, next) = d.complete(ms(25.0));
+        assert_eq!(next, DiskAction::Start(TxnId(3), ms(50.0)), "key 100 first");
+        let (_, next) = d.complete(ms(50.0));
+        assert_eq!(next, DiskAction::Start(TxnId(4), ms(75.0)), "key 200 next");
+        let (_, next) = d.complete(ms(75.0));
+        assert_eq!(next, DiskAction::Start(TxnId(2), ms(100.0)));
+    }
+
+    #[test]
+    fn edf_discipline_breaks_key_ties_by_arrival() {
+        let mut d = Disk::with_discipline(
+            SimDuration::from_ms(25.0),
+            DiskDiscipline::EarliestDeadline,
+        );
+        d.enqueue(TxnId(1), 0, ms(0.0));
+        d.enqueue(TxnId(2), 100, ms(1.0));
+        d.enqueue(TxnId(3), 100, ms(2.0));
+        let (_, next) = d.complete(ms(25.0));
+        assert_eq!(next, DiskAction::Start(TxnId(2), ms(50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no active transfer")]
+    fn complete_without_active_panics() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.complete(ms(5.0));
+    }
+}

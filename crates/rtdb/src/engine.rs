@@ -1,0 +1,1038 @@
+//! The single-CPU real-time database engine (§3.3, §4, §5).
+//!
+//! Execution model, following the paper's procedures exactly:
+//!
+//! * the scheduler is invoked on **arrival**, **transaction finish**,
+//!   **IO block** and **IO completion** ("whenever a new transaction
+//!   arrives, a running transaction finishes, IO wait occurs the scheduler
+//!   is invoked immediately");
+//! * the CPU always runs the highest-priority transaction `TH` when it is
+//!   runnable (`tr-arrival-schedule` / `tr-finish-schedule`); when `TH` is
+//!   blocked on IO, `IOwait-schedule` picks the best ready transaction —
+//!   restricted to ones that neither conflict nor conditionally conflict
+//!   with any partially executed transaction if the policy requests it;
+//! * **HP conflict resolution with no lock wait**: when the running
+//!   transaction's lock request hits a holder, the holder is aborted
+//!   (releases its locks, resets, restarts from scratch) and the CPU is
+//!   busy for the abort cost before the runner proceeds. Because the
+//!   runner is the highest-priority transaction, this never inverts
+//!   priorities (Lemma 1), and because nothing ever waits for a lock the
+//!   schedule is deadlock-free (Theorem 1);
+//! * a transaction aborted while queued for the disk leaves the queue
+//!   immediately; one aborted mid-transfer holds the disk until the
+//!   transfer completes (§5).
+
+use rtx_sim::calendar::{Calendar, EventHandle};
+use rtx_sim::rng::StreamSeeder;
+use rtx_sim::time::{SimDuration, SimTime};
+
+use crate::config::SimConfig;
+use crate::disk::{Disk, DiskAction};
+use crate::locks::{LockMode, LockOutcome, LockTable};
+use crate::metrics::{MetricsCollector, RunSummary};
+use crate::policy::{Policy, Priority, SystemView};
+use crate::source::TxnSource;
+use crate::trace::{Trace, TraceEvent};
+use crate::txn::{Stage, Transaction, TxnId, TxnState};
+use crate::workload::{ArrivalGenerator, TypeTable};
+
+/// Calendar payloads.
+enum Event {
+    /// A new transaction enters the system.
+    Arrival(Box<Transaction>),
+    /// The running transaction's current CPU burst completes.
+    CpuDone(TxnId),
+    /// The disk's active transfer completes.
+    IoDone(TxnId),
+}
+
+enum Started {
+    /// A CPU burst was scheduled; the CPU is occupied.
+    Scheduled,
+    /// The transaction immediately blocked on IO; pick someone else.
+    WentToIo,
+    /// The transaction hit a lock held by a higher-priority transaction
+    /// and must wait (HP wound-wait); pick someone else.
+    Blocked,
+}
+
+struct EngineState<'p> {
+    cfg: &'p SimConfig,
+    policy: &'p dyn Policy,
+    calendar: Calendar<Event>,
+    txns: Vec<Transaction>,
+    /// Ids of transactions still in the system, in arrival order.
+    active: Vec<TxnId>,
+    locks: LockTable,
+    disk: Option<Disk>,
+    running: Option<TxnId>,
+    cpu_event: EventHandle,
+    metrics: MetricsCollector,
+    /// Per-transaction "was last dispatched via IOwait-schedule" flags,
+    /// used to classify noncontributing executions.
+    secondary: Vec<bool>,
+    /// Optional decision log (None in normal runs — zero overhead beyond
+    /// the branch).
+    trace: Option<Trace>,
+}
+
+impl<'p> EngineState<'p> {
+    fn new(cfg: &'p SimConfig, policy: &'p dyn Policy) -> Self {
+        EngineState {
+            cfg,
+            policy,
+            calendar: Calendar::new(),
+            txns: Vec::with_capacity(cfg.run.num_transactions),
+            active: Vec::new(),
+            locks: LockTable::new(cfg.workload.db_size),
+            disk: cfg
+                .system
+                .disk
+                .as_ref()
+                .map(|d| Disk::with_discipline(d.access_time(), d.discipline)),
+            running: None,
+            cpu_event: EventHandle::NULL,
+            metrics: MetricsCollector::new(),
+            secondary: Vec::with_capacity(cfg.run.num_transactions),
+            trace: None,
+        }
+    }
+
+    /// Record a trace event if tracing is enabled.
+    fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            let at = self.calendar.now();
+            trace.push(at, event());
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.calendar.now()
+    }
+
+    fn txn(&self, id: TxnId) -> &Transaction {
+        &self.txns[id.0 as usize]
+    }
+
+    fn txn_mut(&mut self, id: TxnId) -> &mut Transaction {
+        &mut self.txns[id.0 as usize]
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_arrival(&mut self, txn: Transaction) {
+        debug_assert_eq!(txn.id.0 as usize, self.txns.len());
+        let id = txn.id;
+        let deadline = txn.deadline;
+        self.txns.push(txn);
+        self.secondary.push(false);
+        self.active.push(id);
+        self.emit(|| TraceEvent::Arrival { txn: id, deadline });
+        self.update_queue_metrics();
+        self.reschedule(); // tr-arrival-schedule
+    }
+
+    fn on_cpu_done(&mut self, id: TxnId) {
+        assert_eq!(
+            self.running,
+            Some(id),
+            "CpuDone for a transaction that is not running"
+        );
+        let stage = self.txn(id).stage;
+        let burst = self.txn(id).cpu_left;
+        self.metrics.add_cpu_busy(burst);
+        match stage {
+            Stage::Recover => {
+                // Recovery work done; the lock was already transferred.
+                let t = self.txn_mut(id);
+                t.cpu_left = SimDuration::ZERO;
+                self.after_lock(id);
+                match self.proceed(id) {
+                    Started::Scheduled => {}
+                    Started::WentToIo | Started::Blocked => self.reschedule(),
+                }
+            }
+            Stage::Compute => {
+                {
+                    let t = self.txn_mut(id);
+                    t.service += burst;
+                    t.cpu_left = SimDuration::ZERO;
+                    t.progress += 1;
+                    // Branching workloads: the decision point executes with
+                    // its update, narrowing the analytic mightaccess.
+                    t.maybe_execute_decision();
+                }
+                if self.txn(id).progress == self.txn(id).total_updates() {
+                    self.commit(id);
+                } else {
+                    self.txn_mut(id).stage = Stage::Lock;
+                    match self.proceed(id) {
+                        Started::Scheduled => {}
+                        Started::WentToIo | Started::Blocked => self.reschedule(),
+                    }
+                }
+            }
+            Stage::Lock | Stage::Io => {
+                unreachable!("CPU burst completed in non-CPU stage {stage:?}")
+            }
+        }
+    }
+
+    fn on_io_done(&mut self, id: TxnId) {
+        let now = self.now();
+        let disk = self.disk.as_mut().expect("IoDone without a disk");
+        let (done, next) = disk.complete(now);
+        assert_eq!(done, id, "disk completion out of order");
+        if let DiskAction::Start(next_id, at) = next {
+            self.calendar.schedule(at, Event::IoDone(next_id));
+            self.txn_mut(next_id).state = TxnState::IoActive;
+        }
+        let t = self.txn_mut(id);
+        debug_assert_eq!(t.state, TxnState::IoActive);
+        if t.doomed {
+            // Aborted during the transfer: it now releases the disk and
+            // re-enters the ready queue from scratch.
+            t.doomed = false;
+            t.state = TxnState::Ready;
+        } else {
+            // The IO of the current update finished; the CPU burst remains.
+            t.state = TxnState::Ready;
+            t.stage = Stage::Compute;
+            t.cpu_left = t.update_time;
+        }
+        self.emit(|| TraceEvent::IoDone { txn: id });
+        self.update_queue_metrics();
+        self.reschedule(); // IO completion is a scheduling point
+    }
+
+    // ---- transaction driving --------------------------------------------
+
+    /// After the current update's lock is held: move to IO or compute.
+    fn after_lock(&mut self, id: TxnId) {
+        let t = self.txn_mut(id);
+        if t.current_needs_io() {
+            t.stage = Stage::Io;
+        } else {
+            t.stage = Stage::Compute;
+            t.cpu_left = t.update_time;
+        }
+    }
+
+    /// Drive the running transaction until it schedules a CPU burst or
+    /// blocks on IO. Lock acquisition is instantaneous; a conflicting
+    /// holder is aborted and charged as a recovery burst.
+    fn proceed(&mut self, id: TxnId) -> Started {
+        debug_assert_eq!(self.running, Some(id));
+        loop {
+            match self.txn(id).stage {
+                Stage::Lock => {
+                    let item = self.txn(id).current_item();
+                    let mode = self.txn(id).current_mode();
+                    match self.locks.request(id, item, mode) {
+                        LockOutcome::Granted => {
+                            let t = self.txn_mut(id);
+                            t.accessed.insert(item);
+                            if mode == LockMode::Exclusive {
+                                t.written.insert(item);
+                            }
+                            self.after_lock(id);
+                        }
+                        LockOutcome::HeldBy(holders) => {
+                            debug_assert!(!holders.contains(&id));
+                            let all_beaten =
+                                holders.iter().all(|&h| self.beats(id, h));
+                            if all_beaten {
+                                // HP: "whenever a data conflict occurs, the
+                                // running transaction aborts the conflicting
+                                // transactions." The runner outranks every
+                                // holder whenever it was dispatched as TH
+                                // (Lemma 1), and always under CCA. With
+                                // shared locks a write request may have to
+                                // abort several readers at once.
+                                let mut recovery = rtx_sim::time::SimDuration::ZERO;
+                                for &h in &holders {
+                                    recovery += self.recovery_cost(h);
+                                    self.emit(|| TraceEvent::Abort {
+                                        victim: h,
+                                        by: id,
+                                        item,
+                                    });
+                                    self.abort(h);
+                                }
+                                self.locks.grant_after_abort(id, item, mode);
+                                let t = self.txn_mut(id);
+                                t.accessed.insert(item);
+                                if mode == LockMode::Exclusive {
+                                    t.written.insert(item);
+                                }
+                                t.stage = Stage::Recover;
+                                t.cpu_left = recovery;
+                                self.update_queue_metrics();
+                                return self.schedule_burst(id);
+                            } else {
+                                // Wound-wait: a lower-priority requester (an
+                                // IO-wait secondary under EDF-HP) blocks
+                                // until the holder releases the lock. Wait
+                                // edges always point to higher priorities,
+                                // so no cycle — and under CCA this branch is
+                                // unreachable (Theorem 1's "no lock wait").
+                                self.metrics.record_lock_wait();
+                                self.emit(|| TraceEvent::LockWait { txn: id, item });
+                                let t = self.txn_mut(id);
+                                t.state = TxnState::LockWait;
+                                t.waiting_for = Some(item);
+                                self.running = None;
+                                self.update_queue_metrics();
+                                return Started::Blocked;
+                            }
+                        }
+                    }
+                }
+                Stage::Io => {
+                    let now = self.now();
+                    let t = self.txn_mut(id);
+                    t.state = TxnState::IoQueued;
+                    self.running = None;
+                    let deadline_key = self.txn(id).deadline.as_micros();
+                    let disk = self.disk.as_mut().expect("Io stage without a disk");
+                    match disk.enqueue(id, deadline_key, now) {
+                        DiskAction::Start(tid, at) => {
+                            debug_assert_eq!(tid, id);
+                            self.txn_mut(id).state = TxnState::IoActive;
+                            self.calendar.schedule(at, Event::IoDone(tid));
+                            self.emit(|| TraceEvent::IoIssued { txn: id, queued: false });
+                        }
+                        DiskAction::None => {
+                            self.emit(|| TraceEvent::IoIssued { txn: id, queued: true });
+                        }
+                    }
+                    self.update_queue_metrics();
+                    return Started::WentToIo;
+                }
+                Stage::Compute | Stage::Recover => {
+                    return self.schedule_burst(id);
+                }
+            }
+        }
+    }
+
+    fn schedule_burst(&mut self, id: TxnId) -> Started {
+        let now = self.now();
+        let t = self.txn_mut(id);
+        t.burst_start = now;
+        let at = now + t.cpu_left;
+        self.cpu_event = self.calendar.schedule(at, Event::CpuDone(id));
+        Started::Scheduled
+    }
+
+    /// Wound-wait decision for one (requester, holder) pair: `true` means
+    /// abort the holder, `false` means the requester waits.
+    ///
+    /// Normally this is the policy's priority order ([`Self::outranks`]).
+    /// Livelock escalation overrides it: once either side has been aborted
+    /// `starvation_threshold` times, the comparison switches to pure
+    /// **age** (arrival time, then id — classic timestamp wound-wait).
+    /// Age is abort-invariant, so the order is stable: the oldest
+    /// escalated transaction can never lose again and runs to commit,
+    /// then the next, and so on. Continuous-evaluation policies like LSF
+    /// need this: a freshly restarted transaction always has the least
+    /// slack, so without escalation two victims abort each other forever
+    /// (any restart-count-based order re-livelocks, because the counts
+    /// change as a result of the comparison). The paper's policies never
+    /// reach the threshold (asserted in tests).
+    fn beats(&mut self, requester: TxnId, holder: TxnId) -> bool {
+        let threshold = self.cfg.system.starvation_threshold;
+        let (r_restarts, r_age) = {
+            let r = self.txn(requester);
+            (r.restarts, (r.arrival, r.id))
+        };
+        let (h_restarts, h_age) = {
+            let h = self.txn(holder);
+            (h.restarts, (h.arrival, h.id))
+        };
+        if r_restarts >= threshold || h_restarts >= threshold {
+            self.metrics.record_starvation_shield();
+            return r_age < h_age; // older wins
+        }
+        self.outranks(requester, holder)
+    }
+
+    /// Does `requester` strictly outrank `holder` in the current priority
+    /// order (priority, then earlier arrival, then smaller id)?
+    fn outranks(&self, requester: TxnId, holder: TxnId) -> bool {
+        let view = SystemView {
+            now: self.now(),
+            txns: &self.txns,
+            abort_cost: self.cfg.system.abort_cost(),
+        };
+        let (r, h) = (self.txn(requester), self.txn(holder));
+        let pr = self.policy.priority(r, &view);
+        let ph = self.policy.priority(h, &view);
+        (pr, std::cmp::Reverse(r.arrival), std::cmp::Reverse(r.id))
+            > (ph, std::cmp::Reverse(h.arrival), std::cmp::Reverse(h.id))
+    }
+
+    /// Wake every transaction lock-waiting on one of `items` (released by a
+    /// commit or an abort): "all transactions blocked by the resources that
+    /// currently running transaction hold wake up and move to ready queue."
+    fn wake_waiters(&mut self, items: &[rtx_preanalysis::sets::ItemId]) {
+        if items.is_empty() {
+            return;
+        }
+        for idx in 0..self.active.len() {
+            let id = self.active[idx];
+            let t = self.txn(id);
+            if t.state == TxnState::LockWait
+                && t.waiting_for.is_some_and(|w| items.contains(&w))
+            {
+                let t = self.txn_mut(id);
+                t.state = TxnState::Ready;
+                t.waiting_for = None;
+            }
+        }
+    }
+
+    /// CPU time the runner spends rolling back `victim`.
+    fn recovery_cost(&self, victim: TxnId) -> SimDuration {
+        let base = self.cfg.system.abort_cost();
+        if self.cfg.system.proportional_recovery {
+            // §6 ablation: cost grows with the victim's performed work —
+            // one abort-cost unit per completed update, plus one for the
+            // in-progress update.
+            base * (self.txn(victim).progress as u64 + 1)
+        } else {
+            base
+        }
+    }
+
+    /// Abort `victim`: release locks, reset execution, restart from
+    /// scratch. The victim keeps its deadline (soft real time).
+    fn abort(&mut self, victim: TxnId) {
+        assert_ne!(self.running, Some(victim), "the runner cannot be aborted");
+        let held = self.locks.held_by(victim);
+        let released = self.locks.release_all(victim);
+        debug_assert!(released > 0, "victims always hold at least one lock");
+        self.wake_waiters(&held);
+        let was_secondary = self.secondary[victim.0 as usize];
+        self.metrics.record_restart(was_secondary);
+        self.secondary[victim.0 as usize] = false;
+        let state = self.txn(victim).state;
+        match state {
+            TxnState::Ready => {
+                self.txn_mut(victim).reset_for_restart();
+            }
+            TxnState::LockWait => {
+                // The victim was itself waiting for a lock; it restarts
+                // from scratch and re-enters the ready queue.
+                let t = self.txn_mut(victim);
+                t.reset_for_restart();
+                t.state = TxnState::Ready;
+            }
+            TxnState::IoQueued => {
+                // "deleted from the disk queue immediately"
+                let removed = self
+                    .disk
+                    .as_mut()
+                    .expect("IoQueued without a disk")
+                    .remove_queued(victim);
+                debug_assert!(removed);
+                let t = self.txn_mut(victim);
+                t.reset_for_restart();
+                t.state = TxnState::Ready;
+            }
+            TxnState::IoActive => {
+                // "not deleted until it releases the disk"
+                let t = self.txn_mut(victim);
+                t.reset_for_restart();
+                t.doomed = true;
+            }
+            TxnState::Running | TxnState::Committed => {
+                unreachable!("abort of a {state:?} transaction")
+            }
+        }
+    }
+
+    fn commit(&mut self, id: TxnId) {
+        debug_assert_eq!(self.running, Some(id));
+        let now = self.now();
+        let held = self.locks.held_by(id);
+        self.locks.release_all(id);
+        self.wake_waiters(&held);
+        let t = self.txn_mut(id);
+        t.state = TxnState::Committed;
+        t.finish = Some(now);
+        t.accessed.clear();
+        let (arrival, deadline, class) = (t.arrival, t.deadline, t.criticality);
+        self.emit(|| TraceEvent::Commit {
+            txn: id,
+            lateness_ms: now.signed_ms_since(deadline),
+        });
+        self.metrics
+            .record_commit_in_class(class, arrival, deadline, now);
+        self.running = None;
+        self.active.retain(|&a| a != id);
+        self.update_queue_metrics();
+        self.reschedule(); // tr-finish-schedule
+    }
+
+    // ---- the scheduler ---------------------------------------------------
+
+    /// The continuous-evaluation dispatcher. Assigns new priorities to
+    /// every active transaction and puts the right one on the CPU.
+    fn reschedule(&mut self) {
+        loop {
+            match self.pick_next() {
+                None => {
+                    debug_assert!(
+                        self.running.is_none(),
+                        "pick_next must select the running transaction if any"
+                    );
+                    return; // CPU idles
+                }
+                Some((id, _)) if self.running == Some(id) => return,
+                Some((id, secondary)) => {
+                    self.preempt_running();
+                    self.secondary[id.0 as usize] = secondary;
+                    self.txn_mut(id).state = TxnState::Running;
+                    self.running = Some(id);
+                    self.emit(|| TraceEvent::Dispatch { txn: id, secondary });
+                    match self.proceed(id) {
+                        Started::Scheduled => {
+                            self.update_queue_metrics();
+                            return;
+                        }
+                        Started::WentToIo | Started::Blocked => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Select the transaction to run: `TH` if runnable, else the
+    /// IOwait-schedule choice. Returns `(id, chosen_via_iowait)`.
+    fn pick_next(&self) -> Option<(TxnId, bool)> {
+        let view = SystemView {
+            now: self.now(),
+            txns: &self.txns,
+            abort_cost: self.cfg.system.abort_cost(),
+        };
+        let th = self.best_by_priority(self.active.iter().copied(), &view)?;
+        if self.txn(th).is_runnable() {
+            return Some((th, false));
+        }
+        // TH is blocked on IO: IOwait-schedule.
+        let candidates = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&id| self.txn(id).is_runnable())
+            .filter(|&id| !self.policy.iowait_restrict() || self.compatible_with_plist(id));
+        self.best_by_priority(candidates, &view).map(|id| (id, true))
+    }
+
+    /// Highest-priority transaction among `ids`; ties broken by earlier
+    /// arrival, then smaller id (deterministic).
+    fn best_by_priority(
+        &self,
+        ids: impl Iterator<Item = TxnId>,
+        view: &SystemView<'_>,
+    ) -> Option<TxnId> {
+        let mut best: Option<(Priority, SimTime, TxnId)> = None;
+        for id in ids {
+            let t = self.txn(id);
+            debug_assert!(t.is_active());
+            let pri = self.policy.priority(t, view);
+            let better = match &best {
+                None => true,
+                Some((bp, ba, bi)) => {
+                    (pri, std::cmp::Reverse(t.arrival), std::cmp::Reverse(t.id))
+                        > (*bp, std::cmp::Reverse(*ba), std::cmp::Reverse(*bi))
+                }
+            };
+            if better {
+                best = Some((pri, t.arrival, id));
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// §3.3.3 `IOwait-schedule` filter: true iff `id` neither conflicts nor
+    /// conditionally conflicts with **any** partially executed transaction.
+    /// For the paper's straight-line write-only workload this is the
+    /// oracle test `mightaccess(candidate) ∩ mightaccess(partial) = ∅`;
+    /// with shared locks only write-involved overlaps count.
+    fn compatible_with_plist(&self, id: TxnId) -> bool {
+        let candidate = self.txn(id);
+        self.active
+            .iter()
+            .filter(|&&p| p != id)
+            .map(|&p| self.txn(p))
+            .filter(|p| p.is_partially_executed())
+            .all(|p| !candidate.conflicts_with(p))
+    }
+
+    fn preempt_running(&mut self) {
+        if let Some(r) = self.running.take() {
+            self.emit(|| TraceEvent::Preempt { txn: r });
+            let cancelled = self.calendar.cancel(self.cpu_event);
+            debug_assert!(cancelled, "running transaction must have a pending burst");
+            self.cpu_event = EventHandle::NULL;
+            let now = self.now();
+            let t = self.txn_mut(r);
+            let consumed = now.since(t.burst_start);
+            t.cpu_left = t.cpu_left.saturating_sub(consumed);
+            if t.stage == Stage::Compute {
+                t.service += consumed;
+            }
+            t.state = TxnState::Ready;
+            self.metrics.add_cpu_busy(consumed);
+        }
+    }
+
+    fn update_queue_metrics(&mut self) {
+        let now = self.now();
+        let plist = self
+            .active
+            .iter()
+            .filter(|&&id| self.txn(id).is_partially_executed())
+            .count();
+        let ready = self
+            .active
+            .iter()
+            .filter(|&&id| self.txn(id).state == TxnState::Ready)
+            .count();
+        self.metrics.set_plist_len(now, plist);
+        self.metrics.set_ready_len(now, ready);
+    }
+
+    /// Deadlock resolution: invoked when the event calendar drains while
+    /// transactions remain. At that point every active transaction is
+    /// lock-waiting (anything runnable would have been dispatched and
+    /// anything on the disk would have a pending completion), so the
+    /// wait-for graph — waiter → holder of its awaited item — is a
+    /// function on the waiters and must contain a cycle. The
+    /// lowest-priority member of one such cycle is aborted, releasing its
+    /// locks and waking its waiters.
+    ///
+    /// # Panics
+    /// Panics if no lock-wait cycle exists — then the drained calendar is
+    /// an engine bug, not a deadlock.
+    fn resolve_deadlock(&mut self) {
+        assert!(self.running.is_none(), "calendar drained while CPU busy");
+        let waiters: Vec<TxnId> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&id| self.txn(id).state == TxnState::LockWait)
+            .collect();
+        assert!(
+            !waiters.is_empty(),
+            "event calendar empty with uncommitted transactions (starvation bug)"
+        );
+        // Walk waiter → holder edges until a node repeats: that suffix is
+        // a cycle.
+        let mut seen: Vec<TxnId> = Vec::new();
+        let mut cur = waiters[0];
+        let cycle_start = loop {
+            if let Some(pos) = seen.iter().position(|&t| t == cur) {
+                break pos;
+            }
+            seen.push(cur);
+            let item = self
+                .txn(cur)
+                .waiting_for
+                .expect("LockWait transaction without an awaited item");
+            let (holders, _) = self.locks.holders(item);
+            // In the wedge every holder is itself lock-waiting; follow any
+            // one of them (shared locks can have several).
+            cur = holders
+                .iter()
+                .copied()
+                .find(|&h| self.txn(h).state == TxnState::LockWait)
+                .expect("awaited lock has no lock-waiting holder");
+        };
+        let cycle = &seen[cycle_start..];
+        // Abort the *youngest* cycle member. This must agree with the
+        // starvation escalation's age order: the oldest transaction never
+        // loses a conflict (there and here), so it monotonically advances
+        // to commit and the population drains — choosing the victim by
+        // policy priority instead can re-select the same starved victim
+        // forever under continuous-evaluation policies.
+        let victim = cycle
+            .iter()
+            .copied()
+            .max_by_key(|&id| {
+                let t = self.txn(id);
+                (t.arrival, t.id)
+            })
+            .expect("cycle is non-empty");
+        self.metrics.record_deadlock_resolution();
+        self.emit(|| TraceEvent::DeadlockResolved { victim });
+        self.abort(victim);
+        self.update_queue_metrics();
+        self.reschedule();
+    }
+
+    /// Expensive cross-structure consistency check, used by tests.
+    fn validate_state(&self) {
+        self.locks.check_invariants().expect("lock table corrupt");
+        // Every active transaction's accessed set matches its held locks.
+        for &id in &self.active {
+            let t = self.txn(id);
+            let held = self.locks.held_by(id);
+            assert_eq!(
+                held.len(),
+                t.accessed.len(),
+                "{id}: accessed set and lock table disagree"
+            );
+            for item in held {
+                assert!(t.accessed.contains(item));
+            }
+            // No transaction waits for a lock: HP has no lock wait, so a
+            // Ready transaction is always immediately dispatchable.
+            if t.state == TxnState::Running {
+                assert_eq!(self.running, Some(id));
+            }
+        }
+        // Committed transactions hold nothing.
+        for t in &self.txns {
+            if t.state == TxnState::Committed {
+                assert!(self.locks.held_by(t.id).is_empty());
+            }
+        }
+    }
+}
+
+/// Run one simulation to completion and return its summary.
+///
+/// Deterministic: the same `(cfg, policy)` pair always produces the same
+/// summary.
+///
+/// # Panics
+/// Panics if the configuration is invalid.
+pub fn run_simulation(cfg: &SimConfig, policy: &dyn Policy) -> RunSummary {
+    run_simulation_with(cfg, policy, |_| {})
+}
+
+/// Run a simulation over a custom [`TxnSource`] instead of the built-in
+/// workload generator. `expected` is the number of transactions the source
+/// will produce (the run ends once all of them commit); the source must
+/// yield dense ids in non-decreasing arrival order.
+pub fn run_simulation_from(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    source: &mut dyn TxnSource,
+    expected: usize,
+) -> RunSummary {
+    cfg.validate().expect("invalid simulation configuration");
+    assert!(expected > 0, "expected transaction count must be positive");
+    let mut st = EngineState::new(cfg, policy);
+    drive(&mut st, source, expected, |_| {})
+}
+
+/// As [`run_simulation`], additionally invoking `inspect` with the engine
+/// state after every event — used by tests to assert run-time invariants.
+fn run_simulation_with(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    inspect: impl FnMut(&EngineState<'_>),
+) -> RunSummary {
+    cfg.validate().expect("invalid simulation configuration");
+    let seeder = StreamSeeder::new(cfg.run.seed);
+    let table = TypeTable::generate(cfg, &seeder);
+    let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
+    let mut st = EngineState::new(cfg, policy);
+    let expected = cfg.run.num_transactions;
+    drive(&mut st, &mut generator, expected, inspect)
+}
+
+/// The shared event loop: pump events until `expected` commits.
+fn drive(
+    st: &mut EngineState<'_>,
+    source: &mut dyn TxnSource,
+    expected: usize,
+    mut inspect: impl FnMut(&EngineState<'_>),
+) -> RunSummary {
+    if let Some(first) = source.next_transaction() {
+        st.calendar
+            .schedule(first.arrival, Event::Arrival(Box::new(first)));
+    }
+
+    while st.metrics.committed() < expected as u64 {
+        let fired = match st.calendar.pop() {
+            Some(f) => f,
+            None => {
+                // No future events but uncommitted transactions remain:
+                // the system is wedged in a lock-wait cycle (possible
+                // under dynamic continuously-evaluated priorities like
+                // LSF — §2's "they still have deadlock problems"; never
+                // under CCA, Theorem 1). Resolve it and continue.
+                st.resolve_deadlock();
+                continue;
+            }
+        };
+        match fired.payload {
+            Event::Arrival(txn) => {
+                if let Some(next) = source.next_transaction() {
+                    st.calendar
+                        .schedule(next.arrival, Event::Arrival(Box::new(next)));
+                }
+                st.on_arrival(*txn);
+            }
+            Event::CpuDone(id) => st.on_cpu_done(id),
+            Event::IoDone(id) => st.on_io_done(id),
+        }
+        inspect(st);
+    }
+
+    let end = st.now();
+    let disk_busy = st
+        .disk
+        .as_ref()
+        .map(|d| d.busy_until(end))
+        .unwrap_or(SimDuration::ZERO);
+    st.metrics.finish(end, disk_busy)
+}
+
+/// Run with full state validation after every event (slow; tests only).
+pub fn run_simulation_validated(cfg: &SimConfig, policy: &dyn Policy) -> RunSummary {
+    run_simulation_with(cfg, policy, |st| st.validate_state())
+}
+
+/// Run one simulation while recording every scheduling decision.
+/// Costs memory proportional to the event count; intended for analysis
+/// and small runs, not sweeps.
+pub fn run_simulation_traced(cfg: &SimConfig, policy: &dyn Policy) -> (RunSummary, Trace) {
+    cfg.validate().expect("invalid simulation configuration");
+    let seeder = StreamSeeder::new(cfg.run.seed);
+    let table = TypeTable::generate(cfg, &seeder);
+    let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
+    let mut st = EngineState::new(cfg, policy);
+    st.trace = Some(Trace::new());
+    let expected = cfg.run.num_transactions;
+    let summary = drive(&mut st, &mut generator, expected, |_| {});
+    (summary, st.trace.take().expect("trace enabled above"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, Priority, SystemView};
+
+    /// Earliest Deadline First with HP conflict resolution: the paper's
+    /// baseline, used here to exercise the engine.
+    struct Edf;
+    impl Policy for Edf {
+        fn name(&self) -> &str {
+            "EDF-HP(test)"
+        }
+        fn priority(&self, txn: &Transaction, _view: &SystemView<'_>) -> Priority {
+            Priority(-txn.deadline.as_ms())
+        }
+    }
+
+    /// EDF with the CCA IOwait-schedule restriction but no penalty term.
+    struct EdfRestricted;
+    impl Policy for EdfRestricted {
+        fn name(&self) -> &str {
+            "EDF+iowait"
+        }
+        fn priority(&self, txn: &Transaction, _view: &SystemView<'_>) -> Priority {
+            Priority(-txn.deadline.as_ms())
+        }
+        fn iowait_restrict(&self) -> bool {
+            true
+        }
+    }
+
+    fn small_mm(seed: u64, rate: f64, n: usize) -> SimConfig {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.seed = seed;
+        cfg.run.arrival_rate_tps = rate;
+        cfg.run.num_transactions = n;
+        cfg
+    }
+
+    fn small_disk(seed: u64, rate: f64, n: usize) -> SimConfig {
+        let mut cfg = SimConfig::disk_base();
+        cfg.run.seed = seed;
+        cfg.run.arrival_rate_tps = rate;
+        cfg.run.num_transactions = n;
+        cfg
+    }
+
+    #[test]
+    fn all_transactions_commit_mm() {
+        let cfg = small_mm(1, 5.0, 200);
+        let s = run_simulation(&cfg, &Edf);
+        assert_eq!(s.committed, 200, "soft deadlines: nothing is dropped");
+        assert!(s.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn all_transactions_commit_disk() {
+        let cfg = small_disk(1, 3.0, 100);
+        let s = run_simulation(&cfg, &Edf);
+        assert_eq!(s.committed, 100);
+        assert!(s.disk_utilization > 0.0, "disk was used");
+        assert!(s.disk_utilization < 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let cfg = small_mm(7, 8.0, 150);
+        let a = run_simulation(&cfg, &Edf);
+        let b = run_simulation(&cfg, &Edf);
+        assert_eq!(a, b, "same seed must give identical results");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_simulation(&small_mm(1, 8.0, 150), &Edf);
+        let b = run_simulation(&small_mm(2, 8.0, 150), &Edf);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_invariants_hold_throughout_mm() {
+        let cfg = small_mm(3, 9.0, 120);
+        let s = run_simulation_validated(&cfg, &Edf);
+        assert_eq!(s.committed, 120);
+    }
+
+    #[test]
+    fn state_invariants_hold_throughout_disk() {
+        let cfg = small_disk(3, 4.0, 80);
+        let s = run_simulation_validated(&cfg, &Edf);
+        assert_eq!(s.committed, 80);
+        let s2 = run_simulation_validated(&cfg, &EdfRestricted);
+        assert_eq!(s2.committed, 80);
+    }
+
+    #[test]
+    fn light_load_no_misses() {
+        // At 0.5 tps on a 12.5 tps system, nearly everything makes its
+        // deadline and restarts are rare.
+        let cfg = small_mm(4, 0.5, 100);
+        let s = run_simulation(&cfg, &Edf);
+        assert!(s.miss_percent < 5.0, "miss {} too high", s.miss_percent);
+        assert!(s.restarts_per_txn < 0.2, "restarts {}", s.restarts_per_txn);
+    }
+
+    #[test]
+    fn heavy_load_causes_misses_and_restarts() {
+        let cfg = small_mm(5, 10.0, 300);
+        let s = run_simulation(&cfg, &Edf);
+        assert!(s.miss_percent > 1.0, "expected misses, got {}", s.miss_percent);
+        assert!(s.restarts_total > 0, "expected aborts under contention");
+        assert!(s.cpu_utilization > 0.5);
+    }
+
+    #[test]
+    fn miss_rate_increases_with_load() {
+        let lo = run_simulation(&small_mm(6, 2.0, 300), &Edf);
+        let hi = run_simulation(&small_mm(6, 10.0, 300), &Edf);
+        assert!(
+            hi.miss_percent >= lo.miss_percent,
+            "load response inverted: {} vs {}",
+            lo.miss_percent,
+            hi.miss_percent
+        );
+        assert!(hi.mean_lateness_ms >= lo.mean_lateness_ms);
+    }
+
+    #[test]
+    fn plist_stays_small() {
+        // §4.1: "The average number of partially executed transactions …
+        // is 1 to 2".
+        let cfg = small_mm(8, 8.0, 300);
+        let s = run_simulation(&cfg, &Edf);
+        assert!(
+            s.mean_plist_len < 4.0,
+            "mean P-list length {} unexpectedly large",
+            s.mean_plist_len
+        );
+    }
+
+    #[test]
+    fn iowait_restriction_reduces_noncontributing_aborts() {
+        let cfg = small_disk(9, 5.0, 150);
+        let plain = run_simulation(&cfg, &Edf);
+        let restricted = run_simulation(&cfg, &EdfRestricted);
+        // A compatible secondary is never rolled back by the returning
+        // primary (it can still be aborted by a later conflicting arrival,
+        // so the count need not be exactly zero).
+        assert!(
+            restricted.noncontributing_aborts <= plain.noncontributing_aborts,
+            "restriction should reduce noncontributing aborts: {} vs {}",
+            restricted.noncontributing_aborts,
+            plain.noncontributing_aborts
+        );
+        // A compatible secondary also never has to lock-wait.
+        assert!(restricted.lock_waits <= plain.lock_waits);
+    }
+
+    #[test]
+    fn disk_utilization_below_paper_bound() {
+        // §5: utilization stays below 62.5% for arrival rates ≤ 7 tps
+        // (that bound is for 12.5 tps, so any admissible rate is below it).
+        for rate in [2.0, 5.0, 7.0] {
+            let cfg = small_disk(10, rate, 120);
+            let s = run_simulation(&cfg, &Edf);
+            let expected = cfg.disk_utilization_at(rate);
+            // Aborted work re-executes, so measured utilization may exceed
+            // the no-abort estimate, but not the physical bound.
+            assert!(s.disk_utilization <= 1.0);
+            assert!(
+                s.disk_utilization > 0.3 * expected,
+                "rate {rate}: utilization {} far below expectation {expected}",
+                s.disk_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn zero_abort_cost_supported() {
+        let mut cfg = small_mm(11, 9.0, 100);
+        cfg.system.abort_cost_ms = 0.0;
+        let s = run_simulation(&cfg, &Edf);
+        assert_eq!(s.committed, 100);
+    }
+
+    #[test]
+    fn proportional_recovery_increases_cost() {
+        let mut base = small_mm(12, 10.0, 200);
+        let flat = run_simulation(&base, &Edf);
+        base.system.proportional_recovery = true;
+        let prop = run_simulation(&base, &Edf);
+        // More expensive recovery can only lengthen the run.
+        assert!(prop.makespan_ms >= flat.makespan_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.db_size = 0;
+        run_simulation(&cfg, &Edf);
+    }
+
+    #[test]
+    fn single_transaction_runs_in_isolation() {
+        let cfg = small_mm(13, 1.0, 1);
+        let s = run_simulation(&cfg, &Edf);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.restarts_total, 0);
+        assert_eq!(s.miss_percent, 0.0, "an isolated txn meets any deadline");
+        assert_eq!(s.mean_lateness_ms, 0.0);
+    }
+
+    #[test]
+    fn response_time_at_least_resource_time() {
+        // The mean response must exceed the isolated service time of the
+        // shortest transaction; sanity for the pipeline accounting.
+        let cfg = small_mm(14, 6.0, 100);
+        let s = run_simulation(&cfg, &Edf);
+        assert!(s.mean_response_ms >= 4.0, "response {}", s.mean_response_ms);
+    }
+}

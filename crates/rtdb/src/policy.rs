@@ -1,0 +1,161 @@
+//! The scheduling-policy interface.
+//!
+//! The engine is policy-agnostic: at every scheduling point it asks the
+//! [`Policy`] for each active transaction's priority and dispatches the
+//! highest-priority runnable transaction (or, when that transaction is
+//! blocked on IO, the best *compatible* ready transaction if the policy
+//! enables the paper's `IOwait-schedule` step). Concrete policies — CCA,
+//! EDF-HP, EDF-Wait, LSF, FCFS — live in the `rtx-core` crate.
+
+use std::cmp::Ordering;
+
+use rtx_sim::time::{SimDuration, SimTime};
+
+use crate::txn::{Transaction, TxnId};
+
+/// A scheduling priority. Higher compares greater. Total order (ties are
+/// broken by the engine on arrival time, then id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Priority(pub f64);
+
+impl Priority {
+    /// The least possible priority.
+    pub const MIN: Priority = Priority(f64::NEG_INFINITY);
+}
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> Ordering {
+        debug_assert!(!self.0.is_nan() && !other.0.is_nan(), "NaN priority");
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A read-only view of the system handed to policies when they evaluate a
+/// transaction's priority.
+pub struct SystemView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// All transaction slots (committed ones included; filter as needed).
+    pub txns: &'a [Transaction],
+    /// CPU time required to roll back one transaction (the `rollback_t`
+    /// term of the penalty of conflict).
+    pub abort_cost: SimDuration,
+}
+
+impl<'a> SystemView<'a> {
+    /// The paper's *P list*: transactions that have partially executed
+    /// (hold locks that would be destroyed by an abort), excluding `of`.
+    pub fn partially_executed(&self, of: TxnId) -> impl Iterator<Item = &'a Transaction> + '_ {
+        self.txns
+            .iter()
+            .filter(move |t| t.id != of && t.is_partially_executed())
+    }
+}
+
+/// A real-time transaction scheduling policy: one priority assignment
+/// plus the choice of whether `IOwait-schedule` restricts execution during
+/// IO waits to conflict-free transactions.
+pub trait Policy {
+    /// Short policy name for reports ("CCA", "EDF-HP", …).
+    fn name(&self) -> &str;
+
+    /// The priority of `txn` given the current system state. Called at
+    /// every scheduling point for every active transaction (continuous
+    /// evaluation); policies that only use static information are free to
+    /// ignore `view`.
+    fn priority(&self, txn: &Transaction, view: &SystemView<'_>) -> Priority;
+
+    /// If `true`, the engine's IO-wait scheduling only considers ready
+    /// transactions that neither conflict nor conditionally conflict with
+    /// any partially executed transaction (§3.3.3 `IOwait-schedule`); if
+    /// `false`, the highest-priority ready transaction runs regardless
+    /// (EDF-HP's behaviour, which produces noncontributing executions).
+    fn iowait_restrict(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_preanalysis::sets::DataSet;
+    use rtx_preanalysis::table::TypeId;
+    use rtx_preanalysis::ItemId;
+    use crate::txn::{Stage, TxnState};
+
+    fn mk_txn(id: u32, accessed: &[u32]) -> Transaction {
+        Transaction {
+            id: TxnId(id),
+            ty: TypeId(0),
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_ms(100.0),
+            resource_time: SimDuration::from_ms(80.0),
+            items: vec![ItemId(0)],
+            io_pattern: vec![],
+            modes: Vec::new(),
+            update_time: SimDuration::from_ms(4.0),
+            might_access: DataSet::from_items([ItemId(0)]),
+            state: TxnState::Ready,
+            progress: 0,
+            stage: Stage::Lock,
+            cpu_left: SimDuration::ZERO,
+            burst_start: SimTime::ZERO,
+            accessed: accessed.iter().map(|&i| ItemId(i)).collect(),
+            written: DataSet::new(),
+            service: SimDuration::ZERO,
+            restarts: 0,
+            waiting_for: None,
+            decision: None,
+            criticality: 0,
+            doomed: false,
+            finish: None,
+        }
+    }
+
+    #[test]
+    fn priority_total_order() {
+        let a = Priority(-10.0);
+        let b = Priority(-5.0);
+        assert!(b > a, "later deadline (more negative) is lower priority");
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(Priority::MIN < a);
+        let mut v = vec![b, Priority::MIN, a];
+        v.sort();
+        assert_eq!(v, vec![Priority::MIN, a, b]);
+    }
+
+    #[test]
+    fn partially_executed_filters_self_and_fresh() {
+        let txns = vec![mk_txn(0, &[1]), mk_txn(1, &[]), mk_txn(2, &[2])];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            txns: &txns,
+            abort_cost: SimDuration::from_ms(4.0),
+        };
+        let plist: Vec<u32> = view.partially_executed(TxnId(0)).map(|t| t.id.0).collect();
+        assert_eq!(plist, vec![2], "self (0) and lock-free (1) excluded");
+        let plist: Vec<u32> = view.partially_executed(TxnId(9)).map(|t| t.id.0).collect();
+        assert_eq!(plist, vec![0, 2]);
+    }
+
+    #[test]
+    fn committed_txns_not_partially_executed() {
+        let mut t = mk_txn(0, &[1]);
+        t.state = TxnState::Committed;
+        let txns = vec![t];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            txns: &txns,
+            abort_cost: SimDuration::ZERO,
+        };
+        assert_eq!(view.partially_executed(TxnId(9)).count(), 0);
+    }
+}

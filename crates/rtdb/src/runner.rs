@@ -1,0 +1,160 @@
+//! Replication runner: "We ran the simulation with the same parameter for
+//! 10 different random number seeds … For each algorithm the result were
+//! collected and averaged over the 10 runs" (§4; 30 runs in §5).
+
+use rtx_sim::stats::{Estimate, Replications};
+
+use crate::config::SimConfig;
+use crate::engine::run_simulation;
+use crate::metrics::RunSummary;
+use crate::policy::Policy;
+
+/// Across-replication averages of every [`RunSummary`] field the paper
+/// plots, each with a 95% confidence half-width.
+#[derive(Debug, Clone)]
+pub struct AggregateSummary {
+    /// Policy name the runs used.
+    pub policy: String,
+    /// Number of replications.
+    pub replications: usize,
+    /// Miss percentage.
+    pub miss_percent: Estimate,
+    /// Mean tardiness over all transactions, ms.
+    pub mean_lateness_ms: Estimate,
+    /// Mean signed lateness, ms.
+    pub mean_signed_lateness_ms: Estimate,
+    /// Restarts per transaction.
+    pub restarts_per_txn: Estimate,
+    /// Noncontributing (secondary-victim) aborts per run.
+    pub noncontributing_aborts: Estimate,
+    /// Time-averaged P-list length.
+    pub mean_plist_len: Estimate,
+    /// CPU utilization.
+    pub cpu_utilization: Estimate,
+    /// Disk utilization.
+    pub disk_utilization: Estimate,
+    /// Mean response time, ms.
+    pub mean_response_ms: Estimate,
+}
+
+/// Run `replications` independent runs (seeds `0..replications` offset by
+/// `cfg.run.seed`) and aggregate.
+pub fn run_replications(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    replications: usize,
+) -> AggregateSummary {
+    assert!(replications > 0, "need at least one replication");
+    let mut miss = Replications::new();
+    let mut late = Replications::new();
+    let mut signed = Replications::new();
+    let mut restarts = Replications::new();
+    let mut noncontrib = Replications::new();
+    let mut plist = Replications::new();
+    let mut cpu = Replications::new();
+    let mut disk = Replications::new();
+    let mut resp = Replications::new();
+    for r in 0..replications {
+        let mut run_cfg = cfg.clone();
+        run_cfg.run.seed = cfg.run.seed.wrapping_add(r as u64);
+        let s: RunSummary = run_simulation(&run_cfg, policy);
+        miss.record(s.miss_percent);
+        late.record(s.mean_lateness_ms);
+        signed.record(s.mean_signed_lateness_ms);
+        restarts.record(s.restarts_per_txn);
+        noncontrib.record(s.noncontributing_aborts as f64);
+        plist.record(s.mean_plist_len);
+        cpu.record(s.cpu_utilization);
+        disk.record(s.disk_utilization);
+        resp.record(s.mean_response_ms);
+    }
+    AggregateSummary {
+        policy: policy.name().to_string(),
+        replications,
+        miss_percent: miss.estimate(),
+        mean_lateness_ms: late.estimate(),
+        mean_signed_lateness_ms: signed.estimate(),
+        restarts_per_txn: restarts.estimate(),
+        noncontributing_aborts: noncontrib.estimate(),
+        mean_plist_len: plist.estimate(),
+        cpu_utilization: cpu.estimate(),
+        disk_utilization: disk.estimate(),
+        mean_response_ms: resp.estimate(),
+    }
+}
+
+/// Percentage improvement of `ours` over `baseline` for a
+/// lower-is-better metric: `(baseline − ours) / baseline × 100` — the
+/// paper's `improvement = (EDF − CCA)/EDF × 100`.
+pub fn improvement_percent(baseline: f64, ours: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Priority, SystemView};
+    use crate::txn::Transaction;
+
+    struct Edf;
+    impl Policy for Edf {
+        fn name(&self) -> &str {
+            "EDF-HP"
+        }
+        fn priority(&self, txn: &Transaction, _view: &SystemView<'_>) -> Priority {
+            Priority(-txn.deadline.as_ms())
+        }
+    }
+
+    #[test]
+    fn aggregates_over_seeds() {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = 60;
+        cfg.run.arrival_rate_tps = 8.0;
+        let agg = run_replications(&cfg, &Edf, 4);
+        assert_eq!(agg.replications, 4);
+        assert_eq!(agg.policy, "EDF-HP");
+        assert_eq!(agg.miss_percent.n, 4);
+        assert!(agg.miss_percent.mean >= 0.0);
+        assert!(agg.cpu_utilization.mean > 0.0);
+    }
+
+    #[test]
+    fn deterministic_aggregation() {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = 40;
+        let a = run_replications(&cfg, &Edf, 3);
+        let b = run_replications(&cfg, &Edf, 3);
+        assert_eq!(a.miss_percent.mean, b.miss_percent.mean);
+        assert_eq!(a.restarts_per_txn.mean, b.restarts_per_txn.mean);
+    }
+
+    #[test]
+    fn seed_offset_changes_runs() {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = 40;
+        cfg.run.arrival_rate_tps = 9.0;
+        let a = run_replications(&cfg, &Edf, 2);
+        cfg.run.seed = 1000;
+        let b = run_replications(&cfg, &Edf, 2);
+        assert_ne!(a.mean_response_ms.mean, b.mean_response_ms.mean);
+    }
+
+    #[test]
+    fn improvement_formula() {
+        assert!((improvement_percent(10.0, 7.0) - 30.0).abs() < 1e-12);
+        assert!((improvement_percent(10.0, 12.0) + 20.0).abs() < 1e-12);
+        assert_eq!(improvement_percent(0.0, 5.0), 0.0, "guarded division");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let cfg = SimConfig::mm_base();
+        run_replications(&cfg, &Edf, 0);
+    }
+}

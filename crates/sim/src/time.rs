@@ -1,0 +1,310 @@
+//! Simulation clock types.
+//!
+//! All simulation time is kept in **integer microseconds** so that event
+//! ordering is exact and runs are bit-reproducible across platforms. The
+//! paper quotes every parameter in milliseconds; [`SimTime::from_ms`] /
+//! [`SimDuration::from_ms`] do the conversion at the edges.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds per millisecond.
+pub const MICROS_PER_MS: u64 = 1_000;
+/// Number of microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute point in simulated time, in microseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Simulation start (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds (fractional ms are truncated to µs).
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "SimTime cannot be negative");
+        SimTime((ms * MICROS_PER_MS as f64).round() as u64)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "SimTime cannot be negative");
+        SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / MICROS_PER_MS as f64
+    }
+
+    /// Time as (fractional) seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Span from `earlier` to `self`. Saturates to zero if `earlier` is
+    /// later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed difference `self - other` in milliseconds. This is the natural
+    /// unit for *lateness* (positive = tardy, negative = early).
+    #[inline]
+    pub fn signed_ms_since(self, other: SimTime) -> f64 {
+        if self.0 >= other.0 {
+            (self.0 - other.0) as f64 / MICROS_PER_MS as f64
+        } else {
+            -((other.0 - self.0) as f64 / MICROS_PER_MS as f64)
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "SimDuration cannot be negative");
+        SimDuration((ms * MICROS_PER_MS as f64).round() as u64)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "SimDuration cannot be negative");
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Span as (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / MICROS_PER_MS as f64
+    }
+
+    /// Span as (fractional) seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True iff this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of spans.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply the span by a non-negative factor.
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "scale factor cannot be negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(self.0 >= rhs.0, "SimDuration underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(4.0);
+        assert_eq!(t.as_micros(), 4_000);
+        assert!((t.as_ms() - 4.0).abs() < 1e-12);
+        assert!((SimTime::from_secs(1.5).as_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10.0) + SimDuration::from_ms(5.0);
+        assert_eq!(t, SimTime::from_ms(15.0));
+        assert_eq!(t.since(SimTime::from_ms(3.0)), SimDuration::from_ms(12.0));
+        // `since` saturates.
+        assert_eq!(
+            SimTime::from_ms(3.0).since(SimTime::from_ms(10.0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn signed_difference() {
+        let d = SimTime::from_ms(7.0);
+        let f = SimTime::from_ms(10.0);
+        assert!((f.signed_ms_since(d) - 3.0).abs() < 1e-12);
+        assert!((d.signed_ms_since(f) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_ops() {
+        let a = SimDuration::from_ms(4.0);
+        let b = SimDuration::from_ms(1.5);
+        assert_eq!(a + b, SimDuration::from_ms(5.5));
+        assert_eq!(a - b, SimDuration::from_ms(2.5));
+        assert_eq!(a * 3, SimDuration::from_ms(12.0));
+        assert_eq!(a / 2, SimDuration::from_ms(2.0));
+        assert_eq!(a.scale(0.5), SimDuration::from_ms(2.0));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_ms(i as f64)).sum();
+        assert_eq!(total, SimDuration::from_ms(10.0));
+    }
+
+    #[test]
+    fn display_formats_ms() {
+        assert_eq!(format!("{}", SimTime::from_ms(1.5)), "1.500ms");
+        assert_eq!(format!("{}", SimDuration::from_ms(0.25)), "0.250ms");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_ms(2.0),
+            SimTime::ZERO,
+            SimTime::from_ms(1.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_ms(1.0), SimTime::from_ms(2.0)]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: compare CCA against EDF-HP on the paper's Table 1 workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs the main-memory base configuration at a moderately overloaded
+//! arrival rate under both policies (10 seeds each) and prints the
+//! metrics the paper plots: miss percent, mean lateness and restarts per
+//! transaction.
+
+use rtx::policies::{Cca, EdfHp};
+use rtx::rtdb::{improvement_percent, run_replications, SimConfig};
+
+fn main() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.arrival_rate_tps = 8.0;
+    cfg.run.num_transactions = 500;
+
+    println!(
+        "Main-memory RTDB, Table 1 parameters, {} tps arrivals \
+         (CPU capacity {:.1} tps), {} transactions x 10 seeds\n",
+        cfg.run.arrival_rate_tps,
+        cfg.cpu_capacity_tps(),
+        cfg.run.num_transactions
+    );
+
+    let edf = run_replications(&cfg, &EdfHp, 10);
+    let cca = run_replications(&cfg, &Cca::base(), 10);
+
+    println!("{:<22} {:>14} {:>14}", "metric", "EDF-HP", "CCA(w=1)");
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "miss percent",
+        format!("{}", edf.miss_percent),
+        format!("{}", cca.miss_percent)
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "mean lateness (ms)",
+        format!("{}", edf.mean_lateness_ms),
+        format!("{}", cca.mean_lateness_ms)
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "restarts / txn",
+        format!("{}", edf.restarts_per_txn),
+        format!("{}", cca.restarts_per_txn)
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "mean P-list length",
+        format!("{}", edf.mean_plist_len),
+        format!("{}", cca.mean_plist_len)
+    );
+
+    println!(
+        "\nimprovement of CCA over EDF-HP: {:.1}% fewer misses, \
+         {:.1}% less lateness",
+        improvement_percent(edf.miss_percent.mean, cca.miss_percent.mean),
+        improvement_percent(edf.mean_lateness_ms.mean, cca.mean_lateness_ms.mean)
+    );
+}

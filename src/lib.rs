@@ -1,0 +1,63 @@
+//! `rtx` — cost-conscious real-time transaction scheduling.
+//!
+//! A from-scratch Rust reproduction of *Hong, Johnson & Chakravarthy,
+//! "Real-Time Transaction Scheduling: A Cost Conscious Approach"*
+//! (UF-CIS-TR-92-043 / SIGMOD 1993): the CCA scheduling policy, the
+//! transaction pre-analysis it builds on, the EDF-HP / EDF-Wait / LSF /
+//! FCFS baselines, and the discrete-event RTDB simulator the paper's
+//! evaluation ran on.
+//!
+//! This umbrella crate re-exports the four underlying crates:
+//!
+//! * [`sim`] (`rtx-sim`) — deterministic discrete-event kernel;
+//! * [`preanalysis`] (`rtx-preanalysis`) — transaction trees, decision
+//!   points, conflict & safety relations;
+//! * [`rtdb`] (`rtx-rtdb`) — workload generation, locks, CPU & disk
+//!   models, the execution engine and metrics;
+//! * [`policies`] (`rtx-core`) — CCA and the baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtx::policies::{Cca, EdfHp};
+//! use rtx::rtdb::{run_simulation, SimConfig};
+//!
+//! // Table 1 parameters, shortened run.
+//! let mut cfg = SimConfig::mm_base();
+//! cfg.run.arrival_rate_tps = 8.0;
+//! cfg.run.num_transactions = 200;
+//!
+//! let edf = run_simulation(&cfg, &EdfHp);
+//! let cca = run_simulation(&cfg, &Cca::base());
+//!
+//! // Soft deadlines: everything commits under both policies…
+//! assert_eq!(edf.committed, 200);
+//! assert_eq!(cca.committed, 200);
+//! // …and CCA never waits for a lock (Theorem 1).
+//! assert_eq!(cca.lock_waits, 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use rtx_core as policies;
+pub use rtx_preanalysis as preanalysis;
+pub use rtx_rtdb as rtdb;
+pub use rtx_sim as sim;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use rtx_core::{Cca, EdfHp, EdfWait, Fcfs, Lsf};
+    pub use rtx_preanalysis::{
+        conflict, safety, AnalysisSet, Conflict, Cursor, DataSet, ItemId, Position, Program,
+        ProgramBuilder, Safety, TransactionTree,
+    };
+    pub use rtx_rtdb::{
+        run_replications, run_simulation, Policy, Priority, RunSummary, SimConfig, SystemView,
+        Transaction,
+    };
+    pub use rtx_sim::{SimDuration, SimTime};
+}

@@ -1,0 +1,94 @@
+//! The §6 "multiple criticalness" extension end to end.
+
+use rtx::policies::{Cca, Criticality, EdfHp};
+use rtx::rtdb::{run_replications, run_simulation, SimConfig};
+
+fn cfg(rate: f64, frac: f64, n: usize) -> SimConfig {
+    let mut cfg = SimConfig::mm_base();
+    cfg.workload.high_criticality_fraction = frac;
+    cfg.run.arrival_rate_tps = rate;
+    cfg.run.num_transactions = n;
+    cfg
+}
+
+#[test]
+fn single_class_workloads_report_one_class() {
+    let s = run_simulation(&cfg(8.0, 0.0, 200), &Cca::base());
+    assert_eq!(s.miss_percent_by_class.len(), 1);
+    assert!((s.miss_percent_by_class[0] - s.miss_percent).abs() < 1e-9);
+}
+
+#[test]
+fn zero_fraction_is_bit_identical_to_base() {
+    let c = cfg(8.0, 0.0, 200);
+    let a = run_simulation(&c, &Cca::base());
+    let b = run_simulation(&c, &Criticality::new(Cca::base()));
+    assert_eq!(a, b, "class 0 everywhere → wrapper is transparent");
+}
+
+#[test]
+fn critical_class_is_protected_under_overload() {
+    let c = cfg(10.0, 0.2, 400);
+    let mut hi_total = 0.0;
+    let mut lo_total = 0.0;
+    for seed in 0..5 {
+        let mut run_cfg = c.clone();
+        run_cfg.run.seed = seed;
+        let s = run_simulation(&run_cfg, &Criticality::new(Cca::base()));
+        assert_eq!(s.committed, 400);
+        let lo = s.miss_percent_by_class.first().copied().unwrap_or(0.0);
+        let hi = s.miss_percent_by_class.get(1).copied().unwrap_or(0.0);
+        hi_total += hi;
+        lo_total += lo;
+    }
+    assert!(
+        hi_total / 5.0 < 5.0,
+        "critical class should nearly always meet deadlines: {}",
+        hi_total / 5.0
+    );
+    assert!(
+        lo_total > hi_total,
+        "the normal class pays for the protection"
+    );
+}
+
+#[test]
+fn class_blind_policy_spreads_misses_evenly() {
+    // Without the wrapper, both classes miss at similar rates.
+    let c = cfg(10.0, 0.3, 400);
+    let mut hi = 0.0;
+    let mut lo = 0.0;
+    for seed in 0..5 {
+        let mut run_cfg = c.clone();
+        run_cfg.run.seed = seed;
+        let s = run_simulation(&run_cfg, &Cca::base());
+        lo += s.miss_percent_by_class.first().copied().unwrap_or(0.0);
+        hi += s.miss_percent_by_class.get(1).copied().unwrap_or(0.0);
+    }
+    let (hi, lo) = (hi / 5.0, lo / 5.0);
+    assert!(
+        (hi - lo).abs() < 0.6 * lo.max(hi).max(1.0),
+        "class-blind CCA should not favour a class strongly: hi {hi} lo {lo}"
+    );
+}
+
+#[test]
+fn criticality_preserves_cca_theorems() {
+    let c = cfg(9.0, 0.2, 300);
+    let s = run_simulation(&c, &Criticality::new(Cca::base()));
+    assert_eq!(s.lock_waits, 0, "Theorem 1 survives the class wrapper");
+    assert_eq!(s.deadlock_resolutions, 0);
+}
+
+#[test]
+fn within_class_cca_still_beats_edf() {
+    let c = cfg(9.0, 0.2, 400);
+    let cca = run_replications(&c, &Criticality::new(Cca::base()), 6);
+    let edf = run_replications(&c, &Criticality::new(EdfHp), 6);
+    assert!(
+        cca.miss_percent.mean <= edf.miss_percent.mean + 0.5,
+        "Crit<CCA> {} vs Crit<EDF> {}",
+        cca.miss_percent.mean,
+        edf.miss_percent.mean
+    );
+}

@@ -1,0 +1,109 @@
+//! Consistency between the pre-analysis crate (the paper's formal
+//! relations) and the engine's oracle shortcuts: for the straight-line
+//! workloads the simulator generates, the full transaction-tree machinery
+//! and the engine's set tests must agree exactly.
+
+use rtx::preanalysis::{
+    conflict, safety, AnalysisSet, Conflict, Position, Safety, TypeId as PTypeId,
+};
+use rtx::rtdb::{SimConfig, TypeTable};
+use rtx::sim::rng::StreamSeeder;
+
+fn generated_types(seed: u64) -> (TypeTable, AnalysisSet) {
+    let cfg = SimConfig::mm_base();
+    let table = TypeTable::generate(&cfg, &StreamSeeder::new(seed));
+    let programs: Vec<_> = table.types().iter().map(|t| t.to_program()).collect();
+    let set = AnalysisSet::new(&programs);
+    (table, set)
+}
+
+/// For straight-line programs, the tree-based conflict relation collapses
+/// to a data-set intersection test — the engine's oracle.
+#[test]
+fn tree_conflict_equals_set_intersection() {
+    let (table, set) = generated_types(11);
+    for a in 0..table.len() {
+        for b in 0..table.len() {
+            let expected = if table.types()[a]
+                .data_set
+                .intersects(&table.types()[b].data_set)
+            {
+                Conflict::Conflicts
+            } else {
+                Conflict::None
+            };
+            let got = set.type_conflict(PTypeId(a as u32), PTypeId(b as u32));
+            assert_eq!(got, expected, "types {a},{b}");
+            assert_ne!(
+                got,
+                Conflict::Conditional,
+                "straight-line programs can never conditionally conflict"
+            );
+        }
+    }
+}
+
+/// For straight-line programs the safety relation at the root collapses
+/// to the same intersection test (fully pessimistic hasaccessed).
+#[test]
+fn tree_safety_never_conditional_for_straight_line() {
+    let (table, set) = generated_types(12);
+    let n = table.len().min(20);
+    for a in 0..n {
+        for b in 0..n {
+            let s = set.safety_at(
+                PTypeId(a as u32),
+                rtx::preanalysis::NodeId::ROOT,
+                PTypeId(b as u32),
+                rtx::preanalysis::NodeId::ROOT,
+            );
+            assert_ne!(s, Safety::ConditionallyUnsafe, "types {a},{b}");
+            let overlap = table.types()[a]
+                .data_set
+                .intersects(&table.types()[b].data_set);
+            assert_eq!(s == Safety::Unsafe, overlap);
+        }
+    }
+}
+
+/// Direct relation evaluation agrees with the precomputed tables on the
+/// generated workload.
+#[test]
+fn analysis_tables_match_direct_on_generated_workload() {
+    let (_, set) = generated_types(13);
+    for a in 0..10u32 {
+        for b in 0..10u32 {
+            let (ta, tb) = (set.tree(PTypeId(a)), set.tree(PTypeId(b)));
+            assert_eq!(
+                set.type_conflict(PTypeId(a), PTypeId(b)),
+                conflict(Position::at_root(ta), Position::at_root(tb))
+            );
+            assert_eq!(
+                set.safety_at(
+                    PTypeId(a),
+                    rtx::preanalysis::NodeId::ROOT,
+                    PTypeId(b),
+                    rtx::preanalysis::NodeId::ROOT
+                ),
+                safety(Position::at_root(ta), Position::at_root(tb))
+            );
+        }
+    }
+}
+
+/// The engine tracks `accessed ⊆ might_access` per instance; the
+/// pre-analysis guarantees the same inclusion per tree node. Check the
+/// generated programs' trees satisfy every paper identity.
+#[test]
+fn generated_trees_are_single_vertex() {
+    let (_, set) = generated_types(14);
+    for ty in 0..set.type_count() {
+        let tree = set.tree(PTypeId(ty as u32));
+        // "Since program B contains no decision points, its transaction
+        // tree consists of a single vertex."
+        assert_eq!(tree.node_count(), 1);
+        let root = tree.root();
+        assert_eq!(tree.hasaccessed(root), tree.mightaccess(root));
+        assert_eq!(tree.leaves(root), &[root]);
+    }
+}

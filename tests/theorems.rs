@@ -1,0 +1,167 @@
+//! The paper's §3.3.4 properties, observed on real runs.
+//!
+//! * **Theorem 1 (deadlock freedom)**: "there exist no deadlock under CCA
+//!   scheduling" — because "there is no lock wait in CCA". The engine
+//!   implements HP as wound-wait and counts every lock wait, so the
+//!   theorem is directly observable: `lock_waits == 0` on every CCA run.
+//! * **Lemma 1 (no priority reversal)**: the runner always outranks lock
+//!   holders, which is exactly the condition for `lock_waits == 0`.
+//! * **Theorem 2 (no circular abort)**: circular aborts would prevent
+//!   progress; every run committing all its transactions under heavy
+//!   contention is the observable consequence.
+
+use rtx::policies::{Cca, EdfHp, EdfWait};
+use rtx::rtdb::{run_simulation, run_simulation_validated, SimConfig};
+
+fn mm(seed: u64, rate: f64, n: usize) -> SimConfig {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.seed = seed;
+    cfg.run.arrival_rate_tps = rate;
+    cfg.run.num_transactions = n;
+    cfg
+}
+
+fn disk(seed: u64, rate: f64, n: usize) -> SimConfig {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.seed = seed;
+    cfg.run.arrival_rate_tps = rate;
+    cfg.run.num_transactions = n;
+    cfg
+}
+
+#[test]
+fn theorem1_no_lock_wait_under_cca_main_memory() {
+    for seed in 0..5 {
+        for rate in [4.0, 8.0, 10.0] {
+            let s = run_simulation(&mm(seed, rate, 300), &Cca::base());
+            assert_eq!(
+                s.lock_waits, 0,
+                "CCA lock-waited (seed {seed}, rate {rate}) — Lemma 1 violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_no_lock_wait_under_cca_disk() {
+    for seed in 0..5 {
+        for rate in [3.0, 5.0, 7.0] {
+            let s = run_simulation(&disk(seed, rate, 150), &Cca::base());
+            assert_eq!(
+                s.lock_waits, 0,
+                "CCA lock-waited (seed {seed}, rate {rate}) — Theorem 1 violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_holds_for_every_penalty_weight() {
+    for w in [0.0, 0.5, 2.0, 10.0] {
+        let s = run_simulation(&disk(1, 5.0, 120), &Cca::new(w));
+        assert_eq!(s.lock_waits, 0, "weight {w}");
+    }
+}
+
+#[test]
+fn edf_hp_never_lock_waits_on_main_memory() {
+    // Without IO waits the runner is always the global maximum under any
+    // static priority, so even EDF-HP never blocks in main memory.
+    for seed in 0..5 {
+        let s = run_simulation(&mm(seed, 10.0, 300), &EdfHp);
+        assert_eq!(s.lock_waits, 0);
+    }
+}
+
+#[test]
+fn edf_hp_does_lock_wait_on_disk() {
+    // The contrast that makes Theorem 1 meaningful: EDF-HP's unrestricted
+    // IO-wait secondaries hit the blocked TH's locks and must wait.
+    let mut total = 0;
+    for seed in 0..5 {
+        total += run_simulation(&disk(seed, 5.0, 150), &EdfHp).lock_waits;
+    }
+    assert!(
+        total > 0,
+        "expected EDF-HP to produce lock waits on disk workloads"
+    );
+}
+
+#[test]
+fn theorem2_progress_under_heavy_contention() {
+    // Circular aborts would livelock; all-commit under maximal contention
+    // (db of 5 items, every pair conflicts) shows none occur.
+    let mut cfg = mm(3, 10.0, 200);
+    cfg.workload.db_size = 5;
+    for policy in [&Cca::base() as &dyn rtx::rtdb::Policy, &EdfHp, &EdfWait] {
+        let s = run_simulation(&cfg, policy);
+        assert_eq!(s.committed, 200, "{} stalled", policy.name());
+    }
+}
+
+#[test]
+fn engine_invariants_hold_under_all_policies() {
+    let cfg = disk(2, 5.0, 80);
+    for policy in [&Cca::base() as &dyn rtx::rtdb::Policy, &EdfHp, &EdfWait] {
+        let s = run_simulation_validated(&cfg, policy);
+        assert_eq!(s.committed, 80, "{}", policy.name());
+    }
+    let cfg = mm(2, 9.0, 120);
+    for policy in [&Cca::base() as &dyn rtx::rtdb::Policy, &EdfHp] {
+        let s = run_simulation_validated(&cfg, policy);
+        assert_eq!(s.committed, 120, "{}", policy.name());
+    }
+}
+
+#[test]
+fn cca_never_needs_the_deadlock_resolver() {
+    // Theorem 1 again, from the resolver's perspective: CCA (and the
+    // static-priority policies) never wedge; the engine's deadlock
+    // resolver must stay untouched.
+    for seed in 0..5 {
+        for cfg in [mm(seed, 10.0, 200), disk(seed, 6.0, 120)] {
+            let cca = run_simulation(&cfg, &Cca::base());
+            assert_eq!(cca.deadlock_resolutions, 0);
+            assert_eq!(cca.starvation_shields, 0, "CCA never livelocks");
+            let edf = run_simulation(&cfg, &EdfHp);
+            assert_eq!(edf.deadlock_resolutions, 0);
+            assert_eq!(edf.starvation_shields, 0, "EDF-HP never livelocks");
+        }
+    }
+}
+
+#[test]
+fn lsf_can_actually_deadlock() {
+    // §2: hybrid/continuous-evaluation schemes "still have deadlock
+    // problems" — LSF's slack ordering shifts as time passes and work
+    // completes, so wound-wait can wedge into a wait cycle. The engine
+    // detects and resolves these; at least one configuration in this
+    // sweep must exhibit one, making the paper's criticism observable.
+    use rtx::policies::Lsf;
+    let mut total = 0;
+    for seed in 0..10 {
+        let s = run_simulation(&mm(seed, 10.0, 300), &Lsf);
+        assert_eq!(s.committed, 300, "resolver must keep LSF live");
+        total += s.deadlock_resolutions;
+    }
+    assert!(
+        total > 0,
+        "expected LSF to deadlock at least once across the sweep"
+    );
+}
+
+#[test]
+fn edf_wait_all_but_eliminates_aborts() {
+    // §3.3.3: w = ∞ "produces the EDF-Wait … a value large enough so that
+    // transaction abort may not happen". Aborts of *partially executed*
+    // work should (nearly) vanish relative to EDF-HP.
+    let cfg = mm(4, 8.0, 300);
+    let edf = run_simulation(&cfg, &EdfHp);
+    let wait = run_simulation(&cfg, &EdfWait);
+    assert!(
+        wait.restarts_total <= edf.restarts_total / 2,
+        "EDF-Wait restarts {} not well below EDF-HP's {}",
+        wait.restarts_total,
+        edf.restarts_total
+    );
+}
