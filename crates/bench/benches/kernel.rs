@@ -10,26 +10,22 @@ use rtx_sim::time::SimTime;
 fn bench_calendar(c: &mut Criterion) {
     let mut group = c.benchmark_group("calendar");
     for &n in &[64usize, 1024] {
-        group.bench_with_input(
-            BenchmarkId::new("schedule_pop_churn", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut cal = Calendar::new();
-                    // Seed with n events, then steady-state churn: pop one,
-                    // schedule one — the simulator's dominant pattern.
-                    for i in 0..n {
-                        cal.schedule(SimTime::from_micros((i * 37 % 997) as u64), i);
-                    }
-                    for i in 0..n {
-                        let fired = cal.pop().expect("non-empty");
-                        cal.schedule(fired.time + rtx_sim::SimDuration::from_micros(1_000), i);
-                    }
-                    while cal.pop().is_some() {}
-                    black_box(cal.scheduled_total())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("schedule_pop_churn", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cal = Calendar::new();
+                // Seed with n events, then steady-state churn: pop one,
+                // schedule one — the simulator's dominant pattern.
+                for i in 0..n {
+                    cal.schedule(SimTime::from_micros((i * 37 % 997) as u64), i);
+                }
+                for i in 0..n {
+                    let fired = cal.pop().expect("non-empty");
+                    cal.schedule(fired.time + rtx_sim::SimDuration::from_micros(1_000), i);
+                }
+                while cal.pop().is_some() {}
+                black_box(cal.scheduled_total())
+            });
+        });
         group.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
             b.iter(|| {
                 let mut cal = Calendar::new();

@@ -11,8 +11,11 @@ use rtx_preanalysis::tree::TransactionTree;
 
 /// A program with `depth` nested binary decision points (2^depth leaves).
 fn deep_program(depth: u32) -> Program {
-    fn build(b: rtx_preanalysis::program::BlockBuilder, depth: u32, base: u32)
-        -> rtx_preanalysis::program::BlockBuilder {
+    fn build(
+        b: rtx_preanalysis::program::BlockBuilder,
+        depth: u32,
+        base: u32,
+    ) -> rtx_preanalysis::program::BlockBuilder {
         let b = b.access(ItemId(base));
         if depth == 0 {
             return b;
@@ -51,12 +54,7 @@ fn bench_relations(c: &mut Criterion) {
     let a = TransactionTree::from_program(&deep_program(6));
     let bt = TransactionTree::from_program(&deep_program(6));
     group.bench_function("conflict_deep_roots", |bch| {
-        bch.iter(|| {
-            black_box(conflict(
-                Position::at_root(&a),
-                Position::at_root(&bt),
-            ))
-        });
+        bch.iter(|| black_box(conflict(Position::at_root(&a), Position::at_root(&bt))));
     });
     group.bench_function("safety_deep_roots", |bch| {
         bch.iter(|| black_box(safety(Position::at_root(&a), Position::at_root(&bt))));

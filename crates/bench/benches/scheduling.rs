@@ -74,13 +74,9 @@ fn bench_priority_eval(c: &mut Criterion) {
         };
         let candidate = &txns[plist];
         for (name, policy) in &policies {
-            group.bench_with_input(
-                BenchmarkId::new(*name, plist),
-                &plist,
-                |b, _| {
-                    b.iter(|| black_box(policy.priority(candidate, &view)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, plist), &plist, |b, _| {
+                b.iter(|| black_box(policy.priority(candidate, &view)));
+            });
         }
     }
     group.finish();

@@ -1,31 +1,72 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] <id>... | all | list
+//! experiments [--quick] [--plot] [--jobs N] [--out DIR] <id>... | all | list
 //! ```
 //!
 //! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
 //! fig5c fig5d fig5e fig5f ablate-recovery ablate-iowait ablate-policies
 //! ablate-disk-sched ext-shared-locks ext-criticality ext-branching
+//!
+//! Replications fan out across worker threads (`--jobs N`; default: all
+//! available hardware threads; `--jobs 1` forces serial). The merge is
+//! deterministic — output tables and CSVs are byte-identical for every
+//! jobs count. Per-experiment timing goes to stderr and, machine
+//! readable, to `<out>/timing.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rtx_bench::experiments::{run_group_with, ALL_IDS};
+use rtx_bench::experiments::{run_group_with, GroupReport, ALL_IDS};
 use rtx_bench::plot::render_chart;
 use rtx_bench::Scale;
+use rtx_rtdb::runner::{Parallelism, ReplicationOptions};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: experiments [--quick] [--plot] [--out DIR] <id>... | all | list");
+    eprintln!("usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] <id>... | all | list");
     eprintln!("ids: {}", ALL_IDS.join(" "));
     ExitCode::FAILURE
+}
+
+/// One `timing.json` record.
+struct TimingRecord {
+    ids: Vec<&'static str>,
+    runs: u64,
+    wall_seconds: f64,
+    busy_seconds: f64,
+    speedup_estimate: f64,
+}
+
+/// Render the timing records as a JSON array (hand-rolled: the workspace
+/// carries no serialization dependency).
+fn timing_json(jobs: &str, scale: Scale, records: &[TimingRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": \"{jobs}\",\n"));
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let ids: Vec<String> = r.ids.iter().map(|id| format!("\"{id}\"")).collect();
+        out.push_str(&format!(
+            "    {{\"ids\": [{}], \"runs\": {}, \"wall_seconds\": {:.3}, \
+             \"busy_seconds\": {:.3}, \"speedup_estimate\": {:.2}}}{}\n",
+            ids.join(", "),
+            r.runs,
+            r.wall_seconds,
+            r.busy_seconds,
+            r.speedup_estimate,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("results");
     let mut plot = false;
+    let mut parallelism = Parallelism::Auto;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -35,6 +76,10 @@ fn main() -> ExitCode {
             "--plot" => plot = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--jobs" | "-j" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => parallelism = Parallelism::Threads(n),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -61,26 +106,51 @@ fn main() -> ExitCode {
         }
     }
 
+    let jobs_label = match parallelism {
+        Parallelism::Threads(n) => n.to_string(),
+        _ => "auto".to_string(),
+    };
+    let opts = ReplicationOptions {
+        parallelism,
+        timer: None,
+    };
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
     let started = Instant::now();
     let mut count = 0usize;
     let mut failed = false;
-    run_group_with(&id_refs, scale, |table| {
-        eprintln!("[{:7.1}s] {} done", started.elapsed().as_secs_f64(), table.title);
-        println!("{}", table.render());
-        if plot {
-            if let Some(chart) = render_chart(&table, 64, 16) {
-                println!("{chart}");
+    let mut timings: Vec<TimingRecord> = Vec::new();
+    run_group_with(&id_refs, scale, &opts, |report: GroupReport| {
+        eprintln!(
+            "[{:7.1}s] {}: {} run(s) in {:.1}s (~{:.1}x vs serial est.)",
+            started.elapsed().as_secs_f64(),
+            report.ids.join("+"),
+            report.runs,
+            report.wall_seconds,
+            report.speedup_estimate(),
+        );
+        for table in &report.tables {
+            println!("{}", table.render());
+            if plot {
+                if let Some(chart) = render_chart(table, 64, 16) {
+                    println!("{chart}");
+                }
             }
-        }
-        match table.write_csv(&out_dir) {
-            Ok(path) => println!("   -> {}\n", path.display()),
-            Err(e) => {
-                eprintln!("failed to write {}: {e}", table.title);
-                failed = true;
+            match table.write_csv(&out_dir) {
+                Ok(path) => println!("   -> {}\n", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", table.title);
+                    failed = true;
+                }
             }
+            count += 1;
         }
-        count += 1;
+        timings.push(TimingRecord {
+            ids: report.ids.clone(),
+            runs: report.runs,
+            wall_seconds: report.wall_seconds,
+            busy_seconds: report.busy_seconds,
+            speedup_estimate: report.speedup_estimate(),
+        });
     });
     if failed {
         return ExitCode::FAILURE;
@@ -89,10 +159,15 @@ fn main() -> ExitCode {
         eprintln!("nothing to run");
         return ExitCode::FAILURE;
     }
+    let timing_path = out_dir.join("timing.json");
+    if let Err(e) = std::fs::write(&timing_path, timing_json(&jobs_label, scale, &timings)) {
+        eprintln!("failed to write {}: {e}", timing_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("timing -> {}", timing_path.display());
     eprintln!(
-        "completed {count} table(s) in {:.1}s ({:?} scale)",
+        "completed {count} table(s) in {:.1}s ({scale:?} scale, jobs={jobs_label})",
         started.elapsed().as_secs_f64(),
-        scale
     );
     ExitCode::SUCCESS
 }

@@ -17,7 +17,7 @@ use rtx_preanalysis::sets::{DataSet, ItemId};
 use rtx_preanalysis::table::TypeId;
 use rtx_rtdb::engine::run_simulation_from;
 use rtx_rtdb::policy::{Policy, Priority, SystemView};
-use rtx_rtdb::runner::run_replications;
+use rtx_rtdb::runner::{run_replications_with, run_seeds, ReplicationOptions};
 use rtx_rtdb::source::ReplaySource;
 use rtx_rtdb::txn::{DecisionSpec, Stage, Transaction, TxnId, TxnState};
 use rtx_rtdb::{RunSummary, SimConfig};
@@ -47,7 +47,7 @@ impl Policy for CcaNoIowait {
 }
 
 /// `ablate-recovery`: flat vs work-proportional rollback cost.
-pub fn recovery_cost(scale: Scale) -> Table {
+pub fn recovery_cost(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut t = Table::new(
         "ablate-recovery",
         &[
@@ -63,9 +63,9 @@ pub fn recovery_cost(scale: Scale) -> Table {
         let mut cfg = SimConfig::mm_base();
         cfg.run.num_transactions = scale.txns(1000);
         cfg.run.arrival_rate_tps = rate;
-        let flat = compare(&cfg, reps);
+        let flat = compare(&cfg, reps, opts);
         cfg.system.proportional_recovery = true;
-        let prop = compare(&cfg, reps);
+        let prop = compare(&cfg, reps, opts);
         let (fm, fl) = flat.improvements();
         let (pm, pl) = prop.improvements();
         t.push_numeric_row(&[rate, fm, pm, fl, pl]);
@@ -75,7 +75,7 @@ pub fn recovery_cost(scale: Scale) -> Table {
 
 /// `ablate-iowait`: CCA vs CCA-without-IOwait-schedule vs EDF-HP on the
 /// disk-resident base sweep.
-pub fn iowait_mechanism(scale: Scale) -> Table {
+pub fn iowait_mechanism(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut t = Table::new(
         "ablate-iowait",
         &[
@@ -93,9 +93,9 @@ pub fn iowait_mechanism(scale: Scale) -> Table {
         let mut cfg = SimConfig::disk_base();
         cfg.run.num_transactions = scale.txns(300);
         cfg.run.arrival_rate_tps = rate;
-        let edf = run_replications(&cfg, &EdfHp, reps);
-        let no_iowait = run_replications(&cfg, &CcaNoIowait(Cca::base()), reps);
-        let cca = run_replications(&cfg, &Cca::base(), reps);
+        let edf = run_replications_with(&cfg, &EdfHp, reps, opts);
+        let no_iowait = run_replications_with(&cfg, &CcaNoIowait(Cca::base()), reps, opts);
+        let cca = run_replications_with(&cfg, &Cca::base(), reps, opts);
         t.push_numeric_row(&[
             rate,
             edf.miss_percent.mean,
@@ -110,7 +110,7 @@ pub fn iowait_mechanism(scale: Scale) -> Table {
 }
 
 /// `ablate-policies`: miss percent of every policy across the base sweep.
-pub fn policy_zoo(scale: Scale) -> Table {
+pub fn policy_zoo(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut t = Table::new(
         "ablate-policies",
         &["arrival_tps", "fcfs", "lsf", "edf_hp", "edf_wait", "cca"],
@@ -129,7 +129,11 @@ pub fn policy_zoo(scale: Scale) -> Table {
         cfg.run.arrival_rate_tps = rate;
         let mut row = vec![rate];
         for p in &policies {
-            row.push(run_replications(&cfg, p.as_ref(), reps).miss_percent.mean);
+            row.push(
+                run_replications_with(&cfg, p.as_ref(), reps, opts)
+                    .miss_percent
+                    .mean,
+            );
         }
         t.push_numeric_row(&row);
     }
@@ -139,7 +143,7 @@ pub fn policy_zoo(scale: Scale) -> Table {
 /// `ext-shared-locks`: the §6 extension — a growing fraction of updates
 /// take shared (read) locks. Read-read compatibility lowers contention,
 /// shrinking both policies' miss rates and the gap between them.
-pub fn shared_locks(scale: Scale) -> Table {
+pub fn shared_locks(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut t = Table::new(
         "ext-shared-locks",
         &[
@@ -156,7 +160,7 @@ pub fn shared_locks(scale: Scale) -> Table {
         cfg.workload.read_probability = read_frac;
         cfg.run.num_transactions = scale.txns(1000);
         cfg.run.arrival_rate_tps = 8.0;
-        let pair = compare(&cfg, reps);
+        let pair = compare(&cfg, reps, opts);
         t.push_numeric_row(&[
             read_frac,
             pair.edf.miss_percent.mean,
@@ -171,7 +175,7 @@ pub fn shared_locks(scale: Scale) -> Table {
 /// `ablate-disk-sched`: FCFS vs earliest-deadline disk queueing (§3.3.2
 /// cites real-time IO scheduling as a complementary way to reduce IO
 /// waits). Both policies run on both disciplines.
-pub fn disk_scheduling(scale: Scale) -> Table {
+pub fn disk_scheduling(scale: Scale, opts: &ReplicationOptions) -> Table {
     use rtx_rtdb::DiskDiscipline;
     let mut t = Table::new(
         "ablate-disk-sched",
@@ -193,7 +197,11 @@ pub fn disk_scheduling(scale: Scale) -> Table {
             for discipline in [DiskDiscipline::Fcfs, DiskDiscipline::EarliestDeadline] {
                 let mut c = cfg.clone();
                 c.system.disk.as_mut().expect("disk config").discipline = discipline;
-                row.push(run_replications(&c, policy, reps).miss_percent.mean);
+                row.push(
+                    run_replications_with(&c, policy, reps, opts)
+                        .miss_percent
+                        .mean,
+                );
             }
         }
         t.push_numeric_row(&row);
@@ -206,7 +214,7 @@ pub fn disk_scheduling(scale: Scale) -> Table {
 /// classes lexicographically above the base policy. The question: how
 /// completely is the critical class protected, and what does the normal
 /// class pay?
-pub fn criticality_classes(scale: Scale) -> Table {
+pub fn criticality_classes(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut t = Table::new(
         "ext-criticality",
         &[
@@ -226,15 +234,20 @@ pub fn criticality_classes(scale: Scale) -> Table {
         cfg.run.arrival_rate_tps = rate;
 
         // Baseline: class-blind CCA (criticality ignored).
-        let blind = run_replications(&cfg, &Cca::base(), reps);
-        // Class-aware CCA and EDF: aggregate per-class miss rates.
+        let blind = run_replications_with(&cfg, &Cca::base(), reps, opts);
+        // Class-aware CCA and EDF: run both policies per seed (possibly
+        // in parallel), then fold per-class miss rates in seed order.
+        let per_seed = run_seeds(reps, opts, |rep| {
+            let mut run_cfg = cfg.clone();
+            run_cfg.run.seed = rep as u64;
+            (
+                rtx_rtdb::run_simulation(&run_cfg, &Criticality::new(Cca::base())),
+                rtx_rtdb::run_simulation(&run_cfg, &Criticality::new(EdfHp)),
+            )
+        });
         let mut crit_cca = [Replications::new(), Replications::new()];
         let mut crit_edf = [Replications::new(), Replications::new()];
-        for seed in 0..reps as u64 {
-            let mut run_cfg = cfg.clone();
-            run_cfg.run.seed = seed;
-            let c = rtx_rtdb::run_simulation(&run_cfg, &Criticality::new(Cca::base()));
-            let e = rtx_rtdb::run_simulation(&run_cfg, &Criticality::new(EdfHp));
+        for (c, e) in per_seed {
             for (agg, s) in [(&mut crit_cca, c), (&mut crit_edf, e)] {
                 for (class, slot) in agg.iter_mut().enumerate() {
                     slot.record(s.miss_percent_by_class.get(class).copied().unwrap_or(0.0));
@@ -311,9 +324,7 @@ fn branching_workload_txns(cfg: &SimConfig, seed: u64, narrowing: bool) -> Vec<T
             };
             let io_time = match &cfg.system.disk {
                 None => SimDuration::ZERO,
-                Some(d) => {
-                    d.access_time() * io_pattern.iter().filter(|&&b| b).count() as u64
-                }
+                Some(d) => d.access_time() * io_pattern.iter().filter(|&&b| b).count() as u64,
             };
             let resource_time = ty.update_time * items.len() as u64 + io_time;
             let slack = uniform_range(
@@ -372,7 +383,7 @@ fn run_branching(cfg: &SimConfig, policy: &dyn Policy, seed: u64, narrowing: boo
 /// partial transaction's `mightaccess` has narrowed past its decision
 /// point. (On main memory the refinement only perturbs penalties and is
 /// empirically inert — a null result recorded in EXPERIMENTS.md.)
-pub fn branching_workload(scale: Scale) -> Table {
+pub fn branching_workload(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut cfg = SimConfig::disk_base();
     cfg.workload.db_size = 60; // room for 20-item branching types
     cfg.run.num_transactions = scale.txns(300);
@@ -380,17 +391,30 @@ pub fn branching_workload(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "ext-branching",
-        &["arrival_tps", "edf_miss", "cca_pessim_miss", "cca_narrow_miss"],
+        &[
+            "arrival_tps",
+            "edf_miss",
+            "cca_pessim_miss",
+            "cca_narrow_miss",
+        ],
     );
     for rate in [3.0, 5.0, 7.0] {
         cfg.run.arrival_rate_tps = rate;
+        let per_seed = run_seeds(reps, opts, |rep| {
+            let seed = rep as u64;
+            (
+                run_branching(&cfg, &EdfHp, seed, false).miss_percent,
+                run_branching(&cfg, &Cca::base(), seed, false).miss_percent,
+                run_branching(&cfg, &Cca::base(), seed, true).miss_percent,
+            )
+        });
         let mut edf = Replications::new();
         let mut pessim = Replications::new();
         let mut narrow = Replications::new();
-        for seed in 0..reps as u64 {
-            edf.record(run_branching(&cfg, &EdfHp, seed, false).miss_percent);
-            pessim.record(run_branching(&cfg, &Cca::base(), seed, false).miss_percent);
-            narrow.record(run_branching(&cfg, &Cca::base(), seed, true).miss_percent);
+        for (e, p, n) in per_seed {
+            edf.record(e);
+            pessim.record(p);
+            narrow.record(n);
         }
         t.push_numeric_row(&[
             rate,
@@ -434,7 +458,10 @@ mod tests {
         cfg.run.num_transactions = 50;
         let txns = branching_workload_txns(&cfg, 1, true);
         assert!(txns.iter().all(|t| t.io_pattern.len() == t.items.len()));
-        let io: usize = txns.iter().map(|t| t.io_pattern.iter().filter(|&&b| b).count()).sum();
+        let io: usize = txns
+            .iter()
+            .map(|t| t.io_pattern.iter().filter(|&&b| b).count())
+            .sum();
         assert!(io > 0, "some updates need the disk");
     }
 

@@ -1,7 +1,7 @@
 //! Disk-resident experiments (§5, Figure 5.b–5.f and Table 2).
 
 use rtx_core::Cca;
-use rtx_rtdb::runner::run_replications;
+use rtx_rtdb::runner::{run_replications_with, ReplicationOptions};
 use rtx_rtdb::SimConfig;
 
 use super::compare;
@@ -52,14 +52,17 @@ pub fn table2() -> Table {
     ]);
     t.push_row(vec![
         "Disk utilization at CPU capacity (derived)".into(),
-        format!("{:.1}%", cfg.disk_utilization_at(cfg.cpu_capacity_tps()) * 100.0),
+        format!(
+            "{:.1}%",
+            cfg.disk_utilization_at(cfg.cpu_capacity_tps()) * 100.0
+        ),
     ]);
     t
 }
 
 /// Figures 5.b–5.d: the disk-resident arrival-rate sweep (1–7 tps).
 /// Returns `[fig5b (miss %), fig5d (improvement), fig5c (restarts/txn)]`.
-pub fn base_sweep(scale: Scale) -> Vec<Table> {
+pub fn base_sweep(scale: Scale, opts: &ReplicationOptions) -> Vec<Table> {
     let mut cfg = SimConfig::disk_base();
     cfg.run.num_transactions = scale.txns(DISK_TXNS);
     let reps = scale.reps(DISK_REPS);
@@ -67,7 +70,13 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
 
     let mut fig5b = Table::new(
         "fig5b",
-        &["arrival_tps", "edf_miss_pct", "cca_miss_pct", "edf_ci", "cca_ci"],
+        &[
+            "arrival_tps",
+            "edf_miss_pct",
+            "cca_miss_pct",
+            "edf_ci",
+            "cca_ci",
+        ],
     );
     let mut fig5d = Table::new(
         "fig5d",
@@ -85,7 +94,7 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
     );
     for &rate in &rates {
         cfg.run.arrival_rate_tps = rate;
-        let pair = compare(&cfg, reps);
+        let pair = compare(&cfg, reps, opts);
         fig5b.push_numeric_row(&[
             rate,
             pair.edf.miss_percent.mean,
@@ -107,7 +116,7 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
 }
 
 /// Figure 5.e: effect of database size at arrival rate 4 (disk resident).
-pub fn db_size_sweep(scale: Scale) -> Table {
+pub fn db_size_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut cfg = SimConfig::disk_base();
     cfg.run.num_transactions = scale.txns(DISK_TXNS);
     cfg.run.arrival_rate_tps = 4.0;
@@ -116,7 +125,7 @@ pub fn db_size_sweep(scale: Scale) -> Table {
     let mut t = Table::new("fig5e", &["db_size", "edf_miss_pct", "cca_miss_pct"]);
     for db in (100..=600).step_by(100) {
         cfg.workload.db_size = db;
-        let pair = compare(&cfg, reps);
+        let pair = compare(&cfg, reps, opts);
         t.push_numeric_row(&[
             db as f64,
             pair.edf.miss_percent.mean,
@@ -127,7 +136,7 @@ pub fn db_size_sweep(scale: Scale) -> Table {
 }
 
 /// Figure 5.f: stability of the penalty weight at 4 tps (disk resident).
-pub fn penalty_weight_sweep(scale: Scale) -> Table {
+pub fn penalty_weight_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut cfg = SimConfig::disk_base();
     cfg.run.num_transactions = scale.txns(DISK_TXNS);
     cfg.run.arrival_rate_tps = 4.0;
@@ -136,7 +145,7 @@ pub fn penalty_weight_sweep(scale: Scale) -> Table {
 
     let mut t = Table::new("fig5f", &["penalty_weight", "miss_pct_4tps"]);
     for &w in &weights {
-        let agg = run_replications(&cfg, &Cca::new(w), reps);
+        let agg = run_replications_with(&cfg, &Cca::new(w), reps, opts);
         t.push_numeric_row(&[w, agg.miss_percent.mean]);
     }
     t

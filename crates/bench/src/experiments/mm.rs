@@ -1,7 +1,7 @@
 //! Main-memory experiments (§4, Figure 4 and Table 1).
 
 use rtx_core::Cca;
-use rtx_rtdb::runner::run_replications;
+use rtx_rtdb::runner::{run_replications_with, ReplicationOptions};
 use rtx_rtdb::SimConfig;
 
 use super::compare;
@@ -51,7 +51,7 @@ pub fn table1() -> Table {
 
 /// Figures 4.a–4.c: the base-parameter arrival-rate sweep (1–10 tps).
 /// Returns `[fig4a (miss %), fig4b (improvement), fig4c (restarts/txn)]`.
-pub fn base_sweep(scale: Scale) -> Vec<Table> {
+pub fn base_sweep(scale: Scale, opts: &ReplicationOptions) -> Vec<Table> {
     let mut cfg = SimConfig::mm_base();
     cfg.run.num_transactions = scale.txns(MM_TXNS);
     let reps = scale.reps(MM_REPS);
@@ -59,7 +59,13 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
 
     let mut fig4a = Table::new(
         "fig4a",
-        &["arrival_tps", "edf_miss_pct", "cca_miss_pct", "edf_ci", "cca_ci"],
+        &[
+            "arrival_tps",
+            "edf_miss_pct",
+            "cca_miss_pct",
+            "edf_ci",
+            "cca_ci",
+        ],
     );
     let mut fig4b = Table::new(
         "fig4b",
@@ -67,11 +73,15 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
     );
     let mut fig4c = Table::new(
         "fig4c",
-        &["arrival_tps", "edf_restarts_per_txn", "cca_restarts_per_txn"],
+        &[
+            "arrival_tps",
+            "edf_restarts_per_txn",
+            "cca_restarts_per_txn",
+        ],
     );
     for &rate in &rates {
         cfg.run.arrival_rate_tps = rate;
-        let pair = compare(&cfg, reps);
+        let pair = compare(&cfg, reps, opts);
         fig4a.push_numeric_row(&[
             rate,
             pair.edf.miss_percent.mean,
@@ -92,28 +102,21 @@ pub fn base_sweep(scale: Scale) -> Vec<Table> {
 
 /// Figures 4.d–4.e: high-variance update times (3 classes: 0.4/4/40 ms),
 /// arrival 0.2–1.8 tps. Returns `[fig4d (miss %), fig4e (improvement)]`.
-pub fn high_variance_sweep(scale: Scale) -> Vec<Table> {
+pub fn high_variance_sweep(scale: Scale, opts: &ReplicationOptions) -> Vec<Table> {
     let mut cfg = SimConfig::mm_high_variance();
     cfg.run.num_transactions = scale.txns(MM_TXNS);
     let reps = scale.reps(MM_REPS);
     let rates: Vec<f64> = (1..=9).map(|r| r as f64 * 0.2).collect();
 
-    let mut fig4d = Table::new(
-        "fig4d",
-        &["arrival_tps", "edf_miss_pct", "cca_miss_pct"],
-    );
+    let mut fig4d = Table::new("fig4d", &["arrival_tps", "edf_miss_pct", "cca_miss_pct"]);
     let mut fig4e = Table::new(
         "fig4e",
         &["arrival_tps", "improve_miss_pct", "improve_lateness_pct"],
     );
     for &rate in &rates {
         cfg.run.arrival_rate_tps = rate;
-        let pair = compare(&cfg, reps);
-        fig4d.push_numeric_row(&[
-            rate,
-            pair.edf.miss_percent.mean,
-            pair.cca.miss_percent.mean,
-        ]);
+        let pair = compare(&cfg, reps, opts);
+        fig4d.push_numeric_row(&[rate, pair.edf.miss_percent.mean, pair.cca.miss_percent.mean]);
         let (im, il) = pair.improvements();
         fig4e.push_numeric_row(&[rate, im, il]);
     }
@@ -121,7 +124,7 @@ pub fn high_variance_sweep(scale: Scale) -> Vec<Table> {
 }
 
 /// Figure 4.f: effect of database size at arrival rate 10.
-pub fn db_size_sweep(scale: Scale) -> Table {
+pub fn db_size_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut cfg = SimConfig::mm_base();
     cfg.run.num_transactions = scale.txns(MM_TXNS);
     cfg.run.arrival_rate_tps = 10.0;
@@ -130,7 +133,7 @@ pub fn db_size_sweep(scale: Scale) -> Table {
     let mut t = Table::new("fig4f", &["db_size", "edf_miss_pct", "cca_miss_pct"]);
     for db in (100..=1000).step_by(100) {
         cfg.workload.db_size = db;
-        let pair = compare(&cfg, reps);
+        let pair = compare(&cfg, reps, opts);
         t.push_numeric_row(&[
             db as f64,
             pair.edf.miss_percent.mean,
@@ -142,7 +145,7 @@ pub fn db_size_sweep(scale: Scale) -> Table {
 
 /// Figure 5.a: stability of the penalty weight (miss % vs `w` at 5 and
 /// 8 tps, main memory). `w = 0` is EDF-HP.
-pub fn penalty_weight_sweep(scale: Scale) -> Table {
+pub fn penalty_weight_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
     let mut cfg = SimConfig::mm_base();
     cfg.run.num_transactions = scale.txns(MM_TXNS);
     let reps = scale.reps(MM_REPS);
@@ -156,7 +159,7 @@ pub fn penalty_weight_sweep(scale: Scale) -> Table {
         let mut row = vec![w];
         for rate in [5.0, 8.0] {
             cfg.run.arrival_rate_tps = rate;
-            let agg = run_replications(&cfg, &Cca::new(w), reps);
+            let agg = run_replications_with(&cfg, &Cca::new(w), reps, opts);
             row.push(agg.miss_percent.mean);
         }
         t.push_numeric_row(&row);

@@ -1,8 +1,22 @@
 //! The experiment registry: one entry per table/figure of the paper plus
 //! the ablation/extension studies from DESIGN.md.
+//!
+//! Experiments are organised into **groups** — sets of ids that share one
+//! underlying parameter sweep, so `all` never recomputes a sweep. Each
+//! group runs its replications under a caller-supplied
+//! [`ReplicationOptions`] (serial or multi-threaded; the output is
+//! bit-identical either way, see `rtx_rtdb::runner`) and reports
+//! wall-clock plus summed per-replication time, from which a speedup
+//! estimate over serial execution is derived.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use rtx_core::{Cca, EdfHp};
-use rtx_rtdb::runner::{improvement_percent, run_replications, AggregateSummary};
+use rtx_rtdb::runner::{
+    improvement_percent, run_replications_with, AggregateSummary, ReplicationOptions,
+    ReplicationTimer,
+};
 use rtx_rtdb::SimConfig;
 
 use crate::table::Table;
@@ -14,115 +28,167 @@ pub mod mm;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5a", "table2", "fig5b",
-    "fig5c", "fig5d", "fig5e", "fig5f", "ablate-recovery", "ablate-iowait", "ablate-policies", "ablate-disk-sched",
-    "ext-shared-locks", "ext-criticality", "ext-branching",
+    "table1",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "fig5a",
+    "table2",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "ablate-recovery",
+    "ablate-iowait",
+    "ablate-policies",
+    "ablate-disk-sched",
+    "ext-shared-locks",
+    "ext-criticality",
+    "ext-branching",
 ];
 
-/// Run one experiment by id. Returns the tables it produces (several ids
-/// share one underlying sweep; each id returns only its own tables).
+/// The output of one experiment group: its tables plus timing.
+#[derive(Debug)]
+pub struct GroupReport {
+    /// The ids (of those requested) this group produced.
+    pub ids: Vec<&'static str>,
+    /// The tables for those ids, in the group's emission order.
+    pub tables: Vec<Table>,
+    /// Number of simulation runs executed.
+    pub runs: u64,
+    /// Wall-clock time for the whole group, seconds.
+    pub wall_seconds: f64,
+    /// Per-replication wall time summed over all workers, seconds — an
+    /// estimate of the group's serial cost.
+    pub busy_seconds: f64,
+}
+
+impl GroupReport {
+    /// Estimated speedup over serial execution (`busy / wall`; 1.0 when
+    /// no replications ran, e.g. parameter tables).
+    pub fn speedup_estimate(&self) -> f64 {
+        if self.runs == 0 || self.wall_seconds <= 0.0 {
+            1.0
+        } else {
+            self.busy_seconds / self.wall_seconds
+        }
+    }
+}
+
+/// Run one experiment by id, serially. Returns the tables it produces
+/// (several ids share one underlying sweep; each id returns only its own
+/// tables).
 pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    run_with(id, scale, &ReplicationOptions::serial())
+}
+
+/// Run one experiment by id under the given replication options.
+pub fn run_with(id: &str, scale: Scale, opts: &ReplicationOptions) -> Option<Vec<Table>> {
     match id {
         "table1" => Some(vec![mm::table1()]),
-        "fig4a" => Some(vec![mm::base_sweep(scale).remove(0)]),
-        "fig4b" => Some(vec![mm::base_sweep(scale).remove(1)]),
-        "fig4c" => Some(vec![mm::base_sweep(scale).remove(2)]),
-        "fig4d" => Some(vec![mm::high_variance_sweep(scale).remove(0)]),
-        "fig4e" => Some(vec![mm::high_variance_sweep(scale).remove(1)]),
-        "fig4f" => Some(vec![mm::db_size_sweep(scale)]),
-        "fig5a" => Some(vec![mm::penalty_weight_sweep(scale)]),
+        "fig4a" => Some(vec![mm::base_sweep(scale, opts).remove(0)]),
+        "fig4b" => Some(vec![mm::base_sweep(scale, opts).remove(1)]),
+        "fig4c" => Some(vec![mm::base_sweep(scale, opts).remove(2)]),
+        "fig4d" => Some(vec![mm::high_variance_sweep(scale, opts).remove(0)]),
+        "fig4e" => Some(vec![mm::high_variance_sweep(scale, opts).remove(1)]),
+        "fig4f" => Some(vec![mm::db_size_sweep(scale, opts)]),
+        "fig5a" => Some(vec![mm::penalty_weight_sweep(scale, opts)]),
         "table2" => Some(vec![disk::table2()]),
-        "fig5b" => Some(vec![disk::base_sweep(scale).remove(0)]),
-        "fig5c" => Some(vec![disk::base_sweep(scale).remove(2)]),
-        "fig5d" => Some(vec![disk::base_sweep(scale).remove(1)]),
-        "fig5e" => Some(vec![disk::db_size_sweep(scale)]),
-        "fig5f" => Some(vec![disk::penalty_weight_sweep(scale)]),
-        "ablate-recovery" => Some(vec![ablate::recovery_cost(scale)]),
-        "ablate-iowait" => Some(vec![ablate::iowait_mechanism(scale)]),
-        "ablate-policies" => Some(vec![ablate::policy_zoo(scale)]),
-        "ablate-disk-sched" => Some(vec![ablate::disk_scheduling(scale)]),
-        "ext-shared-locks" => Some(vec![ablate::shared_locks(scale)]),
-        "ext-criticality" => Some(vec![ablate::criticality_classes(scale)]),
-        "ext-branching" => Some(vec![ablate::branching_workload(scale)]),
+        "fig5b" => Some(vec![disk::base_sweep(scale, opts).remove(0)]),
+        "fig5c" => Some(vec![disk::base_sweep(scale, opts).remove(2)]),
+        "fig5d" => Some(vec![disk::base_sweep(scale, opts).remove(1)]),
+        "fig5e" => Some(vec![disk::db_size_sweep(scale, opts)]),
+        "fig5f" => Some(vec![disk::penalty_weight_sweep(scale, opts)]),
+        "ablate-recovery" => Some(vec![ablate::recovery_cost(scale, opts)]),
+        "ablate-iowait" => Some(vec![ablate::iowait_mechanism(scale, opts)]),
+        "ablate-policies" => Some(vec![ablate::policy_zoo(scale, opts)]),
+        "ablate-disk-sched" => Some(vec![ablate::disk_scheduling(scale, opts)]),
+        "ext-shared-locks" => Some(vec![ablate::shared_locks(scale, opts)]),
+        "ext-criticality" => Some(vec![ablate::criticality_classes(scale, opts)]),
+        "ext-branching" => Some(vec![ablate::branching_workload(scale, opts)]),
         _ => None,
     }
 }
 
-/// Groups of ids that share a sweep, so `all` avoids recomputation.
-/// Tables are delivered to `emit` as soon as their group completes.
-pub fn run_group_with(ids: &[&str], scale: Scale, mut emit: impl FnMut(Table)) {
+/// Run the requested ids group by group, delivering each group's tables
+/// and timing to `emit` as soon as the group completes. Ids that share a
+/// sweep are computed once.
+pub fn run_group_with(
+    ids: &[&str],
+    scale: Scale,
+    opts: &ReplicationOptions,
+    mut emit: impl FnMut(GroupReport),
+) {
     let want = |id: &str| ids.contains(&id) || ids.contains(&"all");
-    if want("table1") {
-        emit(mm::table1());
-    }
-    if want("fig4a") || want("fig4b") || want("fig4c") {
-        let tables = mm::base_sweep(scale);
-        for (i, id) in ["fig4a", "fig4b", "fig4c"].iter().enumerate() {
-            if want(id) {
-                emit(tables[i].clone());
-            }
+    let mut group = |group_ids: &[&'static str],
+                     compute: &dyn Fn(&ReplicationOptions) -> Vec<Table>| {
+        let wanted: Vec<&'static str> = group_ids.iter().copied().filter(|id| want(id)).collect();
+        if wanted.is_empty() {
+            return;
         }
-    }
-    if want("fig4d") || want("fig4e") {
-        let tables = mm::high_variance_sweep(scale);
-        for (i, id) in ["fig4d", "fig4e"].iter().enumerate() {
-            if want(id) {
-                emit(tables[i].clone());
-            }
-        }
-    }
-    if want("fig4f") {
-        emit(mm::db_size_sweep(scale));
-    }
-    if want("fig5a") {
-        emit(mm::penalty_weight_sweep(scale));
-    }
-    if want("table2") {
-        emit(disk::table2());
-    }
-    if want("fig5b") || want("fig5c") || want("fig5d") {
-        let tables = disk::base_sweep(scale);
-        // sweep emits [fig5b, fig5d, fig5c]; present in figure order.
-        for (i, id) in ["fig5b", "fig5d", "fig5c"].iter().enumerate() {
-            if want(id) {
-                emit(tables[i].clone());
-            }
-        }
-    }
-    if want("fig5e") {
-        emit(disk::db_size_sweep(scale));
-    }
-    if want("fig5f") {
-        emit(disk::penalty_weight_sweep(scale));
-    }
-    if want("ablate-recovery") {
-        emit(ablate::recovery_cost(scale));
-    }
-    if want("ablate-iowait") {
-        emit(ablate::iowait_mechanism(scale));
-    }
-    if want("ablate-policies") {
-        emit(ablate::policy_zoo(scale));
-    }
-    if want("ablate-disk-sched") {
-        emit(ablate::disk_scheduling(scale));
-    }
-    if want("ext-shared-locks") {
-        emit(ablate::shared_locks(scale));
-    }
-    if want("ext-criticality") {
-        emit(ablate::criticality_classes(scale));
-    }
-    if want("ext-branching") {
-        emit(ablate::branching_workload(scale));
-    }
+        let timer = Arc::new(ReplicationTimer::new());
+        let timed = opts.clone().with_timer(Arc::clone(&timer));
+        let start = Instant::now();
+        let tables: Vec<Table> = compute(&timed)
+            .into_iter()
+            .filter(|t| want(&t.title))
+            .collect();
+        emit(GroupReport {
+            ids: wanted,
+            tables,
+            runs: timer.runs(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            busy_seconds: timer.busy().as_secs_f64(),
+        });
+    };
+
+    group(&["table1"], &|_| vec![mm::table1()]);
+    group(&["fig4a", "fig4b", "fig4c"], &|o| mm::base_sweep(scale, o));
+    group(&["fig4d", "fig4e"], &|o| mm::high_variance_sweep(scale, o));
+    group(&["fig4f"], &|o| vec![mm::db_size_sweep(scale, o)]);
+    group(&["fig5a"], &|o| vec![mm::penalty_weight_sweep(scale, o)]);
+    group(&["table2"], &|_| vec![disk::table2()]);
+    // The disk sweep emits [fig5b, fig5d, fig5c] (figure order differs
+    // from column order in the paper); emission order is preserved.
+    group(&["fig5b", "fig5d", "fig5c"], &|o| {
+        disk::base_sweep(scale, o)
+    });
+    group(&["fig5e"], &|o| vec![disk::db_size_sweep(scale, o)]);
+    group(&["fig5f"], &|o| vec![disk::penalty_weight_sweep(scale, o)]);
+    group(&["ablate-recovery"], &|o| {
+        vec![ablate::recovery_cost(scale, o)]
+    });
+    group(&["ablate-iowait"], &|o| {
+        vec![ablate::iowait_mechanism(scale, o)]
+    });
+    group(&["ablate-policies"], &|o| {
+        vec![ablate::policy_zoo(scale, o)]
+    });
+    group(&["ablate-disk-sched"], &|o| {
+        vec![ablate::disk_scheduling(scale, o)]
+    });
+    group(&["ext-shared-locks"], &|o| {
+        vec![ablate::shared_locks(scale, o)]
+    });
+    group(&["ext-criticality"], &|o| {
+        vec![ablate::criticality_classes(scale, o)]
+    });
+    group(&["ext-branching"], &|o| {
+        vec![ablate::branching_workload(scale, o)]
+    });
 }
 
-/// Collect all tables of the requested ids (convenience over
+/// Collect all tables of the requested ids, serially (convenience over
 /// [`run_group_with`]).
 pub fn run_group(ids: &[&str], scale: Scale) -> Vec<Table> {
     let mut out = Vec::new();
-    run_group_with(ids, scale, |t| out.push(t));
+    run_group_with(ids, scale, &ReplicationOptions::serial(), |report| {
+        out.extend(report.tables)
+    });
     out
 }
 
@@ -134,10 +200,10 @@ pub(crate) struct Pair {
 
 /// Run EDF-HP and CCA(base) on the same configuration and replication
 /// count.
-pub(crate) fn compare(cfg: &SimConfig, reps: usize) -> Pair {
+pub(crate) fn compare(cfg: &SimConfig, reps: usize, opts: &ReplicationOptions) -> Pair {
     Pair {
-        edf: run_replications(cfg, &EdfHp, reps),
-        cca: run_replications(cfg, &Cca::base(), reps),
+        edf: run_replications_with(cfg, &EdfHp, reps, opts),
+        cca: run_replications_with(cfg, &Cca::base(), reps, opts),
     }
 }
 
@@ -154,4 +220,3 @@ impl Pair {
         )
     }
 }
-

@@ -83,7 +83,10 @@ pub fn render_chart(table: &Table, width: usize, height: usize) -> Option<String
     }
 
     let mut out = String::new();
-    out.push_str(&format!("{} (y: {:.2}..{:.2})\n", table.title, y_min, y_max));
+    out.push_str(&format!(
+        "{} (y: {:.2}..{:.2})\n",
+        table.title, y_min, y_max
+    ));
     for (i, row) in grid.iter().enumerate() {
         let label = if i == 0 {
             format!("{y_max:8.1} |")
@@ -105,7 +108,11 @@ pub fn render_chart(table: &Table, width: usize, height: usize) -> Option<String
     ));
     // Legend.
     for (si, name) in table.header[1..].iter().enumerate() {
-        out.push_str(&format!("          {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        out.push_str(&format!(
+            "          {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            name
+        ));
     }
     Some(out)
 }

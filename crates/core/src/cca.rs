@@ -88,7 +88,13 @@ mod tests {
     use rtx_rtdb::txn::{Stage, TxnId, TxnState};
     use rtx_sim::time::{SimDuration, SimTime};
 
-    fn mk(id: u32, deadline_ms: f64, might: &[u32], accessed: &[u32], service_ms: f64) -> Transaction {
+    fn mk(
+        id: u32,
+        deadline_ms: f64,
+        might: &[u32],
+        accessed: &[u32],
+        service_ms: f64,
+    ) -> Transaction {
         Transaction {
             id: TxnId(id),
             ty: TypeId(0),

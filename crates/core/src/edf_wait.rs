@@ -81,9 +81,9 @@ mod tests {
     #[test]
     fn any_conflict_loses_to_any_deadline() {
         let txns = vec![
-            mk(0, 10.0, &[1], &[1]),    // partial
-            mk(1, 20.0, &[1], &[]),     // conflicts, urgent deadline
-            mk(2, 99999.0, &[9], &[]),  // conflict-free, distant deadline
+            mk(0, 10.0, &[1], &[1]),   // partial
+            mk(1, 20.0, &[1], &[]),    // conflicts, urgent deadline
+            mk(2, 99999.0, &[9], &[]), // conflict-free, distant deadline
         ];
         let v = SystemView {
             now: SimTime::ZERO,

@@ -38,7 +38,7 @@
 //! assert_eq!(cca.committed, edf.committed);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cca;

@@ -121,7 +121,10 @@ impl<'t> Cursor<'t> {
     pub fn choose(&mut self, branch: usize) {
         match self.next_action() {
             NextAction::Decide(n) => {
-                assert!(branch < n, "branch {branch} out of range (decision has {n})");
+                assert!(
+                    branch < n,
+                    "branch {branch} out of range (decision has {n})"
+                );
                 self.node = self.tree.children(self.node)[branch];
                 self.step = 0;
             }

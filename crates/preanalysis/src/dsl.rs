@@ -282,9 +282,9 @@ impl Parser {
                             }
                             Some(other) => {
                                 let other = other.clone();
-                                return Err(
-                                    self.err(format!("expected `{{` or `}}` in branch list, found {other:?}"))
-                                );
+                                return Err(self.err(format!(
+                                    "expected `{{` or `}}` in branch list, found {other:?}"
+                                )));
                             }
                             None => return Err(self.err("unterminated branch list")),
                         }
@@ -435,15 +435,16 @@ mod tests {
     fn error_empty_input() {
         let err = parse_programs("  \n # only a comment\n").unwrap_err();
         assert!(err.message.contains("no programs"), "{err}");
-        assert_eq!(err.to_string(), "parse error at end of input: input contains no programs");
+        assert_eq!(
+            err.to_string(),
+            "parse error at end of input: input contains no programs"
+        );
     }
 
     #[test]
     fn shared_interner_across_programs() {
-        let (programs, interner) = parse_programs(
-            "program X { access a b } program Y { access b c }",
-        )
-        .unwrap();
+        let (programs, interner) =
+            parse_programs("program X { access a b } program Y { access b c }").unwrap();
         let xb = programs[0].data_set();
         let yb = programs[1].data_set();
         assert!(xb.intersects(&yb));

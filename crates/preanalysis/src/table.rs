@@ -54,7 +54,8 @@ impl<T: Copy> Matrix<T> {
 impl AnalysisSet {
     /// Pre-analyze all `programs`.
     pub fn new(programs: &[Program]) -> Self {
-        let trees: Vec<TransactionTree> = programs.iter().map(TransactionTree::from_program).collect();
+        let trees: Vec<TransactionTree> =
+            programs.iter().map(TransactionTree::from_program).collect();
         let n = trees.len();
         let mut conflict_tab = Vec::with_capacity(n);
         let mut safety_tab = Vec::with_capacity(n);
@@ -151,15 +152,9 @@ mod tests {
         let (a, b) = (TypeId(0), TypeId(1));
         for na in set.tree(a).node_ids() {
             for nb in set.tree(b).node_ids() {
-                let direct = conflict(
-                    Position::at(set.tree(a), na),
-                    Position::at(set.tree(b), nb),
-                );
+                let direct = conflict(Position::at(set.tree(a), na), Position::at(set.tree(b), nb));
                 assert_eq!(set.conflict_at(a, na, b, nb), direct);
-                let direct_s = safety(
-                    Position::at(set.tree(a), na),
-                    Position::at(set.tree(b), nb),
-                );
+                let direct_s = safety(Position::at(set.tree(a), na), Position::at(set.tree(b), nb));
                 assert_eq!(set.safety_at(a, na, b, nb), direct_s);
             }
         }
@@ -186,10 +181,7 @@ mod tests {
         let (a, b) = (TypeId(0), TypeId(1));
         for na in set.tree(a).node_ids() {
             for nb in set.tree(b).node_ids() {
-                assert_eq!(
-                    set.conflict_at(a, na, b, nb),
-                    set.conflict_at(b, nb, a, na)
-                );
+                assert_eq!(set.conflict_at(a, na, b, nb), set.conflict_at(b, nb, a, na));
             }
         }
     }
@@ -199,10 +191,7 @@ mod tests {
         // The paper's workload shape: 50 straight-line types.
         let programs: Vec<Program> = (0..50)
             .map(|k| {
-                Program::straight_line(
-                    format!("T{k}"),
-                    (0..5u32).map(|i| ItemId((k * 3 + i) % 30)),
-                )
+                Program::straight_line(format!("T{k}"), (0..5u32).map(|i| ItemId((k * 3 + i) % 30)))
             })
             .collect();
         let set = AnalysisSet::new(&programs);

@@ -233,8 +233,7 @@ impl SimConfig {
         match &self.system.disk {
             None => 0.0,
             Some(d) => {
-                arrival_tps * self.workload.updates_mean * d.access_prob * d.access_time_ms
-                    / 1000.0
+                arrival_tps * self.workload.updates_mean * d.access_prob * d.access_time_ms / 1000.0
             }
         }
     }
@@ -312,10 +311,22 @@ mod tests {
     #[test]
     fn class_assignment_round_robin() {
         let hv = SimConfig::mm_high_variance();
-        assert_eq!(hv.workload.update_time_for_type(0), SimDuration::from_ms(0.4));
-        assert_eq!(hv.workload.update_time_for_type(1), SimDuration::from_ms(4.0));
-        assert_eq!(hv.workload.update_time_for_type(2), SimDuration::from_ms(40.0));
-        assert_eq!(hv.workload.update_time_for_type(3), SimDuration::from_ms(0.4));
+        assert_eq!(
+            hv.workload.update_time_for_type(0),
+            SimDuration::from_ms(0.4)
+        );
+        assert_eq!(
+            hv.workload.update_time_for_type(1),
+            SimDuration::from_ms(4.0)
+        );
+        assert_eq!(
+            hv.workload.update_time_for_type(2),
+            SimDuration::from_ms(40.0)
+        );
+        assert_eq!(
+            hv.workload.update_time_for_type(3),
+            SimDuration::from_ms(0.4)
+        );
     }
 
     #[test]

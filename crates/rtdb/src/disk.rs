@@ -125,7 +125,10 @@ impl Disk {
     /// # Panics
     /// Panics if no transfer was active.
     pub fn complete(&mut self, now: SimTime) -> (TxnId, DiskAction) {
-        let done = self.active.take().expect("complete() with no active transfer");
+        let done = self
+            .active
+            .take()
+            .expect("complete() with no active transfer");
         self.busy += now.since(self.active_since);
         self.completed += 1;
         let next_idx = match self.discipline {
@@ -255,10 +258,8 @@ mod tests {
 
     #[test]
     fn edf_discipline_services_earliest_deadline_first() {
-        let mut d = Disk::with_discipline(
-            SimDuration::from_ms(25.0),
-            DiskDiscipline::EarliestDeadline,
-        );
+        let mut d =
+            Disk::with_discipline(SimDuration::from_ms(25.0), DiskDiscipline::EarliestDeadline);
         assert_eq!(d.discipline(), DiskDiscipline::EarliestDeadline);
         d.enqueue(TxnId(1), 500, ms(0.0)); // active immediately
         d.enqueue(TxnId(2), 300, ms(1.0));
@@ -274,10 +275,8 @@ mod tests {
 
     #[test]
     fn edf_discipline_breaks_key_ties_by_arrival() {
-        let mut d = Disk::with_discipline(
-            SimDuration::from_ms(25.0),
-            DiskDiscipline::EarliestDeadline,
-        );
+        let mut d =
+            Disk::with_discipline(SimDuration::from_ms(25.0), DiskDiscipline::EarliestDeadline);
         d.enqueue(TxnId(1), 0, ms(0.0));
         d.enqueue(TxnId(2), 100, ms(1.0));
         d.enqueue(TxnId(3), 100, ms(2.0));

@@ -239,8 +239,7 @@ impl<'p> EngineState<'p> {
                         }
                         LockOutcome::HeldBy(holders) => {
                             debug_assert!(!holders.contains(&id));
-                            let all_beaten =
-                                holders.iter().all(|&h| self.beats(id, h));
+                            let all_beaten = holders.iter().all(|&h| self.beats(id, h));
                             if all_beaten {
                                 // HP: "whenever a data conflict occurs, the
                                 // running transaction aborts the conflicting
@@ -300,10 +299,16 @@ impl<'p> EngineState<'p> {
                             debug_assert_eq!(tid, id);
                             self.txn_mut(id).state = TxnState::IoActive;
                             self.calendar.schedule(at, Event::IoDone(tid));
-                            self.emit(|| TraceEvent::IoIssued { txn: id, queued: false });
+                            self.emit(|| TraceEvent::IoIssued {
+                                txn: id,
+                                queued: false,
+                            });
                         }
                         DiskAction::None => {
-                            self.emit(|| TraceEvent::IoIssued { txn: id, queued: true });
+                            self.emit(|| TraceEvent::IoIssued {
+                                txn: id,
+                                queued: true,
+                            });
                         }
                     }
                     self.update_queue_metrics();
@@ -382,9 +387,7 @@ impl<'p> EngineState<'p> {
         for idx in 0..self.active.len() {
             let id = self.active[idx];
             let t = self.txn(id);
-            if t.state == TxnState::LockWait
-                && t.waiting_for.is_some_and(|w| items.contains(&w))
-            {
+            if t.state == TxnState::LockWait && t.waiting_for.is_some_and(|w| items.contains(&w)) {
                 let t = self.txn_mut(id);
                 t.state = TxnState::Ready;
                 t.waiting_for = None;
@@ -527,7 +530,8 @@ impl<'p> EngineState<'p> {
             .copied()
             .filter(|&id| self.txn(id).is_runnable())
             .filter(|&id| !self.policy.iowait_restrict() || self.compatible_with_plist(id));
-        self.best_by_priority(candidates, &view).map(|id| (id, true))
+        self.best_by_priority(candidates, &view)
+            .map(|id| (id, true))
     }
 
     /// Highest-priority transaction among `ids`; ties broken by earlier
@@ -923,7 +927,11 @@ mod tests {
     fn heavy_load_causes_misses_and_restarts() {
         let cfg = small_mm(5, 10.0, 300);
         let s = run_simulation(&cfg, &Edf);
-        assert!(s.miss_percent > 1.0, "expected misses, got {}", s.miss_percent);
+        assert!(
+            s.miss_percent > 1.0,
+            "expected misses, got {}",
+            s.miss_percent
+        );
         assert!(s.restarts_total > 0, "expected aborts under contention");
         assert!(s.cpu_utilization > 0.5);
     }

@@ -42,7 +42,7 @@
 //! assert_eq!(summary.committed, 50);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
@@ -59,11 +59,16 @@ pub mod workload;
 
 pub use config::{DiskConfig, RunConfig, SimConfig, SystemConfig, WorkloadConfig};
 pub use disk::DiskDiscipline;
-pub use engine::{run_simulation, run_simulation_from, run_simulation_traced, run_simulation_validated};
-pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use engine::{
+    run_simulation, run_simulation_from, run_simulation_traced, run_simulation_validated,
+};
 pub use metrics::RunSummary;
 pub use policy::{Policy, Priority, SystemView};
-pub use runner::{improvement_percent, run_replications, AggregateSummary};
+pub use runner::{
+    aggregate, improvement_percent, run_one, run_replications, run_replications_with, run_seeds,
+    AggregateSummary, Parallelism, ReplicationOptions, ReplicationTimer,
+};
 pub use source::{ReplaySource, TxnSource};
+pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use txn::{DecisionSpec, Stage, Transaction, TxnId, TxnState};
 pub use workload::{ArrivalGenerator, TxnType, TypeTable};

@@ -107,8 +107,7 @@ impl LockTable {
                 LockOutcome::Granted
             }
             (Slot::Shared(holders), LockMode::Exclusive) => {
-                let others: Vec<TxnId> =
-                    holders.iter().copied().filter(|&h| h != txn).collect();
+                let others: Vec<TxnId> = holders.iter().copied().filter(|&h| h != txn).collect();
                 if others.is_empty() {
                     // Upgrade: the requester is the sole shared holder.
                     debug_assert!(holders.contains(&txn));
@@ -219,7 +218,10 @@ mod tests {
     #[test]
     fn exclusive_grant_and_conflict() {
         let mut lt = LockTable::new(10);
-        assert_eq!(lt.request(TxnId(1), ItemId(3), Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), ItemId(3), Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lt.holders(ItemId(3)), (vec![TxnId(1)], true));
         assert_eq!(
             lt.request(TxnId(2), ItemId(3), Exclusive),
@@ -236,9 +238,18 @@ mod tests {
     #[test]
     fn shared_locks_are_compatible() {
         let mut lt = LockTable::new(10);
-        assert_eq!(lt.request(TxnId(1), ItemId(0), Shared), LockOutcome::Granted);
-        assert_eq!(lt.request(TxnId(2), ItemId(0), Shared), LockOutcome::Granted);
-        assert_eq!(lt.request(TxnId(3), ItemId(0), Shared), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), ItemId(0), Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(TxnId(2), ItemId(0), Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(TxnId(3), ItemId(0), Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lt.held_count(), 3);
         let (holders, exclusive) = lt.holders(ItemId(0));
         assert_eq!(holders, vec![TxnId(1), TxnId(2), TxnId(3)]);
@@ -261,12 +272,21 @@ mod tests {
     fn reentrant_requests_idempotent() {
         let mut lt = LockTable::new(10);
         lt.request(TxnId(1), ItemId(3), Exclusive);
-        assert_eq!(lt.request(TxnId(1), ItemId(3), Exclusive), LockOutcome::Granted);
-        assert_eq!(lt.request(TxnId(1), ItemId(3), Shared), LockOutcome::Granted,
-            "read after write is covered by the exclusive lock");
+        assert_eq!(
+            lt.request(TxnId(1), ItemId(3), Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(TxnId(1), ItemId(3), Shared),
+            LockOutcome::Granted,
+            "read after write is covered by the exclusive lock"
+        );
         assert_eq!(lt.held_count(), 1);
         lt.request(TxnId(2), ItemId(4), Shared);
-        assert_eq!(lt.request(TxnId(2), ItemId(4), Shared), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(2), ItemId(4), Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lt.held_count(), 2);
     }
 
@@ -274,7 +294,10 @@ mod tests {
     fn upgrade_sole_reader_granted() {
         let mut lt = LockTable::new(10);
         lt.request(TxnId(1), ItemId(0), Shared);
-        assert_eq!(lt.request(TxnId(1), ItemId(0), Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), ItemId(0), Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lt.holders(ItemId(0)), (vec![TxnId(1)], true));
         assert_eq!(lt.held_count(), 1);
         lt.check_invariants().unwrap();

@@ -162,7 +162,13 @@ impl MetricsCollector {
             miss_percent_by_class: self
                 .class_counts
                 .iter()
-                .map(|&(c, m)| if c == 0 { 0.0 } else { 100.0 * m as f64 / c as f64 })
+                .map(|&(c, m)| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        100.0 * m as f64 / c as f64
+                    }
+                })
                 .collect(),
             mean_plist_len: self.plist_len.mean_until(end.as_ms()),
             max_plist_len: self.plist_len.max(),
@@ -261,7 +267,10 @@ mod tests {
         assert_eq!(s.committed, 2);
         assert!((s.miss_percent - 50.0).abs() < 1e-9);
         assert!((s.mean_lateness_ms - 25.0).abs() < 1e-9, "(0 + 50)/2");
-        assert!((s.mean_signed_lateness_ms - 15.0).abs() < 1e-9, "(-20 + 50)/2");
+        assert!(
+            (s.mean_signed_lateness_ms - 15.0).abs() < 1e-9,
+            "(-20 + 50)/2"
+        );
         assert!((s.mean_tardiness_missed_ms - 50.0).abs() < 1e-9);
         assert!((s.mean_response_ms - 115.0).abs() < 1e-9);
         assert_eq!(s.max_lateness_ms, 50.0);

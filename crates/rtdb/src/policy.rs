@@ -63,7 +63,19 @@ impl<'a> SystemView<'a> {
 /// A real-time transaction scheduling policy: one priority assignment
 /// plus the choice of whether `IOwait-schedule` restricts execution during
 /// IO waits to conflict-free transactions.
-pub trait Policy {
+///
+/// # Thread safety
+///
+/// `Policy: Sync` so one `&dyn Policy` can be shared by the replication
+/// runner's worker threads (each seeded run borrows the same policy
+/// concurrently). The engine only ever takes `&self`, so a policy must be
+/// safe to *read* from many threads; in practice every policy in
+/// `rtx-core` is a plain value type (a few `f64` weights at most) and is
+/// trivially `Sync`. A policy that wants interior mutable state (caches,
+/// statistics) must synchronise it itself — and must keep `priority` a
+/// pure function of `(txn, view)` per run, or cross-replication
+/// determinism is lost.
+pub trait Policy: Sync {
     /// Short policy name for reports ("CCA", "EDF-HP", …).
     fn name(&self) -> &str;
 
@@ -86,10 +98,10 @@ pub trait Policy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::{Stage, TxnState};
     use rtx_preanalysis::sets::DataSet;
     use rtx_preanalysis::table::TypeId;
     use rtx_preanalysis::ItemId;
-    use crate::txn::{Stage, TxnState};
 
     fn mk_txn(id: u32, accessed: &[u32]) -> Transaction {
         Transaction {

@@ -176,10 +176,7 @@ impl Transaction {
 
     /// Does the current update need a disk access?
     pub fn current_needs_io(&self) -> bool {
-        self.io_pattern
-            .get(self.progress)
-            .copied()
-            .unwrap_or(false)
+        self.io_pattern.get(self.progress).copied().unwrap_or(false)
     }
 
     /// Lock mode of the current update (exclusive when no modes are set —
@@ -197,14 +194,9 @@ impl Transaction {
         if self.modes.is_empty() {
             return self.might_access.intersects(set);
         }
-        self.items
-            .iter()
-            .zip(&self.modes)
-            .any(|(item, mode)| {
-                *mode == LockMode::Exclusive
-                    && self.might_access.contains(*item)
-                    && set.contains(*item)
-            })
+        self.items.iter().zip(&self.modes).any(|(item, mode)| {
+            *mode == LockMode::Exclusive && self.might_access.contains(*item) && set.contains(*item)
+        })
     }
 
     /// Mode-aware conflict test between two transactions' refinement

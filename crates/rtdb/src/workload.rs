@@ -14,7 +14,9 @@
 use rtx_preanalysis::program::Program;
 use rtx_preanalysis::sets::{DataSet, ItemId};
 use rtx_preanalysis::table::TypeId;
-use rtx_sim::dist::{bernoulli, exponential, sample_distinct, uniform_below, uniform_range, NormalSampler};
+use rtx_sim::dist::{
+    bernoulli, exponential, sample_distinct, uniform_below, uniform_range, NormalSampler,
+};
 use rtx_sim::rng::{StreamSeeder, Xoshiro256};
 use rtx_sim::time::{SimDuration, SimTime};
 
@@ -260,8 +262,7 @@ mod tests {
             assert_eq!(ty.update_time, SimDuration::from_ms(4.0));
         }
         // Mean update count should be near 20 (normal(20,10) clamped).
-        let mean =
-            table.types().iter().map(|t| t.items.len()).sum::<usize>() as f64 / 50.0;
+        let mean = table.types().iter().map(|t| t.items.len()).sum::<usize>() as f64 / 50.0;
         assert!((mean - 20.0).abs() < 4.0, "mean items {mean}");
     }
 
@@ -276,7 +277,11 @@ mod tests {
             assert_eq!(a.items, b.items);
         }
         // Different seeds → (almost surely) different tables.
-        assert!(t1.types().iter().zip(t2.types()).any(|(a, b)| a.items != b.items));
+        assert!(t1
+            .types()
+            .iter()
+            .zip(t2.types())
+            .any(|(a, b)| a.items != b.items));
     }
 
     #[test]
@@ -324,8 +329,13 @@ mod tests {
             assert_eq!(rt, t.update_time * t.items.len() as u64);
             let lo = t.arrival + rt.scale(1.2);
             let hi = t.arrival + rt.scale(9.0);
-            assert!(t.deadline >= lo && t.deadline <= hi,
-                "deadline {:?} outside [{:?}, {:?}]", t.deadline, lo, hi);
+            assert!(
+                t.deadline >= lo && t.deadline <= hi,
+                "deadline {:?} outside [{:?}, {:?}]",
+                t.deadline,
+                lo,
+                hi
+            );
         }
     }
 

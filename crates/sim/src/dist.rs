@@ -149,8 +149,10 @@ mod tests {
     #[test]
     fn uniform_range_mean() {
         let mut r = rng();
-        let mean: f64 =
-            (0..50_000).map(|_| uniform_range(&mut r, 2.0, 8.0)).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000)
+            .map(|_| uniform_range(&mut r, 2.0, 8.0))
+            .sum::<f64>()
+            / 50_000.0;
         assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
     }
 

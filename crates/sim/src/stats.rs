@@ -244,6 +244,25 @@ impl Replications {
         self.values.push(value);
     }
 
+    /// Record every value from `values`, in iteration order.
+    ///
+    /// Equivalent to calling [`record`](Self::record) once per value;
+    /// useful when a batch of replications was collected elsewhere (e.g.
+    /// on worker threads) and is being folded back in a fixed order.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        self.values.extend(values);
+    }
+
+    /// Append all of `other`'s values after this set's, preserving order
+    /// within each.
+    ///
+    /// Merging partitions of a value sequence in partition order yields
+    /// exactly the state produced by recording the original sequence
+    /// serially, so estimates are bit-identical.
+    pub fn merge(&mut self, other: &Replications) {
+        self.values.extend_from_slice(&other.values);
+    }
+
     /// Number of replications recorded.
     pub fn count(&self) -> usize {
         self.values.len()
@@ -422,6 +441,39 @@ mod tests {
         let e = r.estimate();
         assert!((e.mean - 0.5).abs() < 1e-12);
         assert!(e.half_width > 0.09 && e.half_width < 0.11);
+    }
+
+    #[test]
+    fn replications_merge_equals_serial_recording() {
+        // Recording a sequence serially and merging ordered partitions of
+        // it must produce bit-identical estimates (same fp operand order).
+        let values = [3.25, -1.5, 0.125, 7.75, 2.0, -0.0625, 4.5];
+        let mut serial = Replications::new();
+        serial.record_all(values);
+
+        for split in 0..=values.len() {
+            let mut left = Replications::new();
+            left.record_all(values[..split].iter().copied());
+            let mut right = Replications::new();
+            right.record_all(values[split..].iter().copied());
+            left.merge(&right);
+            assert_eq!(left.values(), serial.values());
+            let (a, b) = (left.estimate(), serial.estimate());
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.half_width, b.half_width);
+            assert_eq!(a.n, b.n);
+        }
+    }
+
+    #[test]
+    fn record_all_matches_repeated_record() {
+        let mut a = Replications::new();
+        a.record_all([1.0, 2.0, 3.0]);
+        let mut b = Replications::new();
+        for v in [1.0, 2.0, 3.0] {
+            b.record(v);
+        }
+        assert_eq!(a.values(), b.values());
     }
 
     #[test]

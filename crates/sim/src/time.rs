@@ -296,11 +296,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
-            SimTime::from_ms(2.0),
-            SimTime::ZERO,
-            SimTime::from_ms(1.0),
-        ];
+        let mut v = vec![SimTime::from_ms(2.0), SimTime::ZERO, SimTime::from_ms(1.0)];
         v.sort();
         assert_eq!(
             v,

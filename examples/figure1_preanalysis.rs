@@ -43,11 +43,7 @@ fn main() {
     let t_root = Position::at_root(&transfer);
     for node in audit.node_ids() {
         let rel = conflict(Position::at(&audit, node), t_root);
-        println!(
-            "audit@{:<7} vs transfer: {}",
-            audit.label(node),
-            rel
-        );
+        println!("audit@{:<7} vs transfer: {}", audit.label(node), rel);
     }
     // The paper's three cases:
     assert_eq!(

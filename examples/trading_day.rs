@@ -17,12 +17,12 @@
 //! with [`ReplaySource`] and compares the policies at rising load.
 
 use rtx::policies::{Cca, EdfHp};
+use rtx::preanalysis::TypeId;
 use rtx::preanalysis::{DataSet, ItemId};
+use rtx::rtdb::Policy;
 use rtx::rtdb::{
     run_simulation_from, ReplaySource, SimConfig, Stage, Transaction, TxnId, TxnState,
 };
-use rtx::preanalysis::TypeId;
-use rtx::rtdb::Policy;
 use rtx::sim::dist::{exponential, sample_distinct, uniform_range};
 use rtx::sim::rng::StreamSeeder;
 use rtx::sim::{SimDuration, SimTime};
@@ -37,9 +37,24 @@ struct Class {
 }
 
 const CLASSES: [Class; 3] = [
-    Class { updates: 2, update_ms: 1.0, slack: (0.5, 2.0), share: 0.6 },   // quote
-    Class { updates: 8, update_ms: 2.0, slack: (1.0, 4.0), share: 0.3 },   // match
-    Class { updates: 25, update_ms: 4.0, slack: (3.0, 10.0), share: 0.1 }, // rebalance
+    Class {
+        updates: 2,
+        update_ms: 1.0,
+        slack: (0.5, 2.0),
+        share: 0.6,
+    }, // quote
+    Class {
+        updates: 8,
+        update_ms: 2.0,
+        slack: (1.0, 4.0),
+        share: 0.3,
+    }, // match
+    Class {
+        updates: 25,
+        update_ms: 4.0,
+        slack: (3.0, 10.0),
+        share: 0.1,
+    }, // rebalance
 ];
 
 fn build_day(rate_tps: f64, n: usize, seed: u64) -> Vec<Transaction> {

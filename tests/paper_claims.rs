@@ -154,10 +154,7 @@ fn penalty_weight_stability() {
     let base = run_replications(&cfg, &Cca::new(1.0), 8).miss_percent.mean;
     for w in [0.5, 2.0, 5.0, 10.0, 20.0] {
         let m = run_replications(&cfg, &Cca::new(w), 8).miss_percent.mean;
-        assert!(
-            m < base + 12.0,
-            "w={w}: miss {m}% far above base {base}%"
-        );
+        assert!(m < base + 12.0, "w={w}: miss {m}% far above base {base}%");
     }
 }
 

@@ -63,15 +63,21 @@ fn build(specs: &[TxnSpec], cfg: &SimConfig, with_modes: bool) -> Vec<Transactio
             } else {
                 Vec::new()
             };
-            let io_time = SimDuration::from_ms(25.0)
-                * io_pattern.iter().filter(|&&b| b).count() as u64;
+            let io_time =
+                SimDuration::from_ms(25.0) * io_pattern.iter().filter(|&&b| b).count() as u64;
             let resource_time = update_time * items.len() as u64 + io_time;
             let might: DataSet = items.iter().copied().collect();
             let modes: Vec<LockMode> = if with_modes {
                 items
                     .iter()
                     .zip(&spec.reads)
-                    .map(|(_, &r)| if r { LockMode::Shared } else { LockMode::Exclusive })
+                    .map(|(_, &r)| {
+                        if r {
+                            LockMode::Shared
+                        } else {
+                            LockMode::Exclusive
+                        }
+                    })
                     .collect()
             } else {
                 Vec::new()

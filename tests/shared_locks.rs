@@ -116,9 +116,9 @@ fn cca_still_at_or_below_edf_with_shared_locks() {
 #[test]
 fn written_is_subset_of_accessed_oracle() {
     // Mode-aware oracle sanity via the public transaction API.
+    use rtx::preanalysis::TypeId;
     use rtx::preanalysis::{DataSet, ItemId};
     use rtx::rtdb::{Stage, Transaction, TxnId, TxnState};
-    use rtx::preanalysis::TypeId;
     use rtx::sim::{SimDuration, SimTime};
     let t = Transaction {
         id: TxnId(0),

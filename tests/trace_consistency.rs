@@ -72,7 +72,10 @@ fn per_transaction_sequences_well_formed() {
         // First event is the arrival, last is the commit (abort events of
         // other txns it caused can be interleaved).
         assert!(
-            matches!(events.first().map(|r| &r.event), Some(TraceEvent::Arrival { .. })),
+            matches!(
+                events.first().map(|r| &r.event),
+                Some(TraceEvent::Arrival { .. })
+            ),
             "T{id} must start with its arrival"
         );
         let commits = events
@@ -97,7 +100,13 @@ fn per_transaction_sequences_well_formed() {
 fn secondary_dispatches_only_on_disk() {
     let (_, mm_trace) = run_simulation_traced(&mm(5, 9.0, 100), &Cca::base());
     assert_eq!(
-        mm_trace.count(|e| matches!(e, TraceEvent::Dispatch { secondary: true, .. })),
+        mm_trace.count(|e| matches!(
+            e,
+            TraceEvent::Dispatch {
+                secondary: true,
+                ..
+            }
+        )),
         0,
         "no IO waits on main memory, so no secondaries"
     );
@@ -106,7 +115,13 @@ fn secondary_dispatches_only_on_disk() {
     // no compatible transaction on the db=30 hell-workload.)
     let (_, disk_trace) = run_simulation_traced(&disk(5, 5.0, 100), &EdfHp);
     assert!(
-        disk_trace.count(|e| matches!(e, TraceEvent::Dispatch { secondary: true, .. })) > 0,
+        disk_trace.count(|e| matches!(
+            e,
+            TraceEvent::Dispatch {
+                secondary: true,
+                ..
+            }
+        )) > 0,
         "disk runs must exercise IO-wait scheduling"
     );
 }

@@ -1,0 +1,71 @@
+//! `Option` strategies (`proptest::option::{of, weighted}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<S::Value>` with a fixed `Some` probability.
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+/// `Some` with probability 0.5, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.5, inner)
+}
+
+/// `Some` with probability `some_probability`, `None` otherwise.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "probability out of range"
+    );
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.some_probability {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn weighted_respects_extremes() {
+        let mut rng = TestRng::for_case(11, 0);
+        let always = weighted(1.0, Just(1u8));
+        let never = weighted(0.0, Just(1u8));
+        for _ in 0..100 {
+            assert_eq!(always.generate(&mut rng), Some(1));
+            assert_eq!(never.generate(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn of_hits_both_variants() {
+        let s = of(Just(1u8));
+        let mut rng = TestRng::for_case(12, 0);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 50 && none > 50, "some={some} none={none}");
+    }
+}

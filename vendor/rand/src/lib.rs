@@ -1,0 +1,62 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The container this repository builds in has no network access to a
+//! crates.io mirror, so the workspace vendors the *tiny* slice of the
+//! `rand` 0.8 API it actually uses: the [`RngCore`] trait (implemented by
+//! `rtx_sim::rng::Xoshiro256`) and the [`Error`] type its fallible method
+//! returns. The trait signatures match `rand` 0.8 exactly, so swapping the
+//! real crate back in is a one-line `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+///
+/// The in-repo generators are infallible, so this is never constructed;
+/// it exists to keep the `rand` 0.8 signatures intact.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as defined by `rand` 0.8.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fill `dest` with random data, reporting failure via `Error`.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
