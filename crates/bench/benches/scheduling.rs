@@ -38,6 +38,9 @@ fn mk_txn(id: u32, items: &[u32], accessed: &[u32], service_ms: f64) -> Transact
         decision: None,
         criticality: 0,
         doomed: false,
+        doomed_at: SimTime::ZERO,
+        io_retries: 0,
+        retry_token: 0,
         finish: None,
     }
 }

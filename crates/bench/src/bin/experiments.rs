@@ -1,12 +1,18 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--plot] [--jobs N] [--out DIR] <id>... | all | list
+//! experiments [--quick] [--plot] [--jobs N] [--out DIR]
+//!             [--faults] [--admission] <id>... | all | list
 //! ```
 //!
 //! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
 //! fig5c fig5d fig5e fig5f ablate-recovery ablate-iowait ablate-policies
 //! ablate-disk-sched ext-shared-locks ext-criticality ext-branching
+//! faults faults-admission
+//!
+//! `--faults` and `--admission` are shorthands that enqueue the
+//! fault-injection robustness sweeps (`faults` and `faults-admission`
+//! respectively) alongside any ids given.
 //!
 //! Replications fan out across worker threads (`--jobs N`; default: all
 //! available hardware threads; `--jobs 1` forces serial). The merge is
@@ -24,7 +30,10 @@ use rtx_bench::Scale;
 use rtx_rtdb::runner::{Parallelism, ReplicationOptions};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] <id>... | all | list");
+    eprintln!(
+        "usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] \
+         [--faults] [--admission] <id>... | all | list"
+    );
     eprintln!("ids: {}", ALL_IDS.join(" "));
     ExitCode::FAILURE
 }
@@ -74,6 +83,8 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--plot" => plot = true,
+            "--faults" => ids.push("faults".to_string()),
+            "--admission" => ids.push("faults-admission".to_string()),
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return usage(),

@@ -361,6 +361,9 @@ fn branching_workload_txns(cfg: &SimConfig, seed: u64, narrowing: bool) -> Vec<T
                 }),
                 criticality: 0,
                 doomed: false,
+                doomed_at: SimTime::ZERO,
+                io_retries: 0,
+                retry_token: 0,
                 finish: None,
             }
         })

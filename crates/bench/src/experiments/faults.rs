@@ -1,0 +1,126 @@
+//! Fault-injection and overload robustness experiments (extension).
+//!
+//! The paper evaluates CCA under clean overload; these sweeps ask what
+//! happens when the disk itself misbehaves. `faults` sweeps injected
+//! fault severity at a fixed arrival rate and reports the miss percent
+//! of EDF-HP vs CCA together with the injection accounting (faults,
+//! retries, budget-exhausted restarts, wasted disk hold). The severity
+//! knob drives the transient-error and latency-spike probabilities and,
+//! from the midpoint up, adds a recurring brownout window.
+//! `faults-admission` sweeps the arrival rate under a moderate fault
+//! plan and compares CCA with admission control off vs on, reporting
+//! the missed/rejected decomposition.
+
+use rtx_core::Cca;
+use rtx_rtdb::config::AdmissionConfig;
+use rtx_rtdb::runner::{run_replications_with, ReplicationOptions};
+use rtx_rtdb::SimConfig;
+use rtx_sim::fault::{Brownout, FaultPlan};
+
+use super::compare;
+use crate::table::Table;
+use crate::Scale;
+
+/// Replications, matching the disk-resident experiments.
+const FAULT_REPS: usize = 30;
+/// Transactions per run, matching the disk-resident experiments.
+const FAULT_TXNS: usize = 300;
+
+/// The fault plan at a given severity in `[0, 1]`.
+///
+/// Severity scales the transient-error probability up to 0.3 and the
+/// spike probability up to 0.4; severities ≥ 0.5 also switch on a
+/// brownout window covering 10% of simulated time.
+pub(crate) fn plan_at(severity: f64) -> FaultPlan {
+    let mut plan = FaultPlan {
+        error_prob: 0.3 * severity,
+        spike_prob: 0.4 * severity,
+        spike_factor: 3.0,
+        retry_budget: 3,
+        backoff_base_ms: 5.0,
+        backoff_cap_ms: 40.0,
+        brownout: None,
+    };
+    if severity >= 0.5 {
+        plan.brownout = Some(Brownout {
+            period_ms: 5_000.0,
+            duration_ms: 500.0,
+            error_prob: (2.0 * plan.error_prob).min(1.0),
+            latency_factor: 2.0,
+        });
+    }
+    plan
+}
+
+/// `faults`: miss percent and fault accounting vs injected severity at
+/// 4 tps (disk resident).
+pub fn severity_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.num_transactions = scale.txns(FAULT_TXNS);
+    cfg.run.arrival_rate_tps = 4.0;
+    let reps = scale.reps(FAULT_REPS);
+    let severities = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+
+    let mut t = Table::new(
+        "faults",
+        &[
+            "severity",
+            "edf_miss_pct",
+            "cca_miss_pct",
+            "injected_faults",
+            "io_retries",
+            "exhausted_aborts",
+            "wasted_hold_ms",
+        ],
+    );
+    for &severity in &severities {
+        cfg.system.faults = plan_at(severity);
+        let pair = compare(&cfg, reps, opts);
+        t.push_numeric_row(&[
+            severity,
+            pair.edf.miss_percent.mean,
+            pair.cca.miss_percent.mean,
+            pair.cca.injected_io_faults.mean,
+            pair.cca.io_retries.mean,
+            pair.cca.io_exhausted_aborts.mean,
+            pair.cca.wasted_disk_hold_ms.mean,
+        ]);
+    }
+    t
+}
+
+/// `faults-admission`: CCA with admission control off vs on across an
+/// overload arrival-rate sweep under a moderate (severity 0.5) plan.
+pub fn admission_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
+    let mut cfg = SimConfig::disk_base();
+    cfg.run.num_transactions = scale.txns(FAULT_TXNS);
+    cfg.system.faults = plan_at(0.5);
+    let reps = scale.reps(FAULT_REPS);
+    let rates: Vec<f64> = (2..=8).step_by(2).map(|r| r as f64).collect();
+
+    let mut t = Table::new(
+        "faults-admission",
+        &[
+            "arrival_tps",
+            "cca_miss_pct",
+            "adm_miss_pct",
+            "adm_rejected_pct",
+            "adm_restarts_per_txn",
+        ],
+    );
+    for &rate in &rates {
+        cfg.run.arrival_rate_tps = rate;
+        cfg.system.admission = None;
+        let off = run_replications_with(&cfg, &Cca::base(), reps, opts);
+        cfg.system.admission = Some(AdmissionConfig { safety_factor: 2.0 });
+        let on = run_replications_with(&cfg, &Cca::base(), reps, opts);
+        t.push_numeric_row(&[
+            rate,
+            off.miss_percent.mean,
+            on.miss_percent.mean,
+            on.rejected_percent.mean,
+            on.restarts_per_txn.mean,
+        ]);
+    }
+    t
+}

@@ -24,6 +24,7 @@ use crate::Scale;
 
 pub mod ablate;
 pub mod disk;
+pub mod faults;
 pub mod mm;
 
 /// All experiment ids, in presentation order.
@@ -49,6 +50,8 @@ pub const ALL_IDS: &[&str] = &[
     "ext-shared-locks",
     "ext-criticality",
     "ext-branching",
+    "faults",
+    "faults-admission",
 ];
 
 /// The output of one experiment group: its tables plus timing.
@@ -110,6 +113,8 @@ pub fn run_with(id: &str, scale: Scale, opts: &ReplicationOptions) -> Option<Vec
         "ext-shared-locks" => Some(vec![ablate::shared_locks(scale, opts)]),
         "ext-criticality" => Some(vec![ablate::criticality_classes(scale, opts)]),
         "ext-branching" => Some(vec![ablate::branching_workload(scale, opts)]),
+        "faults" => Some(vec![faults::severity_sweep(scale, opts)]),
+        "faults-admission" => Some(vec![faults::admission_sweep(scale, opts)]),
         _ => None,
     }
 }
@@ -179,6 +184,10 @@ pub fn run_group_with(
     });
     group(&["ext-branching"], &|o| {
         vec![ablate::branching_workload(scale, o)]
+    });
+    group(&["faults"], &|o| vec![faults::severity_sweep(scale, o)]);
+    group(&["faults-admission"], &|o| {
+        vec![faults::admission_sweep(scale, o)]
     });
 }
 

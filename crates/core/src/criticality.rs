@@ -88,6 +88,9 @@ mod tests {
             decision: None,
             criticality,
             doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
             finish: None,
         }
     }

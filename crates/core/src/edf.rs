@@ -58,6 +58,9 @@ mod tests {
             decision: None,
             criticality: 0,
             doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
             finish: None,
         }
     }

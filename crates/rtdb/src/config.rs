@@ -1,6 +1,10 @@
 //! Simulation parameters, mirroring Table 1 (main memory) and Table 2
-//! (disk resident) of the paper.
+//! (disk resident) of the paper, plus the robustness extensions (fault
+//! plan, admission control, run watchdog) that the paper's tables do not
+//! model.
 
+use crate::error::ConfigError;
+use rtx_sim::fault::FaultPlan;
 use rtx_sim::time::SimDuration;
 
 /// Workload-shape parameters (shared by both resident models).
@@ -43,34 +47,118 @@ impl WorkloadConfig {
         SimDuration::from_ms(self.update_time_classes_ms[class])
     }
 
-    /// Validate parameter sanity; returns a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate parameter sanity; returns the first problem found as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_types == 0 {
-            return Err("num_types must be positive".into());
+            return Err(ConfigError::ZeroTypes);
         }
         if self.db_size == 0 {
-            return Err("db_size must be positive".into());
+            return Err(ConfigError::ZeroDbSize);
         }
         if self.updates_mean <= 0.0 {
-            return Err("updates_mean must be positive".into());
+            return Err(ConfigError::NonPositiveUpdatesMean);
         }
         if self.updates_std < 0.0 {
-            return Err("updates_std cannot be negative".into());
+            return Err(ConfigError::NegativeUpdatesStd);
         }
         if self.min_slack < 0.0 || self.max_slack < self.min_slack {
-            return Err("slack range must satisfy 0 <= min <= max".into());
+            return Err(ConfigError::BadSlackRange {
+                min: self.min_slack,
+                max: self.max_slack,
+            });
         }
         if !(0.0..=1.0).contains(&self.read_probability) {
-            return Err("read_probability must be in [0,1]".into());
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "read_probability",
+                value: self.read_probability,
+            });
         }
         if !(0.0..=1.0).contains(&self.high_criticality_fraction) {
-            return Err("high_criticality_fraction must be in [0,1]".into());
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "high_criticality_fraction",
+                value: self.high_criticality_fraction,
+            });
         }
         if self.update_time_classes_ms.is_empty()
             || self.update_time_classes_ms.iter().any(|&t| t <= 0.0)
         {
-            return Err("update time classes must be positive".into());
+            return Err(ConfigError::BadUpdateTimeClasses);
+        }
+        Ok(())
+    }
+}
+
+/// Feasibility-based admission control (config-gated; `None` disables it).
+///
+/// On arrival the engine estimates whether the transaction can possibly
+/// finish by its deadline: estimated execution time plus the current
+/// penalty of conflict, inflated by `safety_factor`, must fit within the
+/// deadline. Transactions that fail the test are **rejected** — a distinct
+/// outcome class from *missed* (ran, finished late or was discarded at its
+/// deadline) — so the miss ratio decomposes into missed/aborted/rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Multiplier applied to the execution + conflict-penalty estimate
+    /// (`1.0` = admit exactly when the raw estimate fits; larger values
+    /// reject earlier).
+    pub safety_factor: f64,
+}
+
+impl AdmissionConfig {
+    /// Admission with no safety margin.
+    pub fn lenient() -> Self {
+        AdmissionConfig { safety_factor: 1.0 }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.safety_factor.is_finite() || self.safety_factor <= 0.0 {
+            return Err(ConfigError::BadAdmission(format!(
+                "safety_factor {} must be positive and finite",
+                self.safety_factor
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Hard limits on one replication, enforced by the engine's event loop.
+///
+/// A run that exceeds either limit is stopped with a typed
+/// [`crate::error::RunError`] instead of spinning forever — the backstop
+/// that lets [`crate::runner::run_seeds_checked`] merge the surviving
+/// seeds of a batch that contains a pathological one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Maximum number of calendar events the run may process.
+    pub max_events: u64,
+    /// Maximum simulated time the run may reach, ms.
+    pub max_sim_ms: f64,
+}
+
+impl WatchdogConfig {
+    /// Generous limits: far above anything a healthy run produces, low
+    /// enough to stop a livelocked one promptly.
+    pub fn generous(num_transactions: usize) -> Self {
+        WatchdogConfig {
+            max_events: (num_transactions as u64).saturating_mul(100_000).max(1),
+            max_sim_ms: 1e9,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_events == 0 {
+            return Err(ConfigError::BadWatchdog(
+                "max_events must be positive".into(),
+            ));
+        }
+        if !self.max_sim_ms.is_finite() || self.max_sim_ms <= 0.0 {
+            return Err(ConfigError::BadWatchdog(format!(
+                "max_sim_ms {} must be positive and finite",
+                self.max_sim_ms
+            )));
         }
         Ok(())
     }
@@ -119,6 +207,12 @@ pub struct SystemConfig {
     /// of 100 is far above anything the paper's policies produce (CCA and
     /// EDF-HP runs never shield), and far below livelock's thousands.
     pub starvation_threshold: u32,
+    /// Disk fault-injection plan. [`FaultPlan::none()`] (the default built
+    /// by every constructor) injects nothing and consumes no randomness,
+    /// keeping fault-free runs byte-identical to pre-fault builds.
+    pub faults: FaultPlan,
+    /// Feasibility-based admission control; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl SystemConfig {
@@ -137,6 +231,12 @@ pub struct RunConfig {
     pub num_transactions: usize,
     /// Master seed: the type table and all stochastic draws derive from it.
     pub seed: u64,
+    /// Hard event-count / sim-time limits; `None` runs unbounded.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Test hook: a run whose seed equals this value panics immediately.
+    /// Exists so the runner-hardening tests can poison exactly one
+    /// replication of a batch; never set outside tests.
+    pub poison_seed: Option<u64>,
 }
 
 /// Full configuration of one run.
@@ -170,11 +270,15 @@ impl SimConfig {
                 disk: None,
                 proportional_recovery: false,
                 starvation_threshold: 100,
+                faults: FaultPlan::none(),
+                admission: None,
             },
             run: RunConfig {
                 arrival_rate_tps: 5.0,
                 num_transactions: 1000,
                 seed: 0,
+                watchdog: None,
+                poison_seed: None,
             },
         }
     }
@@ -210,11 +314,15 @@ impl SimConfig {
                 }),
                 proportional_recovery: false,
                 starvation_threshold: 100,
+                faults: FaultPlan::none(),
+                admission: None,
             },
             run: RunConfig {
                 arrival_rate_tps: 4.0,
                 num_transactions: 300,
                 seed: 0,
+                watchdog: None,
+                poison_seed: None,
             },
         }
     }
@@ -238,28 +346,45 @@ impl SimConfig {
         }
     }
 
-    /// Validate all parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate all parameters; returns the first problem found as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.workload.validate()?;
         if self.system.abort_cost_ms < 0.0 {
-            return Err("abort cost cannot be negative".into());
+            return Err(ConfigError::NegativeAbortCost);
         }
         if self.system.starvation_threshold == 0 {
-            return Err("starvation_threshold must be positive".into());
+            return Err(ConfigError::ZeroStarvationThreshold);
         }
         if let Some(d) = &self.system.disk {
             if d.access_time_ms <= 0.0 {
-                return Err("disk access time must be positive".into());
+                return Err(ConfigError::NonPositiveDiskAccessTime);
             }
             if !(0.0..=1.0).contains(&d.access_prob) {
-                return Err("disk access probability must be in [0,1]".into());
+                return Err(ConfigError::ProbabilityOutOfRange {
+                    field: "disk access probability",
+                    value: d.access_prob,
+                });
             }
         }
+        self.system
+            .faults
+            .validate()
+            .map_err(ConfigError::BadFaultPlan)?;
+        if !self.system.faults.is_none() && self.system.disk.is_none() {
+            return Err(ConfigError::FaultsWithoutDisk);
+        }
+        if let Some(a) = &self.system.admission {
+            a.validate()?;
+        }
         if self.run.arrival_rate_tps <= 0.0 {
-            return Err("arrival rate must be positive".into());
+            return Err(ConfigError::NonPositiveArrivalRate);
         }
         if self.run.num_transactions == 0 {
-            return Err("num_transactions must be positive".into());
+            return Err(ConfigError::ZeroTransactions);
+        }
+        if let Some(w) = &self.run.watchdog {
+            w.validate()?;
         }
         Ok(())
     }
@@ -355,5 +480,74 @@ mod tests {
         let mut cfg = SimConfig::mm_base();
         cfg.workload.update_time_classes_ms = vec![];
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        use crate::error::ConfigError;
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.num_types = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroTypes));
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroTransactions));
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.workload.read_probability = -0.5;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ProbabilityOutOfRange {
+                field: "read_probability",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validation_covers_robustness_extensions() {
+        use crate::error::ConfigError;
+        use rtx_sim::fault::FaultPlan;
+
+        // Faults on a main-memory config: nothing to fault.
+        let mut cfg = SimConfig::mm_base();
+        cfg.system.faults = FaultPlan {
+            error_prob: 0.1,
+            ..FaultPlan::none()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultsWithoutDisk));
+
+        // Same plan on the disk config is fine.
+        let mut cfg = SimConfig::disk_base();
+        cfg.system.faults = FaultPlan {
+            error_prob: 0.1,
+            ..FaultPlan::none()
+        };
+        cfg.validate().unwrap();
+
+        // Malformed plan parameters are caught.
+        let mut cfg = SimConfig::disk_base();
+        cfg.system.faults = FaultPlan {
+            error_prob: 2.0,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFaultPlan(_))));
+
+        // Admission and watchdog parameters are validated too.
+        let mut cfg = SimConfig::mm_base();
+        cfg.system.admission = Some(AdmissionConfig { safety_factor: 0.0 });
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadAdmission(_))));
+        cfg.system.admission = Some(AdmissionConfig::lenient());
+        cfg.validate().unwrap();
+
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.watchdog = Some(WatchdogConfig {
+            max_events: 0,
+            max_sim_ms: 100.0,
+        });
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadWatchdog(_))));
+        cfg.run.watchdog = Some(WatchdogConfig::generous(cfg.run.num_transactions));
+        cfg.validate().unwrap();
     }
 }

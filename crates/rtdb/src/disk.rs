@@ -7,6 +7,13 @@
 //! the entry without touching the calendar, while an abort during the
 //! transfer lets the transfer finish ("it is not deleted until it releases
 //! the disk") — the engine marks the victim *doomed* instead.
+//!
+//! The disk does not decide service times: the engine passes the duration
+//! of each transfer to [`Disk::start`], because under fault injection a
+//! transfer may be slowed by a latency spike or brownout window (see
+//! `rtx_sim::fault`). The split API — [`Disk::enqueue`] says whether the
+//! disk is idle, [`Disk::pop_next`] yields the next queued request after a
+//! completion — keeps the fault draw in the engine, on its own RNG stream.
 
 use std::collections::VecDeque;
 
@@ -44,15 +51,6 @@ pub struct Disk {
     completed: u64,
 }
 
-/// What the engine must do after a disk call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DiskAction {
-    /// Nothing to schedule.
-    None,
-    /// Schedule an IO-completion event for this transaction at `at`.
-    Start(TxnId, SimTime),
-}
-
 impl Disk {
     /// An idle FCFS disk (the paper's model).
     pub fn new(access_time: SimDuration) -> Self {
@@ -77,7 +75,7 @@ impl Disk {
         self.discipline
     }
 
-    /// The fixed per-access service time.
+    /// The nominal (fault-free) per-access service time.
     pub fn access_time(&self) -> SimDuration {
         self.access_time
     }
@@ -97,41 +95,56 @@ impl Disk {
         self.completed
     }
 
-    /// Enqueue a request from `txn` at time `now`. `key` is the service
-    /// priority under [`DiskDiscipline::EarliestDeadline`] (smaller =
-    /// sooner; the engine passes the transaction's absolute deadline) and
-    /// ignored under FCFS. If the disk is idle the transfer starts
-    /// immediately and the returned action tells the engine when to fire
-    /// its completion.
-    pub fn enqueue(&mut self, txn: TxnId, key: u64, now: SimTime) -> DiskAction {
+    /// Enqueue a request from `txn`. `key` is the service priority under
+    /// [`DiskDiscipline::EarliestDeadline`] (smaller = sooner; the engine
+    /// passes the transaction's absolute deadline) and ignored under FCFS.
+    ///
+    /// Returns `true` iff the disk is idle — the caller must then decide
+    /// the transfer's service time and call [`Disk::start`]. (The request
+    /// is *not* queued in that case.)
+    pub fn enqueue(&mut self, txn: TxnId, key: u64) -> bool {
         if self.active.is_none() {
-            self.start(txn, now)
+            true
         } else {
             self.queue.push_back((txn, key));
-            DiskAction::None
+            false
         }
     }
 
-    fn start(&mut self, txn: TxnId, now: SimTime) -> DiskAction {
-        debug_assert!(self.active.is_none());
+    /// Begin `txn`'s transfer at `now` with the given per-transfer
+    /// `service` time (nominal access time possibly inflated by injected
+    /// latency). Returns the completion instant the engine must schedule.
+    ///
+    /// # Panics
+    /// Panics if a transfer is already active.
+    pub fn start(&mut self, txn: TxnId, now: SimTime, service: SimDuration) -> SimTime {
+        assert!(self.active.is_none(), "start() with a transfer active");
         self.active = Some(txn);
         self.active_since = now;
-        DiskAction::Start(txn, now + self.access_time)
+        now + service
     }
 
-    /// The active transfer finished at `now`. Returns the next transfer to
-    /// start, if the queue is non-empty.
+    /// The active transfer finished at `now`; returns its transaction.
+    /// Call [`Disk::pop_next`] afterwards to obtain the next request to
+    /// start, if any.
     ///
     /// # Panics
     /// Panics if no transfer was active.
-    pub fn complete(&mut self, now: SimTime) -> (TxnId, DiskAction) {
+    pub fn complete(&mut self, now: SimTime) -> TxnId {
         let done = self
             .active
             .take()
             .expect("complete() with no active transfer");
         self.busy += now.since(self.active_since);
         self.completed += 1;
-        let next_idx = match self.discipline {
+        done
+    }
+
+    /// Remove and return the next queued request per the discipline, or
+    /// `None` if the queue is empty. Only meaningful while the disk is
+    /// idle (between [`Disk::complete`] and the next [`Disk::start`]).
+    pub fn pop_next(&mut self) -> Option<TxnId> {
+        let idx = match self.discipline {
             DiskDiscipline::Fcfs => (!self.queue.is_empty()).then_some(0),
             DiskDiscipline::EarliestDeadline => self
                 .queue
@@ -139,15 +152,9 @@ impl Disk {
                 .enumerate()
                 .min_by_key(|(i, (_, key))| (*key, *i))
                 .map(|(i, _)| i),
-        };
-        let next = match next_idx {
-            Some(i) => {
-                let (txn, _) = self.queue.remove(i).expect("index in range");
-                self.start(txn, now)
-            }
-            None => DiskAction::None,
-        };
-        (done, next)
+        }?;
+        let (txn, _) = self.queue.remove(idx).expect("index in range");
+        Some(txn)
     }
 
     /// Remove `txn` from the wait queue (abort while queued). Returns
@@ -191,11 +198,30 @@ mod tests {
         SimTime::from_ms(x)
     }
 
+    /// Enqueue and, if the disk was idle, start at the nominal service
+    /// time — the fault-free path the engine takes.
+    fn issue(d: &mut Disk, txn: TxnId, key: u64, now: SimTime) -> Option<SimTime> {
+        d.enqueue(txn, key).then(|| {
+            let svc = d.access_time();
+            d.start(txn, now, svc)
+        })
+    }
+
+    /// Complete the active transfer and start the next queued request, if
+    /// any, returning (done, next start's completion time).
+    fn finish(d: &mut Disk, now: SimTime) -> (TxnId, Option<(TxnId, SimTime)>) {
+        let done = d.complete(now);
+        let next = d.pop_next().map(|t| {
+            let svc = d.access_time();
+            (t, d.start(t, now, svc))
+        });
+        (done, next)
+    }
+
     #[test]
     fn idle_disk_starts_immediately() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
-        let action = d.enqueue(TxnId(1), 0, ms(10.0));
-        assert_eq!(action, DiskAction::Start(TxnId(1), ms(35.0)));
+        assert_eq!(issue(&mut d, TxnId(1), 0, ms(10.0)), Some(ms(35.0)));
         assert_eq!(d.active(), Some(TxnId(1)));
         assert_eq!(d.queue_len(), 0);
     }
@@ -203,41 +229,53 @@ mod tests {
     #[test]
     fn fcfs_order() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
-        d.enqueue(TxnId(1), 0, ms(0.0));
-        assert_eq!(d.enqueue(TxnId(2), 0, ms(1.0)), DiskAction::None);
-        assert_eq!(d.enqueue(TxnId(3), 0, ms(2.0)), DiskAction::None);
+        issue(&mut d, TxnId(1), 0, ms(0.0));
+        assert_eq!(issue(&mut d, TxnId(2), 0, ms(1.0)), None);
+        assert_eq!(issue(&mut d, TxnId(3), 0, ms(2.0)), None);
         assert_eq!(d.queue_len(), 2);
-        let (done, next) = d.complete(ms(25.0));
+        let (done, next) = finish(&mut d, ms(25.0));
         assert_eq!(done, TxnId(1));
-        assert_eq!(next, DiskAction::Start(TxnId(2), ms(50.0)));
-        let (done, next) = d.complete(ms(50.0));
+        assert_eq!(next, Some((TxnId(2), ms(50.0))));
+        let (done, next) = finish(&mut d, ms(50.0));
         assert_eq!(done, TxnId(2));
-        assert_eq!(next, DiskAction::Start(TxnId(3), ms(75.0)));
-        let (done, next) = d.complete(ms(75.0));
+        assert_eq!(next, Some((TxnId(3), ms(75.0))));
+        let (done, next) = finish(&mut d, ms(75.0));
         assert_eq!(done, TxnId(3));
-        assert_eq!(next, DiskAction::None);
+        assert_eq!(next, None);
         assert_eq!(d.completed(), 3);
+    }
+
+    #[test]
+    fn caller_controls_service_time() {
+        // A spiked transfer takes 4× nominal; busy accounting follows the
+        // actual duration, not the nominal one.
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        assert!(d.enqueue(TxnId(1), 0));
+        let done_at = d.start(TxnId(1), ms(0.0), SimDuration::from_ms(100.0));
+        assert_eq!(done_at, ms(100.0));
+        assert_eq!(d.complete(ms(100.0)), TxnId(1));
+        assert_eq!(d.busy_until(ms(100.0)), SimDuration::from_ms(100.0));
     }
 
     #[test]
     fn remove_queued_only_touches_queue() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
-        d.enqueue(TxnId(1), 0, ms(0.0));
-        d.enqueue(TxnId(2), 0, ms(0.0));
-        d.enqueue(TxnId(3), 0, ms(0.0));
+        issue(&mut d, TxnId(1), 0, ms(0.0));
+        issue(&mut d, TxnId(2), 0, ms(0.0));
+        issue(&mut d, TxnId(3), 0, ms(0.0));
         assert!(d.remove_queued(TxnId(2)));
         assert!(!d.remove_queued(TxnId(2)), "already removed");
         assert!(!d.remove_queued(TxnId(1)), "active transfer not removable");
         assert_eq!(d.active(), Some(TxnId(1)));
-        let (_, next) = d.complete(ms(25.0));
-        assert_eq!(next, DiskAction::Start(TxnId(3), ms(50.0)));
+        let (_, next) = finish(&mut d, ms(25.0));
+        assert_eq!(next, Some((TxnId(3), ms(50.0))));
     }
 
     #[test]
     fn involves_checks_queue_and_active() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
-        d.enqueue(TxnId(1), 0, ms(0.0));
-        d.enqueue(TxnId(2), 0, ms(0.0));
+        issue(&mut d, TxnId(1), 0, ms(0.0));
+        issue(&mut d, TxnId(2), 0, ms(0.0));
         assert!(d.involves(TxnId(1)));
         assert!(d.involves(TxnId(2)));
         assert!(!d.involves(TxnId(3)));
@@ -246,12 +284,12 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
-        d.enqueue(TxnId(1), 0, ms(0.0));
+        issue(&mut d, TxnId(1), 0, ms(0.0));
         d.complete(ms(25.0));
         // busy 25 of 100 ms → 25%.
         assert!((d.utilization(ms(100.0)) - 0.25).abs() < 1e-9);
         // In-flight transfer counts.
-        d.enqueue(TxnId(2), 0, ms(100.0));
+        issue(&mut d, TxnId(2), 0, ms(100.0));
         assert!((d.utilization(ms(110.0)) - 35.0 / 110.0).abs() < 1e-9);
         assert_eq!(d.utilization(SimTime::ZERO), 0.0);
     }
@@ -261,27 +299,27 @@ mod tests {
         let mut d =
             Disk::with_discipline(SimDuration::from_ms(25.0), DiskDiscipline::EarliestDeadline);
         assert_eq!(d.discipline(), DiskDiscipline::EarliestDeadline);
-        d.enqueue(TxnId(1), 500, ms(0.0)); // active immediately
-        d.enqueue(TxnId(2), 300, ms(1.0));
-        d.enqueue(TxnId(3), 100, ms(2.0));
-        d.enqueue(TxnId(4), 200, ms(3.0));
-        let (_, next) = d.complete(ms(25.0));
-        assert_eq!(next, DiskAction::Start(TxnId(3), ms(50.0)), "key 100 first");
-        let (_, next) = d.complete(ms(50.0));
-        assert_eq!(next, DiskAction::Start(TxnId(4), ms(75.0)), "key 200 next");
-        let (_, next) = d.complete(ms(75.0));
-        assert_eq!(next, DiskAction::Start(TxnId(2), ms(100.0)));
+        issue(&mut d, TxnId(1), 500, ms(0.0)); // active immediately
+        issue(&mut d, TxnId(2), 300, ms(1.0));
+        issue(&mut d, TxnId(3), 100, ms(2.0));
+        issue(&mut d, TxnId(4), 200, ms(3.0));
+        let (_, next) = finish(&mut d, ms(25.0));
+        assert_eq!(next, Some((TxnId(3), ms(50.0))), "key 100 first");
+        let (_, next) = finish(&mut d, ms(50.0));
+        assert_eq!(next, Some((TxnId(4), ms(75.0))), "key 200 next");
+        let (_, next) = finish(&mut d, ms(75.0));
+        assert_eq!(next, Some((TxnId(2), ms(100.0))));
     }
 
     #[test]
     fn edf_discipline_breaks_key_ties_by_arrival() {
         let mut d =
             Disk::with_discipline(SimDuration::from_ms(25.0), DiskDiscipline::EarliestDeadline);
-        d.enqueue(TxnId(1), 0, ms(0.0));
-        d.enqueue(TxnId(2), 100, ms(1.0));
-        d.enqueue(TxnId(3), 100, ms(2.0));
-        let (_, next) = d.complete(ms(25.0));
-        assert_eq!(next, DiskAction::Start(TxnId(2), ms(50.0)));
+        issue(&mut d, TxnId(1), 0, ms(0.0));
+        issue(&mut d, TxnId(2), 100, ms(1.0));
+        issue(&mut d, TxnId(3), 100, ms(2.0));
+        let (_, next) = finish(&mut d, ms(25.0));
+        assert_eq!(next, Some((TxnId(2), ms(50.0))));
     }
 
     #[test]
@@ -289,5 +327,13 @@ mod tests {
     fn complete_without_active_panics() {
         let mut d = Disk::new(SimDuration::from_ms(25.0));
         d.complete(ms(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer active")]
+    fn double_start_panics() {
+        let mut d = Disk::new(SimDuration::from_ms(25.0));
+        d.start(TxnId(1), ms(0.0), SimDuration::from_ms(25.0));
+        d.start(TxnId(2), ms(0.0), SimDuration::from_ms(25.0));
     }
 }

@@ -23,11 +23,13 @@
 //!   transfer completes (§5).
 
 use rtx_sim::calendar::{Calendar, EventHandle};
+use rtx_sim::fault::FaultInjector;
 use rtx_sim::rng::StreamSeeder;
 use rtx_sim::time::{SimDuration, SimTime};
 
-use crate::config::SimConfig;
-use crate::disk::{Disk, DiskAction};
+use crate::config::{AdmissionConfig, SimConfig};
+use crate::disk::Disk;
+use crate::error::RunError;
 use crate::locks::{LockMode, LockOutcome, LockTable};
 use crate::metrics::{MetricsCollector, RunSummary};
 use crate::policy::{Policy, Priority, SystemView};
@@ -44,6 +46,10 @@ enum Event {
     CpuDone(TxnId),
     /// The disk's active transfer completes.
     IoDone(TxnId),
+    /// A transaction's IO backoff expired: retry the failed transfer. The
+    /// token guards against the transaction having been aborted and
+    /// restarted while this event was in flight.
+    IoRetry(TxnId, u64),
 }
 
 enum Started {
@@ -74,10 +80,28 @@ struct EngineState<'p> {
     /// Optional decision log (None in normal runs — zero overhead beyond
     /// the branch).
     trace: Option<Trace>,
+    /// Fault injector, present iff the config's [`rtx_sim::fault::FaultPlan`]
+    /// can inject anything. `None` takes the exact pre-fault code path and
+    /// consumes no randomness.
+    faults: Option<FaultInjector>,
+    /// Whether the disk's *active* transfer was drawn to fail. Taken (and
+    /// reset) when the transfer completes.
+    active_io_failed: bool,
 }
 
 impl<'p> EngineState<'p> {
     fn new(cfg: &'p SimConfig, policy: &'p dyn Policy) -> Self {
+        let faults = if cfg.system.faults.is_none() {
+            None
+        } else {
+            // The injector's stream derives from the same master seed as
+            // the workload streams but is labelled independently, so
+            // enabling faults never perturbs the workload draws.
+            Some(FaultInjector::new(
+                cfg.system.faults.clone(),
+                &StreamSeeder::new(cfg.run.seed),
+            ))
+        };
         EngineState {
             cfg,
             policy,
@@ -95,6 +119,8 @@ impl<'p> EngineState<'p> {
             metrics: MetricsCollector::new(),
             secondary: Vec::with_capacity(cfg.run.num_transactions),
             trace: None,
+            faults,
+            active_io_failed: false,
         }
     }
 
@@ -120,16 +146,45 @@ impl<'p> EngineState<'p> {
 
     // ---- event handlers -------------------------------------------------
 
-    fn on_arrival(&mut self, txn: Transaction) {
+    fn on_arrival(&mut self, mut txn: Transaction) {
         debug_assert_eq!(txn.id.0 as usize, self.txns.len());
         let id = txn.id;
         let deadline = txn.deadline;
+        if let Some(adm) = self.cfg.system.admission {
+            if !self.feasible(&txn, adm) {
+                // Reject at the door: the transaction never enters the
+                // active set, acquires no locks and consumes no resources.
+                txn.state = TxnState::Rejected;
+                self.txns.push(txn);
+                self.secondary.push(false);
+                self.metrics.record_rejection();
+                self.emit(|| TraceEvent::Rejected { txn: id, deadline });
+                return;
+            }
+        }
         self.txns.push(txn);
         self.secondary.push(false);
         self.active.push(id);
         self.emit(|| TraceEvent::Arrival { txn: id, deadline });
         self.update_queue_metrics();
         self.reschedule(); // tr-arrival-schedule
+    }
+
+    /// The admission feasibility test: can `txn` possibly finish by its
+    /// deadline? The estimate charges its isolated resource time plus one
+    /// abort cost per partially-executed transaction it conflicts with —
+    /// the penalty of conflict it would have to pay (or inflict) to run —
+    /// inflated by the configured safety factor.
+    fn feasible(&self, txn: &Transaction, adm: AdmissionConfig) -> bool {
+        let conflicts = self
+            .active
+            .iter()
+            .map(|&p| self.txn(p))
+            .filter(|p| p.is_partially_executed() && txn.conflicts_with(p))
+            .count() as u64;
+        let penalty = self.cfg.system.abort_cost() * conflicts;
+        let demand = (txn.resource_time + penalty).scale(adm.safety_factor);
+        self.now() + demand <= txn.deadline
     }
 
     fn on_cpu_done(&mut self, id: TxnId) {
@@ -181,28 +236,139 @@ impl<'p> EngineState<'p> {
     fn on_io_done(&mut self, id: TxnId) {
         let now = self.now();
         let disk = self.disk.as_mut().expect("IoDone without a disk");
-        let (done, next) = disk.complete(now);
+        let done = disk.complete(now);
         assert_eq!(done, id, "disk completion out of order");
-        if let DiskAction::Start(next_id, at) = next {
-            self.calendar.schedule(at, Event::IoDone(next_id));
-            self.txn_mut(next_id).state = TxnState::IoActive;
+        // The failure flag belongs to the transfer that just completed;
+        // take it before starting the next transfer, which re-arms it.
+        let failed = std::mem::take(&mut self.active_io_failed);
+        if let Some(next_id) = self.disk.as_mut().expect("disk above").pop_next() {
+            self.start_transfer(next_id);
         }
         let t = self.txn_mut(id);
         debug_assert_eq!(t.state, TxnState::IoActive);
         if t.doomed {
             // Aborted during the transfer: it now releases the disk and
-            // re-enters the ready queue from scratch.
+            // re-enters the ready queue from scratch. Everything the
+            // transfer did since the abort was wasted disk time.
             t.doomed = false;
             t.state = TxnState::Ready;
+            let wasted = now.since(t.doomed_at);
+            self.metrics.add_wasted_disk_hold(wasted);
+            self.emit(|| TraceEvent::IoDone { txn: id });
+        } else if failed {
+            // The transfer occupied the disk and then failed with an
+            // injected transient error: back off and retry, or give up.
+            self.handle_io_failure(id);
         } else {
             // The IO of the current update finished; the CPU burst remains.
             t.state = TxnState::Ready;
             t.stage = Stage::Compute;
             t.cpu_left = t.update_time;
+            t.io_retries = 0;
+            self.emit(|| TraceEvent::IoDone { txn: id });
         }
-        self.emit(|| TraceEvent::IoDone { txn: id });
         self.update_queue_metrics();
         self.reschedule(); // IO completion is a scheduling point
+    }
+
+    /// Begin a transfer on the (idle) disk for `id`, drawing the attempt's
+    /// fate from the fault injector when one is configured.
+    fn start_transfer(&mut self, id: TxnId) {
+        let now = self.now();
+        let nominal = self
+            .disk
+            .as_ref()
+            .expect("transfer without a disk")
+            .access_time();
+        let (service, failed) = match &mut self.faults {
+            Some(inj) => {
+                let a = inj.attempt(now, nominal);
+                if a.failed {
+                    self.metrics.record_injected_fault();
+                }
+                if a.spiked {
+                    self.metrics.record_latency_spike();
+                }
+                (a.service, a.failed)
+            }
+            None => (nominal, false),
+        };
+        self.active_io_failed = failed;
+        let at = self
+            .disk
+            .as_mut()
+            .expect("transfer without a disk")
+            .start(id, now, service);
+        self.txn_mut(id).state = TxnState::IoActive;
+        self.calendar.schedule(at, Event::IoDone(id));
+    }
+
+    /// The active transfer of `id` failed with an injected error. Within
+    /// the retry budget: arm an exponential backoff and re-queue when it
+    /// expires. Budget exhausted: abort-and-restart like an HP victim
+    /// (locks released, waiters woken, restart counted).
+    fn handle_io_failure(&mut self, id: TxnId) {
+        let plan = self
+            .faults
+            .as_ref()
+            .expect("injected failure without an injector")
+            .plan()
+            .clone();
+        let retries = self.txn(id).io_retries;
+        if retries >= plan.retry_budget {
+            self.emit(|| TraceEvent::IoGaveUp { txn: id });
+            self.metrics.record_io_exhausted_abort();
+            let held = self.locks.held_by(id);
+            let released = self.locks.release_all(id);
+            debug_assert!(released > 0, "an IO-stage transaction holds its lock");
+            self.wake_waiters(&held);
+            let was_secondary = self.secondary[id.0 as usize];
+            self.metrics.record_restart(was_secondary);
+            self.secondary[id.0 as usize] = false;
+            let t = self.txn_mut(id);
+            t.reset_for_restart();
+            t.state = TxnState::Ready;
+        } else {
+            self.emit(|| TraceEvent::IoFault { txn: id, retries });
+            let backoff = plan.backoff_after(retries);
+            self.metrics.record_io_retry(backoff);
+            let at = self.now() + backoff;
+            let t = self.txn_mut(id);
+            t.io_retries += 1;
+            t.retry_token += 1;
+            t.state = TxnState::IoBackoff;
+            let token = t.retry_token;
+            self.calendar.schedule(at, Event::IoRetry(id, token));
+        }
+    }
+
+    /// A backoff expired: re-queue the failed transfer, unless the event
+    /// is stale (the transaction was aborted — and possibly already
+    /// progressed elsewhere — while the retry was in flight).
+    fn on_io_retry(&mut self, id: TxnId, token: u64) {
+        {
+            let t = self.txn(id);
+            if t.state != TxnState::IoBackoff || t.retry_token != token {
+                return;
+            }
+        }
+        let deadline_key = self.txn(id).deadline.as_micros();
+        self.txn_mut(id).state = TxnState::IoQueued;
+        let disk = self.disk.as_mut().expect("IoRetry without a disk");
+        if disk.enqueue(id, deadline_key) {
+            self.start_transfer(id);
+            self.emit(|| TraceEvent::IoIssued {
+                txn: id,
+                queued: false,
+            });
+        } else {
+            self.emit(|| TraceEvent::IoIssued {
+                txn: id,
+                queued: true,
+            });
+        }
+        self.update_queue_metrics();
+        self.reschedule();
     }
 
     // ---- transaction driving --------------------------------------------
@@ -288,28 +454,22 @@ impl<'p> EngineState<'p> {
                     }
                 }
                 Stage::Io => {
-                    let now = self.now();
                     let t = self.txn_mut(id);
                     t.state = TxnState::IoQueued;
                     self.running = None;
                     let deadline_key = self.txn(id).deadline.as_micros();
                     let disk = self.disk.as_mut().expect("Io stage without a disk");
-                    match disk.enqueue(id, deadline_key, now) {
-                        DiskAction::Start(tid, at) => {
-                            debug_assert_eq!(tid, id);
-                            self.txn_mut(id).state = TxnState::IoActive;
-                            self.calendar.schedule(at, Event::IoDone(tid));
-                            self.emit(|| TraceEvent::IoIssued {
-                                txn: id,
-                                queued: false,
-                            });
-                        }
-                        DiskAction::None => {
-                            self.emit(|| TraceEvent::IoIssued {
-                                txn: id,
-                                queued: true,
-                            });
-                        }
+                    if disk.enqueue(id, deadline_key) {
+                        self.start_transfer(id);
+                        self.emit(|| TraceEvent::IoIssued {
+                            txn: id,
+                            queued: false,
+                        });
+                    } else {
+                        self.emit(|| TraceEvent::IoIssued {
+                            txn: id,
+                            queued: true,
+                        });
                     }
                     self.update_queue_metrics();
                     return Started::WentToIo;
@@ -444,12 +604,24 @@ impl<'p> EngineState<'p> {
                 t.state = TxnState::Ready;
             }
             TxnState::IoActive => {
-                // "not deleted until it releases the disk"
+                // "not deleted until it releases the disk" — hold time
+                // from here on is wasted and attributed when it releases.
+                let now = self.now();
                 let t = self.txn_mut(victim);
                 t.reset_for_restart();
                 t.doomed = true;
+                t.doomed_at = now;
             }
-            TxnState::Running | TxnState::Committed => {
+            TxnState::IoBackoff => {
+                // Waiting out a retry backoff: off the disk, so it can
+                // restart immediately. Bumping the token invalidates the
+                // pending IoRetry event.
+                let t = self.txn_mut(victim);
+                t.reset_for_restart();
+                t.retry_token += 1;
+                t.state = TxnState::Ready;
+            }
+            TxnState::Running | TxnState::Committed | TxnState::Rejected => {
                 unreachable!("abort of a {state:?} transaction")
             }
         }
@@ -698,9 +870,9 @@ impl<'p> EngineState<'p> {
                 assert_eq!(self.running, Some(id));
             }
         }
-        // Committed transactions hold nothing.
+        // Committed and rejected transactions hold nothing.
         for t in &self.txns {
-            if t.state == TxnState::Committed {
+            if matches!(t.state, TxnState::Committed | TxnState::Rejected) {
                 assert!(self.locks.held_by(t.id).is_empty());
             }
         }
@@ -720,8 +892,9 @@ pub fn run_simulation(cfg: &SimConfig, policy: &dyn Policy) -> RunSummary {
 
 /// Run a simulation over a custom [`TxnSource`] instead of the built-in
 /// workload generator. `expected` is the number of transactions the source
-/// will produce (the run ends once all of them commit); the source must
-/// yield dense ids in non-decreasing arrival order.
+/// will produce (the run ends once all of them terminate — commit or are
+/// rejected at admission); the source must yield dense ids in
+/// non-decreasing arrival order.
 pub fn run_simulation_from(
     cfg: &SimConfig,
     policy: &dyn Policy,
@@ -731,7 +904,33 @@ pub fn run_simulation_from(
     cfg.validate().expect("invalid simulation configuration");
     assert!(expected > 0, "expected transaction count must be positive");
     let mut st = EngineState::new(cfg, policy);
-    drive(&mut st, source, expected, |_| {})
+    drive(&mut st, source, expected, |_| {}).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`run_simulation`], but with every failure mode typed instead of
+/// panicking: an invalid configuration and a tripped watchdog both come
+/// back as a [`RunError`]. This is what the hardened replication runner
+/// calls per seed.
+pub fn run_simulation_checked(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+) -> Result<RunSummary, RunError> {
+    cfg.validate()?;
+    poison_check(cfg);
+    let seeder = StreamSeeder::new(cfg.run.seed);
+    let table = TypeTable::generate(cfg, &seeder);
+    let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
+    let mut st = EngineState::new(cfg, policy);
+    let expected = cfg.run.num_transactions;
+    drive(&mut st, &mut generator, expected, |_| {})
+}
+
+/// The `poison_seed` test hook: force a panic for one specific seed so the
+/// runner-hardening tests can verify panic isolation.
+fn poison_check(cfg: &SimConfig) {
+    if cfg.run.poison_seed == Some(cfg.run.seed) {
+        panic!("poisoned seed {} (test hook)", cfg.run.seed);
+    }
 }
 
 /// As [`run_simulation`], additionally invoking `inspect` with the engine
@@ -742,27 +941,47 @@ fn run_simulation_with(
     inspect: impl FnMut(&EngineState<'_>),
 ) -> RunSummary {
     cfg.validate().expect("invalid simulation configuration");
+    poison_check(cfg);
     let seeder = StreamSeeder::new(cfg.run.seed);
     let table = TypeTable::generate(cfg, &seeder);
     let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
     let mut st = EngineState::new(cfg, policy);
     let expected = cfg.run.num_transactions;
-    drive(&mut st, &mut generator, expected, inspect)
+    drive(&mut st, &mut generator, expected, inspect).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The shared event loop: pump events until `expected` commits.
+/// The shared event loop: pump events until all `expected` transactions
+/// terminate (commit, or are rejected at admission). The configured
+/// watchdog limits, if any, are enforced here.
 fn drive(
     st: &mut EngineState<'_>,
     source: &mut dyn TxnSource,
     expected: usize,
     mut inspect: impl FnMut(&EngineState<'_>),
-) -> RunSummary {
+) -> Result<RunSummary, RunError> {
     if let Some(first) = source.next_transaction() {
         st.calendar
             .schedule(first.arrival, Event::Arrival(Box::new(first)));
     }
 
-    while st.metrics.committed() < expected as u64 {
+    let watchdog = st.cfg.run.watchdog;
+    let mut events: u64 = 0;
+    while st.metrics.committed() + st.metrics.rejected() < expected as u64 {
+        if let Some(w) = watchdog {
+            if events >= w.max_events {
+                return Err(RunError::WatchdogEvents {
+                    limit: w.max_events,
+                });
+            }
+            let now_ms = st.now().as_ms();
+            if now_ms > w.max_sim_ms {
+                return Err(RunError::WatchdogSimTime {
+                    limit_ms: w.max_sim_ms,
+                    reached_ms: now_ms,
+                });
+            }
+        }
+        events += 1;
         let fired = match st.calendar.pop() {
             Some(f) => f,
             None => {
@@ -785,6 +1004,7 @@ fn drive(
             }
             Event::CpuDone(id) => st.on_cpu_done(id),
             Event::IoDone(id) => st.on_io_done(id),
+            Event::IoRetry(id, token) => st.on_io_retry(id, token),
         }
         inspect(st);
     }
@@ -795,7 +1015,7 @@ fn drive(
         .as_ref()
         .map(|d| d.busy_until(end))
         .unwrap_or(SimDuration::ZERO);
-    st.metrics.finish(end, disk_busy)
+    Ok(st.metrics.finish(end, disk_busy))
 }
 
 /// Run with full state validation after every event (slow; tests only).
@@ -808,13 +1028,15 @@ pub fn run_simulation_validated(cfg: &SimConfig, policy: &dyn Policy) -> RunSumm
 /// and small runs, not sweeps.
 pub fn run_simulation_traced(cfg: &SimConfig, policy: &dyn Policy) -> (RunSummary, Trace) {
     cfg.validate().expect("invalid simulation configuration");
+    poison_check(cfg);
     let seeder = StreamSeeder::new(cfg.run.seed);
     let table = TypeTable::generate(cfg, &seeder);
     let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
     let mut st = EngineState::new(cfg, policy);
     st.trace = Some(Trace::new());
     let expected = cfg.run.num_transactions;
-    let summary = drive(&mut st, &mut generator, expected, |_| {});
+    let summary =
+        drive(&mut st, &mut generator, expected, |_| {}).unwrap_or_else(|e| panic!("{e}"));
     (summary, st.trace.take().expect("trace enabled above"))
 }
 

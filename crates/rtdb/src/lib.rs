@@ -6,7 +6,10 @@
 //! assignment — the concrete CCA / EDF-HP / LSF policies live in
 //! `rtx-core`. The pieces:
 //!
-//! * [`config`] — Table 1 / Table 2 parameter sets and validation;
+//! * [`config`] — Table 1 / Table 2 parameter sets and validation, plus
+//!   the robustness extensions (fault plan, admission control, watchdog);
+//! * [`error`] — typed configuration ([`error::ConfigError`]) and run
+//!   ([`error::RunError`]) failures;
 //! * [`workload`] — transaction types, Poisson arrivals, deadline
 //!   assignment (`deadline = arrival + resource_time × (1 + slack)`);
 //! * [`txn`] — run-time transaction state (pipeline stage, locks held,
@@ -48,6 +51,7 @@
 pub mod config;
 pub mod disk;
 pub mod engine;
+pub mod error;
 pub mod locks;
 pub mod metrics;
 pub mod policy;
@@ -57,16 +61,21 @@ pub mod trace;
 pub mod txn;
 pub mod workload;
 
-pub use config::{DiskConfig, RunConfig, SimConfig, SystemConfig, WorkloadConfig};
+pub use config::{
+    AdmissionConfig, DiskConfig, RunConfig, SimConfig, SystemConfig, WatchdogConfig, WorkloadConfig,
+};
 pub use disk::DiskDiscipline;
 pub use engine::{
-    run_simulation, run_simulation_from, run_simulation_traced, run_simulation_validated,
+    run_simulation, run_simulation_checked, run_simulation_from, run_simulation_traced,
+    run_simulation_validated,
 };
+pub use error::{ConfigError, RunError};
 pub use metrics::RunSummary;
 pub use policy::{Policy, Priority, SystemView};
 pub use runner::{
-    aggregate, improvement_percent, run_one, run_replications, run_replications_with, run_seeds,
-    AggregateSummary, Parallelism, ReplicationOptions, ReplicationTimer,
+    aggregate, improvement_percent, run_one, run_one_checked, run_replications,
+    run_replications_checked, run_replications_with, run_seeds, run_seeds_checked,
+    AggregateSummary, BatchSummary, Parallelism, ReplicationOptions, ReplicationTimer,
 };
 pub use source::{ReplaySource, TxnSource};
 pub use trace::{Trace, TraceEvent, TraceRecord};

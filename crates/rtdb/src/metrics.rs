@@ -33,6 +33,13 @@ pub struct MetricsCollector {
     plist_len: TimeWeighted,
     ready_len: TimeWeighted,
     cpu_busy: SimDuration,
+    rejected: u64,
+    injected_io_faults: u64,
+    io_latency_spikes: u64,
+    io_retries: u64,
+    io_exhausted_aborts: u64,
+    total_backoff: SimDuration,
+    wasted_disk_hold: SimDuration,
 }
 
 impl MetricsCollector {
@@ -55,6 +62,13 @@ impl MetricsCollector {
             plist_len: TimeWeighted::new(0.0, 0.0),
             ready_len: TimeWeighted::new(0.0, 0.0),
             cpu_busy: SimDuration::ZERO,
+            rejected: 0,
+            injected_io_faults: 0,
+            io_latency_spikes: 0,
+            io_retries: 0,
+            io_exhausted_aborts: 0,
+            total_backoff: SimDuration::ZERO,
+            wasted_disk_hold: SimDuration::ZERO,
         }
     }
 
@@ -135,9 +149,48 @@ impl MetricsCollector {
         self.cpu_busy += d;
     }
 
+    /// Record a transaction rejected on arrival by admission control.
+    pub fn record_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Record an injected transient IO error (the attempt occupied the
+    /// disk and then failed).
+    pub fn record_injected_fault(&mut self) {
+        self.injected_io_faults += 1;
+    }
+
+    /// Record an injected latency spike on a disk transfer.
+    pub fn record_latency_spike(&mut self) {
+        self.io_latency_spikes += 1;
+    }
+
+    /// Record a retry of a failed transfer and the backoff delay spent
+    /// before it.
+    pub fn record_io_retry(&mut self, backoff: SimDuration) {
+        self.io_retries += 1;
+        self.total_backoff += backoff;
+    }
+
+    /// Record an abort-and-restart forced by an exhausted IO retry budget.
+    pub fn record_io_exhausted_abort(&mut self) {
+        self.io_exhausted_aborts += 1;
+    }
+
+    /// Record disk-hold time wasted by a doomed transaction (aborted
+    /// mid-transfer; the transfer ran to completion anyway).
+    pub fn add_wasted_disk_hold(&mut self, d: SimDuration) {
+        self.wasted_disk_hold += d;
+    }
+
     /// Transactions committed so far.
     pub fn committed(&self) -> u64 {
         self.committed
+    }
+
+    /// Transactions rejected at admission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Finalize at simulation end time `end` with the disk's busy total.
@@ -184,6 +237,21 @@ impl MetricsCollector {
                 disk_busy.as_secs() / end.as_secs()
             },
             makespan_ms: end.as_ms(),
+            rejected: self.rejected,
+            rejected_percent: {
+                let total = self.committed + self.rejected;
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * self.rejected as f64 / total as f64
+                }
+            },
+            injected_io_faults: self.injected_io_faults,
+            io_latency_spikes: self.io_latency_spikes,
+            io_retries: self.io_retries,
+            io_exhausted_aborts: self.io_exhausted_aborts,
+            total_backoff_ms: self.total_backoff.as_ms(),
+            wasted_disk_hold_ms: self.wasted_disk_hold.as_ms(),
         }
     }
 }
@@ -246,6 +314,26 @@ pub struct RunSummary {
     pub disk_utilization: f64,
     /// Total simulated time, ms.
     pub makespan_ms: f64,
+    /// Transactions rejected on arrival by admission control (0 when
+    /// admission is disabled).
+    pub rejected: u64,
+    /// Rejections as a percentage of all terminated transactions
+    /// (committed + rejected) — the third leg of the outcome
+    /// decomposition alongside `miss_percent`.
+    pub rejected_percent: f64,
+    /// Injected transient IO errors (0 under `FaultPlan::none()`).
+    pub injected_io_faults: u64,
+    /// Injected latency spikes on disk transfers.
+    pub io_latency_spikes: u64,
+    /// Disk-transfer retries after injected faults.
+    pub io_retries: u64,
+    /// Aborts forced by an exhausted IO retry budget.
+    pub io_exhausted_aborts: u64,
+    /// Total exponential-backoff delay spent before retries, ms.
+    pub total_backoff_ms: f64,
+    /// Disk-hold time wasted by doomed transactions (aborted mid-transfer
+    /// while the transfer ran on), ms.
+    pub wasted_disk_hold_ms: f64,
 }
 
 #[cfg(test)]
@@ -319,6 +407,32 @@ mod tests {
         // 0×10 + 2×20 + 1×10 = 50 over 40 ms.
         assert!((s.mean_plist_len - 1.25).abs() < 1e-9);
         assert_eq!(s.max_plist_len, 2.0);
+    }
+
+    #[test]
+    fn fault_and_rejection_accounting() {
+        let mut m = MetricsCollector::new();
+        m.record_injected_fault();
+        m.record_injected_fault();
+        m.record_latency_spike();
+        m.record_io_retry(SimDuration::from_ms(2.0));
+        m.record_io_retry(SimDuration::from_ms(4.0));
+        m.record_io_exhausted_abort();
+        m.add_wasted_disk_hold(SimDuration::from_ms(12.5));
+        m.record_rejection();
+        m.record_commit(ms(0.0), ms(10.0), ms(5.0));
+        m.record_commit(ms(0.0), ms(10.0), ms(5.0));
+        m.record_commit(ms(0.0), ms(10.0), ms(5.0));
+        assert_eq!(m.rejected(), 1);
+        let s = m.finish(ms(100.0), SimDuration::ZERO);
+        assert_eq!(s.injected_io_faults, 2);
+        assert_eq!(s.io_latency_spikes, 1);
+        assert_eq!(s.io_retries, 2);
+        assert_eq!(s.io_exhausted_aborts, 1);
+        assert!((s.total_backoff_ms - 6.0).abs() < 1e-9);
+        assert!((s.wasted_disk_hold_ms - 12.5).abs() < 1e-9);
+        assert_eq!(s.rejected, 1);
+        assert!((s.rejected_percent - 25.0).abs() < 1e-9, "1 of 4 outcomes");
     }
 
     #[test]

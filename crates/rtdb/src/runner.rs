@@ -17,6 +17,7 @@
 //! [`run_replications`] keeps the historical serial-by-default signature;
 //! [`run_replications_with`] adds the [`ReplicationOptions`] knob.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -24,7 +25,8 @@ use std::time::{Duration, Instant};
 use rtx_sim::stats::{Estimate, Replications};
 
 use crate::config::SimConfig;
-use crate::engine::run_simulation;
+use crate::engine::{run_simulation, run_simulation_checked};
+use crate::error::RunError;
 use crate::metrics::RunSummary;
 use crate::policy::Policy;
 
@@ -166,6 +168,17 @@ pub struct AggregateSummary {
     pub disk_utilization: Estimate,
     /// Mean response time, ms.
     pub mean_response_ms: Estimate,
+    /// Share of transactions rejected at admission (0 when admission is
+    /// off).
+    pub rejected_percent: Estimate,
+    /// Injected transient IO errors per run (0 under `FaultPlan::none()`).
+    pub injected_io_faults: Estimate,
+    /// Disk-transfer retries per run.
+    pub io_retries: Estimate,
+    /// Retry-budget-exhaustion aborts per run.
+    pub io_exhausted_aborts: Estimate,
+    /// Disk-hold time wasted by doomed transactions per run, ms.
+    pub wasted_disk_hold_ms: Estimate,
 }
 
 /// Execute replication `rep` of `cfg` under `policy`: one independent
@@ -177,6 +190,31 @@ pub fn run_one(cfg: &SimConfig, policy: &dyn Policy, rep: usize) -> RunSummary {
     let mut run_cfg = cfg.clone();
     run_cfg.run.seed = cfg.run.seed.wrapping_add(rep as u64);
     run_simulation(&run_cfg, policy)
+}
+
+/// As [`run_one`], but every failure mode is typed: an invalid
+/// configuration, a tripped watchdog, and — via the `catch_unwind` wrapper
+/// in [`run_seeds_checked`] — a panic all come back as a
+/// [`RunError`] instead of killing the batch.
+pub fn run_one_checked(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    rep: usize,
+) -> Result<RunSummary, RunError> {
+    let mut run_cfg = cfg.clone();
+    run_cfg.run.seed = cfg.run.seed.wrapping_add(rep as u64);
+    run_simulation_checked(&run_cfg, policy)
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
 }
 
 /// Order-preserving parallel map over seed indices `0..reps`.
@@ -233,6 +271,87 @@ where
         .collect()
 }
 
+/// As [`run_seeds`], with each seed's work isolated under
+/// [`catch_unwind`]: a replication that panics yields
+/// `Err(RunError::Panicked)` in its slot instead of propagating and
+/// killing the whole batch. Order preservation and the seed-order merge
+/// guarantee are unchanged — surviving seeds produce exactly the values a
+/// fully healthy batch would have produced for them.
+///
+/// Panic isolation is sound here because each seed's closure invocation
+/// owns its state: a panicking replication can poison nothing the other
+/// seeds observe (hence the `AssertUnwindSafe`).
+pub fn run_seeds_checked<T, F>(
+    reps: usize,
+    opts: &ReplicationOptions,
+    f: F,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, RunError> + Sync,
+{
+    run_seeds(reps, opts, |rep| {
+        match catch_unwind(AssertUnwindSafe(|| f(rep))) {
+            Ok(result) => result,
+            Err(payload) => Err(RunError::Panicked {
+                message: panic_message(payload),
+            }),
+        }
+    })
+}
+
+/// The outcome of a hardened replication batch: per-seed results in seed
+/// order, plus the aggregate over the survivors.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Aggregate over the surviving seeds, folded in seed order; `None`
+    /// iff every seed failed.
+    pub aggregate: Option<AggregateSummary>,
+    /// Per-seed outcome, indexed by replication number.
+    pub outcomes: Vec<Result<RunSummary, RunError>>,
+}
+
+impl BatchSummary {
+    /// The surviving summaries, in seed order.
+    pub fn survivors(&self) -> impl Iterator<Item = &RunSummary> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+
+    /// The failed seeds as `(rep, error)`, in seed order.
+    pub fn errors(&self) -> impl Iterator<Item = (usize, &RunError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(rep, o)| o.as_ref().err().map(|e| (rep, e)))
+    }
+}
+
+/// Run `replications` hardened seeded runs under `opts`: panics,
+/// validation failures and watchdog trips each surface as that seed's
+/// typed [`RunError`] while every other seed completes normally. The
+/// survivor aggregate is folded in seed order, so it is bit-identical
+/// across all [`Parallelism`] settings — and bit-identical to a smaller
+/// batch containing only the surviving seeds.
+pub fn run_replications_checked(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    replications: usize,
+    opts: &ReplicationOptions,
+) -> BatchSummary {
+    assert!(replications > 0, "need at least one replication");
+    let outcomes = run_seeds_checked(replications, opts, |rep| run_one_checked(cfg, policy, rep));
+    let survivors: Vec<RunSummary> = outcomes.iter().filter_map(|o| o.clone().ok()).collect();
+    let aggregate = if survivors.is_empty() {
+        None
+    } else {
+        Some(aggregate(policy.name(), &survivors))
+    };
+    BatchSummary {
+        aggregate,
+        outcomes,
+    }
+}
+
 /// Fold per-seed summaries (in slice order) into an [`AggregateSummary`].
 ///
 /// The order of `summaries` is the order every metric's values enter its
@@ -256,6 +375,11 @@ pub fn aggregate(policy: &str, summaries: &[RunSummary]) -> AggregateSummary {
         cpu_utilization: field(|s| s.cpu_utilization),
         disk_utilization: field(|s| s.disk_utilization),
         mean_response_ms: field(|s| s.mean_response_ms),
+        rejected_percent: field(|s| s.rejected_percent),
+        injected_io_faults: field(|s| s.injected_io_faults as f64),
+        io_retries: field(|s| s.io_retries as f64),
+        io_exhausted_aborts: field(|s| s.io_exhausted_aborts as f64),
+        wasted_disk_hold_ms: field(|s| s.wasted_disk_hold_ms),
     }
 }
 

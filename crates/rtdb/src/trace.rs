@@ -63,6 +63,27 @@ pub enum TraceEvent {
         /// The transaction whose transfer finished.
         txn: TxnId,
     },
+    /// A disk transfer failed with an injected transient error; the
+    /// transaction backs off before retrying.
+    IoFault {
+        /// The transaction whose transfer failed.
+        txn: TxnId,
+        /// Retries already spent on this transfer (0 = first failure).
+        retries: u32,
+    },
+    /// A transaction exhausted its IO retry budget and was
+    /// aborted-and-restarted.
+    IoGaveUp {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A transaction was rejected on arrival by admission control.
+    Rejected {
+        /// The transaction.
+        txn: TxnId,
+        /// Its absolute deadline (infeasible at arrival).
+        deadline: SimTime,
+    },
     /// A transaction committed.
     Commit {
         /// The transaction.
@@ -127,6 +148,9 @@ impl Trace {
             | TraceEvent::LockWait { txn: t, .. }
             | TraceEvent::IoIssued { txn: t, .. }
             | TraceEvent::IoDone { txn: t }
+            | TraceEvent::IoFault { txn: t, .. }
+            | TraceEvent::IoGaveUp { txn: t }
+            | TraceEvent::Rejected { txn: t, .. }
             | TraceEvent::Commit { txn: t, .. }
             | TraceEvent::DeadlockResolved { victim: t } => *t == txn,
             TraceEvent::Abort { victim, by, .. } => *victim == txn || *by == txn,
@@ -183,6 +207,15 @@ impl fmt::Display for TraceRecord {
                 }
             }
             TraceEvent::IoDone { txn } => write!(f, "{txn} disk transfer done"),
+            TraceEvent::IoFault { txn, retries } => {
+                write!(f, "{txn} disk transfer FAILED (retry {})", retries + 1)
+            }
+            TraceEvent::IoGaveUp { txn } => {
+                write!(f, "{txn} exhausted its IO retry budget; restarting")
+            }
+            TraceEvent::Rejected { txn, deadline } => {
+                write!(f, "{txn} rejected at admission (deadline {deadline})")
+            }
             TraceEvent::Commit { txn, lateness_ms } => {
                 if *lateness_ms > 0.0 {
                     write!(f, "{txn} commits LATE by {lateness_ms:.1} ms")

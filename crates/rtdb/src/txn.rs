@@ -47,12 +47,20 @@ pub enum TxnState {
     IoQueued,
     /// Its disk transfer is in progress.
     IoActive,
+    /// Its last disk transfer failed with an injected transient error; the
+    /// transaction is off the disk, holding its locks, waiting out an
+    /// exponential-backoff delay before re-queueing the transfer.
+    IoBackoff,
     /// Blocked waiting for a write lock held by a *higher-priority*
     /// transaction (HP wound-wait: a requester only aborts lower-priority
     /// holders). Under CCA this state is unreachable — the paper's "no
     /// lock wait" property — but EDF-HP's unrestricted IO-wait secondaries
     /// can hit locks held by the IO-blocked `TH` and must wait.
     LockWait,
+    /// Rejected on arrival by admission control; never executed. A
+    /// terminal state, like [`TxnState::Committed`], but counted in the
+    /// `rejected` outcome class instead of commit/miss statistics.
+    Rejected,
     /// Committed; out of the system.
     Committed,
 }
@@ -139,6 +147,17 @@ pub struct Transaction {
     /// completes ("it is not deleted until it releases the disk") and only
     /// then does the transaction re-enter the ready queue from scratch.
     pub doomed: bool,
+    /// When `doomed` was set: from here until the transfer releases the
+    /// disk, the hold time is wasted and attributed to metrics.
+    pub doomed_at: SimTime,
+    /// Consecutive injected-fault retries of the *current* disk transfer.
+    /// Reset on a successful transfer and on restart.
+    pub io_retries: u32,
+    /// Monotonic token identifying the latest backoff this transaction
+    /// armed; a retry event carrying a stale token is ignored (the
+    /// transaction was aborted and restarted while the event was in
+    /// flight).
+    pub retry_token: u64,
     /// Commit time, once committed.
     pub finish: Option<SimTime>,
 }
@@ -149,9 +168,10 @@ impl Transaction {
         self.items.len()
     }
 
-    /// True iff the transaction is still in the system.
+    /// True iff the transaction is still in the system (neither committed
+    /// nor rejected at admission).
     pub fn is_active(&self) -> bool {
-        self.state != TxnState::Committed
+        !matches!(self.state, TxnState::Committed | TxnState::Rejected)
     }
 
     /// True iff the transaction can be put on the CPU right now.
@@ -219,6 +239,7 @@ impl Transaction {
         self.service = SimDuration::ZERO;
         self.restarts += 1;
         self.waiting_for = None;
+        self.io_retries = 0;
         // A restart re-executes from the root of the transaction tree, so
         // the analysis is pessimistic again.
         if let Some(d) = &self.decision {
@@ -290,6 +311,9 @@ mod tests {
             decision: None,
             criticality: 0,
             doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
             finish: None,
         }
     }
@@ -331,7 +355,9 @@ mod tests {
         t.stage = Stage::Compute;
         t.accessed.insert(ItemId(1));
         t.service = SimDuration::from_ms(12.0);
+        t.io_retries = 2;
         t.reset_for_restart();
+        assert_eq!(t.io_retries, 0, "retry budget is per-incarnation");
         assert_eq!(t.progress, 0);
         assert_eq!(t.stage, Stage::Lock);
         assert!(t.accessed.is_empty());
@@ -360,7 +386,9 @@ mod tests {
             (TxnState::Running, true),
             (TxnState::IoQueued, false),
             (TxnState::IoActive, false),
+            (TxnState::IoBackoff, false),
             (TxnState::LockWait, false),
+            (TxnState::Rejected, false),
             (TxnState::Committed, false),
         ] {
             t.state = state;

@@ -236,6 +236,9 @@ impl<'c> ArrivalGenerator<'c> {
             decision: None,
             criticality,
             doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
             finish: None,
         })
     }

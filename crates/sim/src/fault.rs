@@ -1,0 +1,387 @@
+//! Deterministic disk-fault injection plans.
+//!
+//! The paper evaluates scheduling policies under clean overload only; a
+//! robust reproduction must also survive *misbehaving* hardware. A
+//! [`FaultPlan`] describes, per run, how the simulated disk misbehaves:
+//!
+//! * **transient IO errors** — an attempt occupies the disk for its full
+//!   service time and then fails; the issuing transaction retries with
+//!   exponential backoff until a retry budget is exhausted;
+//! * **latency spikes** — an attempt takes `spike_factor ×` its nominal
+//!   service time;
+//! * **brownout windows** — recurring bounded windows of simulated time
+//!   during which the error probability is elevated and every transfer is
+//!   slowed by a latency factor.
+//!
+//! Faults are drawn from a dedicated RNG stream (label `"faults"`) owned
+//! by a [`FaultInjector`], so enabling injection never perturbs the
+//! workload streams — and a plan of [`FaultPlan::none()`] performs **no
+//! draws at all**, keeping fault-free runs byte-identical to runs built
+//! before this subsystem existed.
+
+use crate::dist::uniform_unit;
+use crate::rng::{StreamSeeder, Xoshiro256};
+use crate::time::{SimDuration, SimTime};
+
+/// A recurring bounded window of degraded disk service ("brownout").
+///
+/// The window is active whenever `now mod period_ms < duration_ms`, so the
+/// first window starts at time zero and recurs every `period_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brownout {
+    /// Window recurrence period, ms (must be positive).
+    pub period_ms: f64,
+    /// Length of each window, ms (`0 ≤ duration ≤ period`).
+    pub duration_ms: f64,
+    /// Transient-error probability inside the window (replaces the plan's
+    /// base probability when larger).
+    pub error_prob: f64,
+    /// Service-time multiplier inside the window (`≥ 1`).
+    pub latency_factor: f64,
+}
+
+impl Brownout {
+    /// Is the brownout window active at `now`?
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.period_ms > 0.0 && now.as_ms() % self.period_ms < self.duration_ms
+    }
+}
+
+/// The deterministic fault-injection plan for one run.
+///
+/// All probabilities are per disk-transfer *attempt*. The default plan is
+/// [`FaultPlan::none()`]: no errors, no spikes, no brownouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Base probability that an attempt fails with a transient error.
+    pub error_prob: f64,
+    /// Probability that an attempt suffers a latency spike.
+    pub spike_prob: f64,
+    /// Service-time multiplier of a spiked attempt (`≥ 1`).
+    pub spike_factor: f64,
+    /// Maximum number of *retries* after the first failed attempt before
+    /// the transaction is aborted-and-restarted like an HP victim.
+    pub retry_budget: u32,
+    /// Backoff before the first retry, ms; doubles on every further retry.
+    pub backoff_base_ms: f64,
+    /// Upper bound on any single backoff delay, ms.
+    pub backoff_cap_ms: f64,
+    /// Optional recurring degraded-service window.
+    pub brownout: Option<Brownout>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults are ever injected and no randomness is
+    /// consumed. Runs under this plan are byte-identical to runs of a
+    /// build without fault injection.
+    pub fn none() -> Self {
+        FaultPlan {
+            error_prob: 0.0,
+            spike_prob: 0.0,
+            spike_factor: 1.0,
+            retry_budget: 3,
+            backoff_base_ms: 1.0,
+            backoff_cap_ms: 8.0,
+            brownout: None,
+        }
+    }
+
+    /// True iff this plan can never inject a fault (the engine skips the
+    /// injector entirely, consuming no randomness).
+    pub fn is_none(&self) -> bool {
+        self.error_prob == 0.0 && self.spike_prob == 0.0 && self.brownout.is_none()
+    }
+
+    /// The backoff delay before retry number `retries + 1`, i.e. after
+    /// `retries` prior failures: `base × 2^retries`, capped.
+    pub fn backoff_after(&self, retries: u32) -> SimDuration {
+        let exp = retries.min(20); // 2^20 × base already dwarfs any cap
+        let raw = self.backoff_base_ms * f64::powi(2.0, exp as i32);
+        SimDuration::from_ms(raw.min(self.backoff_cap_ms))
+    }
+
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.error_prob) {
+            return Err(format!("error_prob {} outside [0,1]", self.error_prob));
+        }
+        if !(0.0..=1.0).contains(&self.spike_prob) {
+            return Err(format!("spike_prob {} outside [0,1]", self.spike_prob));
+        }
+        if !self.spike_factor.is_finite() || self.spike_factor < 1.0 {
+            return Err(format!("spike_factor {} must be ≥ 1", self.spike_factor));
+        }
+        if !self.backoff_base_ms.is_finite() || self.backoff_base_ms < 0.0 {
+            return Err(format!(
+                "backoff_base_ms {} must be ≥ 0",
+                self.backoff_base_ms
+            ));
+        }
+        if !self.backoff_cap_ms.is_finite() || self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(format!(
+                "backoff_cap_ms {} must be ≥ backoff_base_ms {}",
+                self.backoff_cap_ms, self.backoff_base_ms
+            ));
+        }
+        if let Some(b) = &self.brownout {
+            if !b.period_ms.is_finite() || b.period_ms <= 0.0 {
+                return Err(format!("brownout period {} must be positive", b.period_ms));
+            }
+            if !b.duration_ms.is_finite() || b.duration_ms < 0.0 || b.duration_ms > b.period_ms {
+                return Err(format!(
+                    "brownout duration {} outside [0, period {}]",
+                    b.duration_ms, b.period_ms
+                ));
+            }
+            if !(0.0..=1.0).contains(&b.error_prob) {
+                return Err(format!(
+                    "brownout error_prob {} outside [0,1]",
+                    b.error_prob
+                ));
+            }
+            if !b.latency_factor.is_finite() || b.latency_factor < 1.0 {
+                return Err(format!(
+                    "brownout latency_factor {} must be ≥ 1",
+                    b.latency_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The injector's verdict on one disk-transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attempt {
+    /// The attempt fails with a transient error after `service` elapses.
+    pub failed: bool,
+    /// The attempt drew a latency spike.
+    pub spiked: bool,
+    /// The attempt started inside a brownout window.
+    pub brownout: bool,
+    /// Time the attempt occupies the disk (spikes and brownouts applied).
+    pub service: SimDuration,
+}
+
+/// Draws per-attempt fault verdicts from a [`FaultPlan`] using a dedicated
+/// deterministic RNG stream.
+///
+/// Exactly two uniform draws are consumed per attempt regardless of the
+/// outcome, so the stream stays aligned across plan-parameter changes that
+/// keep the attempt sequence identical.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Xoshiro256,
+}
+
+impl FaultInjector {
+    /// A new injector drawing from the seeder's `"faults"` stream.
+    pub fn new(plan: FaultPlan, seeder: &StreamSeeder) -> Self {
+        FaultInjector {
+            plan,
+            rng: seeder.stream("faults"),
+        }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of one transfer attempt starting at `now` whose
+    /// nominal service time is `nominal`.
+    pub fn attempt(&mut self, now: SimTime, nominal: SimDuration) -> Attempt {
+        let u_err = uniform_unit(&mut self.rng);
+        let u_spike = uniform_unit(&mut self.rng);
+        let brown = self.plan.brownout.filter(|b| b.active_at(now));
+        let error_prob = match &brown {
+            Some(b) => self.plan.error_prob.max(b.error_prob),
+            None => self.plan.error_prob,
+        };
+        let failed = u_err < error_prob;
+        let spiked = u_spike < self.plan.spike_prob;
+        let mut service = nominal;
+        if spiked {
+            service = service.scale(self.plan.spike_factor);
+        }
+        if let Some(b) = &brown {
+            service = service.scale(b.latency_factor);
+        }
+        Attempt {
+            failed,
+            spiked,
+            brownout: brown.is_some(),
+            service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(error: f64, spike: f64) -> FaultPlan {
+        FaultPlan {
+            error_prob: error,
+            spike_prob: spike,
+            spike_factor: 4.0,
+            retry_budget: 3,
+            backoff_base_ms: 2.0,
+            backoff_cap_ms: 16.0,
+            brownout: None,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+        assert!(!plan(0.1, 0.0).is_none());
+        assert!(!plan(0.0, 0.1).is_none());
+        let mut p = FaultPlan::none();
+        p.brownout = Some(Brownout {
+            period_ms: 100.0,
+            duration_ms: 10.0,
+            error_prob: 0.5,
+            latency_factor: 2.0,
+        });
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = plan(0.1, 0.0);
+        assert_eq!(p.backoff_after(0), SimDuration::from_ms(2.0));
+        assert_eq!(p.backoff_after(1), SimDuration::from_ms(4.0));
+        assert_eq!(p.backoff_after(2), SimDuration::from_ms(8.0));
+        assert_eq!(p.backoff_after(3), SimDuration::from_ms(16.0));
+        assert_eq!(p.backoff_after(4), SimDuration::from_ms(16.0), "capped");
+        assert_eq!(
+            p.backoff_after(40),
+            SimDuration::from_ms(16.0),
+            "no overflow"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        assert!(FaultPlan::none().validate().is_ok());
+        let mut p = plan(1.5, 0.0);
+        assert!(p.validate().is_err());
+        p = plan(0.1, 0.0);
+        p.spike_factor = 0.5;
+        assert!(p.validate().is_err());
+        p = plan(0.1, 0.0);
+        p.backoff_cap_ms = 0.5; // below base
+        assert!(p.validate().is_err());
+        p = plan(0.1, 0.0);
+        p.brownout = Some(Brownout {
+            period_ms: 0.0,
+            duration_ms: 0.0,
+            error_prob: 0.1,
+            latency_factor: 1.0,
+        });
+        assert!(p.validate().is_err());
+        p = plan(0.1, 0.0);
+        p.brownout = Some(Brownout {
+            period_ms: 100.0,
+            duration_ms: 200.0,
+            error_prob: 0.1,
+            latency_factor: 1.0,
+        });
+        assert!(p.validate().is_err(), "duration exceeds period");
+    }
+
+    #[test]
+    fn brownout_window_schedule() {
+        let b = Brownout {
+            period_ms: 100.0,
+            duration_ms: 10.0,
+            error_prob: 1.0,
+            latency_factor: 2.0,
+        };
+        assert!(b.active_at(SimTime::from_ms(0.0)));
+        assert!(b.active_at(SimTime::from_ms(9.9)));
+        assert!(!b.active_at(SimTime::from_ms(10.0)));
+        assert!(!b.active_at(SimTime::from_ms(99.0)));
+        assert!(b.active_at(SimTime::from_ms(105.0)));
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let seeder = StreamSeeder::new(7);
+        let mut a = FaultInjector::new(plan(0.3, 0.3), &seeder);
+        let mut b = FaultInjector::new(plan(0.3, 0.3), &seeder);
+        for i in 0..200 {
+            let now = SimTime::from_ms(i as f64 * 13.0);
+            let nominal = SimDuration::from_ms(25.0);
+            assert_eq!(a.attempt(now, nominal), b.attempt(now, nominal));
+        }
+    }
+
+    #[test]
+    fn certain_error_always_fails() {
+        let seeder = StreamSeeder::new(1);
+        let mut inj = FaultInjector::new(plan(1.0, 0.0), &seeder);
+        for _ in 0..50 {
+            let a = inj.attempt(SimTime::ZERO, SimDuration::from_ms(25.0));
+            assert!(a.failed);
+            assert!(!a.spiked);
+            assert_eq!(a.service, SimDuration::from_ms(25.0));
+        }
+    }
+
+    #[test]
+    fn spike_scales_service() {
+        let seeder = StreamSeeder::new(2);
+        let mut inj = FaultInjector::new(plan(0.0, 1.0), &seeder);
+        let a = inj.attempt(SimTime::ZERO, SimDuration::from_ms(25.0));
+        assert!(a.spiked && !a.failed);
+        assert_eq!(a.service, SimDuration::from_ms(100.0));
+    }
+
+    #[test]
+    fn brownout_elevates_error_and_latency() {
+        let mut p = plan(0.0, 0.0);
+        p.brownout = Some(Brownout {
+            period_ms: 1000.0,
+            duration_ms: 100.0,
+            error_prob: 1.0,
+            latency_factor: 3.0,
+        });
+        let seeder = StreamSeeder::new(3);
+        let mut inj = FaultInjector::new(p, &seeder);
+        let inside = inj.attempt(SimTime::from_ms(50.0), SimDuration::from_ms(10.0));
+        assert!(inside.failed && inside.brownout);
+        assert_eq!(inside.service, SimDuration::from_ms(30.0));
+        let outside = inj.attempt(SimTime::from_ms(500.0), SimDuration::from_ms(10.0));
+        assert!(!outside.failed && !outside.brownout);
+        assert_eq!(outside.service, SimDuration::from_ms(10.0));
+    }
+
+    #[test]
+    fn fixed_draw_count_keeps_stream_aligned() {
+        // Two injectors with different spike probabilities see the same
+        // error draws: outcome of the error coin must not depend on
+        // whether spikes are enabled.
+        let seeder = StreamSeeder::new(11);
+        let mut with_spikes = FaultInjector::new(plan(0.5, 0.9), &seeder);
+        let mut without = FaultInjector::new(plan(0.5, 0.0), &seeder);
+        for i in 0..100 {
+            let now = SimTime::from_ms(i as f64);
+            let d = SimDuration::from_ms(25.0);
+            assert_eq!(
+                with_spikes.attempt(now, d).failed,
+                without.attempt(now, d).failed
+            );
+        }
+    }
+}

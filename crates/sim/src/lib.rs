@@ -10,6 +10,8 @@
 //!   independently derivable streams per simulation component;
 //! * [`dist`] — the exact variate families the workload model needs
 //!   (exponential, normal, uniform, Bernoulli, distinct sampling);
+//! * [`fault`] — deterministic disk-fault injection plans (transient IO
+//!   errors, latency spikes, brownout windows) on a dedicated RNG stream;
 //! * [`stats`] — within-run accumulators, time-weighted state averages and
 //!   across-replication confidence intervals;
 //! * [`hist`] — log-bucketed histograms for tail quantiles.
@@ -46,12 +48,14 @@
 
 pub mod calendar;
 pub mod dist;
+pub mod fault;
 pub mod hist;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventHandle, Fired};
+pub use fault::{Attempt, Brownout, FaultInjector, FaultPlan};
 pub use hist::Histogram;
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use stats::{Accumulator, Estimate, Replications, TimeWeighted};

@@ -109,6 +109,9 @@ fn build_day(rate_tps: f64, n: usize, seed: u64) -> Vec<Transaction> {
                 decision: None,
                 criticality: 0,
                 doomed: false,
+                doomed_at: SimTime::ZERO,
+                io_retries: 0,
+                retry_token: 0,
                 finish: None,
             }
         })

@@ -29,6 +29,11 @@ fn assert_identical(a: &AggregateSummary, b: &AggregateSummary) {
         (a.cpu_utilization, b.cpu_utilization),
         (a.disk_utilization, b.disk_utilization),
         (a.mean_response_ms, b.mean_response_ms),
+        (a.rejected_percent, b.rejected_percent),
+        (a.injected_io_faults, b.injected_io_faults),
+        (a.io_retries, b.io_retries),
+        (a.io_exhausted_aborts, b.io_exhausted_aborts),
+        (a.wasted_disk_hold_ms, b.wasted_disk_hold_ms),
     ] {
         assert_eq!(la.mean.to_bits(), lb.mean.to_bits(), "{}: mean", a.policy);
         assert_eq!(

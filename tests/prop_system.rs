@@ -113,6 +113,9 @@ fn build(specs: &[TxnSpec], cfg: &SimConfig, with_modes: bool) -> Vec<Transactio
                 decision,
                 criticality: 0,
                 doomed: false,
+                doomed_at: SimTime::ZERO,
+                io_retries: 0,
+                retry_token: 0,
                 finish: None,
             }
         })

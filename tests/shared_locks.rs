@@ -144,6 +144,9 @@ fn written_is_subset_of_accessed_oracle() {
         decision: None,
         criticality: 0,
         doomed: false,
+        doomed_at: SimTime::ZERO,
+        io_retries: 0,
+        retry_token: 0,
         finish: None,
     };
     assert_eq!(t.current_mode(), LockMode::Shared);
