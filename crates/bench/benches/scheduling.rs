@@ -70,11 +70,7 @@ fn bench_priority_eval(c: &mut Criterion) {
     ];
     for &plist in &[1usize, 2, 8, 32] {
         let txns = system(plist);
-        let view = SystemView {
-            now: SimTime::from_ms(500.0),
-            txns: &txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        };
+        let view = SystemView::new(SimTime::from_ms(500.0), &txns, SimDuration::from_ms(4.0));
         let candidate = &txns[plist];
         for (name, policy) in &policies {
             group.bench_with_input(BenchmarkId::new(*name, plist), &plist, |b, _| {
@@ -89,11 +85,7 @@ fn bench_penalty(c: &mut Criterion) {
     let mut group = c.benchmark_group("penalty_of_conflict");
     for &plist in &[1usize, 2, 8, 32] {
         let txns = system(plist);
-        let view = SystemView {
-            now: SimTime::from_ms(500.0),
-            txns: &txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        };
+        let view = SystemView::new(SimTime::from_ms(500.0), &txns, SimDuration::from_ms(4.0));
         let candidate = &txns[plist];
         group.bench_with_input(BenchmarkId::from_parameter(plist), &plist, |b, _| {
             b.iter(|| black_box(rtx_core::penalty_of_conflict(candidate, &view)));
@@ -124,6 +116,32 @@ fn bench_lock_table(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-run scheduling cost at high multiprogramming levels: a burst
+/// arrival pattern keeps ~all `n` transactions simultaneously active, so
+/// every reschedule pass walks an `n`-deep system. `cached` is the
+/// production incremental engine; `cold` is the always-recompute oracle
+/// (the pre-incremental hot loop, preserved as [`CacheMode::AlwaysRecompute`]).
+fn bench_high_mpl(c: &mut Criterion) {
+    use rtx_rtdb::{run_simulation_with_mode, CacheMode, SimConfig};
+    let mut group = c.benchmark_group("high_mpl_run");
+    group.sample_size(10);
+    for &mpl in &[64usize, 256] {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = mpl;
+        // Arrivals far faster than service: the active set ramps to ~mpl.
+        cfg.run.arrival_rate_tps = 2_000.0;
+        for (name, mode) in [
+            ("cca_cached", CacheMode::Incremental),
+            ("cca_cold", CacheMode::AlwaysRecompute),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, mpl), &mpl, |b, _| {
+                b.iter(|| black_box(run_simulation_with_mode(&cfg, &Cca::base(), mode)));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_unused(_: &mut Criterion) {
     // Keep DataSet in scope for the doc reference above.
     let _ = DataSet::new();
@@ -132,6 +150,6 @@ fn bench_unused(_: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_priority_eval, bench_penalty, bench_lock_table, bench_unused
+    targets = bench_priority_eval, bench_penalty, bench_lock_table, bench_high_mpl, bench_unused
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--plot] [--jobs N] [--out DIR]
-//!             [--faults] [--admission] <id>... | all | list
+//!             [--faults] [--admission] [--bench-profile] <id>... | all | list
 //! ```
 //!
 //! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
@@ -13,6 +13,11 @@
 //! `--faults` and `--admission` are shorthands that enqueue the
 //! fault-injection robustness sweeps (`faults` and `faults-admission`
 //! respectively) alongside any ids given.
+//!
+//! `--bench-profile` runs the scheduler-overhead profile (incremental
+//! engine vs the always-recompute oracle, wall-clock timed) and writes
+//! `<out>/BENCH_scheduling.json`. It may be given alone or alongside
+//! experiment ids.
 //!
 //! Replications fan out across worker threads (`--jobs N`; default: all
 //! available hardware threads; `--jobs 1` forces serial). The merge is
@@ -32,7 +37,7 @@ use rtx_rtdb::runner::{Parallelism, ReplicationOptions};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] \
-         [--faults] [--admission] <id>... | all | list"
+         [--faults] [--admission] [--bench-profile] <id>... | all | list"
     );
     eprintln!("ids: {}", ALL_IDS.join(" "));
     ExitCode::FAILURE
@@ -76,6 +81,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut plot = false;
     let mut parallelism = Parallelism::Auto;
+    let mut bench_profile = false;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -85,6 +91,7 @@ fn main() -> ExitCode {
             "--plot" => plot = true,
             "--faults" => ids.push("faults".to_string()),
             "--admission" => ids.push("faults-admission".to_string()),
+            "--bench-profile" => bench_profile = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return usage(),
@@ -107,13 +114,30 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    if ids.is_empty() && !bench_profile {
         return usage();
     }
     for id in &ids {
         if id != "all" && !ALL_IDS.contains(&id.as_str()) {
             eprintln!("unknown experiment id: {id}");
             return usage();
+        }
+    }
+
+    if bench_profile {
+        let json = rtx_bench::bench_profile_json();
+        let path = out_dir.join("BENCH_scheduling.json");
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("failed to create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench profile -> {}", path.display());
+        if ids.is_empty() {
+            return ExitCode::SUCCESS;
         }
     }
 

@@ -21,9 +21,11 @@
 
 pub mod experiments;
 pub mod plot;
+pub mod profile;
 pub mod table;
 
 pub use plot::render_chart;
+pub use profile::bench_profile_json;
 pub use table::Table;
 
 /// Controls experiment size: full paper scale or a fast smoke pass.

@@ -1,0 +1,164 @@
+//! Scheduler-overhead profiling: the `--bench-profile` mode.
+//!
+//! Runs matched pairs of simulations — the production incremental engine
+//! ([`CacheMode::Incremental`]) against the always-recompute oracle
+//! ([`CacheMode::AlwaysRecompute`], the pre-incremental hot loop kept
+//! verbatim) — with wall-clock timing of `pick_next` enabled, checks the
+//! two trajectories agree bit-for-bit, and renders the counters plus the
+//! measured speedup as `BENCH_scheduling.json`.
+//!
+//! The scheduler wall time is a *profiling artifact*: it varies by
+//! machine and run, unlike every other field the simulator emits. The
+//! committed JSON is a baseline snapshot, not a byte-reproducible
+//! output; the counters and the `identical` flags are the deterministic
+//! part.
+
+use rtx_core::Cca;
+use rtx_rtdb::{
+    run_simulation_profiled_with_mode, CacheMode, Policy, RunSummary, SchedStats, SimConfig,
+};
+
+/// One scenario of the profile: a config and a policy, run `reps` times
+/// (distinct seeds) under both cache modes.
+struct Scenario {
+    name: &'static str,
+    cfg: SimConfig,
+    reps: u64,
+}
+
+/// Accumulated counters for one (scenario, mode) cell.
+#[derive(Default)]
+struct Cell {
+    sched: SchedStats,
+    committed: u64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // High-MPL burst: arrivals far faster than service, so ~all
+    // transactions are simultaneously active and every reschedule pass
+    // walks an n-deep system. This is where the caches matter most.
+    for &mpl in &[64usize, 256] {
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = mpl;
+        cfg.run.arrival_rate_tps = 2_000.0;
+        out.push(Scenario {
+            name: if mpl == 64 {
+                "mm_cca_burst_mpl64"
+            } else {
+                "mm_cca_burst_mpl256"
+            },
+            cfg,
+            reps: 5,
+        });
+    }
+    // Paper-scale steady state on main memory and disk: the P-list stays
+    // short here (§3.3), so this bounds the *overhead* of the
+    // bookkeeping in the regime the paper argues is typical.
+    let mut mm = SimConfig::mm_base();
+    mm.run.num_transactions = 2_000;
+    mm.run.arrival_rate_tps = 9.0;
+    out.push(Scenario {
+        name: "mm_cca_steady",
+        cfg: mm,
+        reps: 3,
+    });
+    let mut disk = SimConfig::disk_base();
+    disk.run.num_transactions = 1_000;
+    disk.run.arrival_rate_tps = 4.0;
+    out.push(Scenario {
+        name: "disk_cca_steady",
+        cfg: disk,
+        reps: 3,
+    });
+    out
+}
+
+fn run_cell(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    reps: u64,
+    mode: CacheMode,
+) -> (Cell, Vec<RunSummary>) {
+    let mut cell = Cell::default();
+    let mut outcomes = Vec::new();
+    for rep in 0..reps {
+        let mut c = cfg.clone();
+        c.run.seed = rep;
+        let s = run_simulation_profiled_with_mode(&c, policy, mode);
+        cell.sched.pick_next_calls += s.sched.pick_next_calls;
+        cell.sched.priority_evals += s.sched.priority_evals;
+        cell.sched.priority_cache_hits += s.sched.priority_cache_hits;
+        cell.sched.pair_checks += s.sched.pair_checks;
+        cell.sched.pair_cache_hits += s.sched.pair_cache_hits;
+        cell.sched.sched_wall_ns += s.sched.sched_wall_ns;
+        cell.committed += s.committed;
+        // Everything but the scheduler's own instrumentation must be
+        // identical across modes.
+        outcomes.push(s.sans_sched_stats());
+    }
+    (cell, outcomes)
+}
+
+fn cell_json(cell: &Cell, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"sched_wall_ns\": {},\n{indent}  \"pick_next_calls\": {},\n\
+         {indent}  \"priority_evals\": {},\n{indent}  \"priority_cache_hits\": {},\n\
+         {indent}  \"pair_checks\": {},\n{indent}  \"pair_cache_hits\": {},\n\
+         {indent}  \"committed\": {}\n{indent}}}",
+        cell.sched.sched_wall_ns,
+        cell.sched.pick_next_calls,
+        cell.sched.priority_evals,
+        cell.sched.priority_cache_hits,
+        cell.sched.pair_checks,
+        cell.sched.pair_cache_hits,
+        cell.committed,
+    )
+}
+
+/// Run the scheduler-overhead profile and render `BENCH_scheduling.json`.
+///
+/// Returns the JSON document. Panics if any scenario's incremental
+/// trajectory diverges from the recompute oracle — the profile doubles
+/// as an end-to-end equivalence check at realistic scales.
+pub fn bench_profile_json() -> String {
+    let policy = Cca::base();
+    let mut entries = Vec::new();
+    for sc in scenarios() {
+        eprintln!("profiling {} ({} reps x 2 modes)…", sc.name, sc.reps);
+        let (cold, cold_outcomes) = run_cell(&sc.cfg, &policy, sc.reps, CacheMode::AlwaysRecompute);
+        let (cached, cached_outcomes) = run_cell(&sc.cfg, &policy, sc.reps, CacheMode::Incremental);
+        assert_eq!(
+            cold_outcomes, cached_outcomes,
+            "{}: incremental trajectory diverged from the recompute oracle",
+            sc.name
+        );
+        let speedup = cold.sched.sched_wall_ns as f64 / cached.sched.sched_wall_ns.max(1) as f64;
+        eprintln!(
+            "  sched wall: cold {:.2} ms, cached {:.2} ms ({speedup:.2}x)",
+            cold.sched.sched_wall_ns as f64 / 1e6,
+            cached.sched.sched_wall_ns as f64 / 1e6,
+        );
+        entries.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"policy\": \"{}\",\n      \
+             \"num_transactions\": {},\n      \"arrival_rate_tps\": {:.1},\n      \
+             \"reps\": {},\n      \"identical_trajectories\": true,\n      \
+             \"recompute\": {},\n      \"incremental\": {},\n      \
+             \"sched_speedup\": {:.2}\n    }}",
+            sc.name,
+            policy.name(),
+            sc.cfg.run.num_transactions,
+            sc.cfg.run.arrival_rate_tps,
+            sc.reps,
+            cell_json(&cold, "      "),
+            cell_json(&cached, "      "),
+            speedup,
+        ));
+    }
+    format!(
+        "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
+         \"note\": \"sched_wall_ns is machine-dependent; counters and identity flags are deterministic\",\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}

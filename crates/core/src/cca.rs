@@ -15,7 +15,7 @@
 //! every partially executed transaction during IO waits, eliminating
 //! noncontributing executions.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 use crate::penalty::penalty_of_conflict;
@@ -78,6 +78,13 @@ impl Policy for Cca {
     fn iowait_restrict(&self) -> bool {
         true
     }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // The penalty term reads the P-list membership, the victims'
+        // access sets and their effective service: time, own state and
+        // conflict state all matter.
+        PriorityDeps::ConflictState
+    }
 }
 
 #[cfg(test)]
@@ -127,11 +134,7 @@ mod tests {
     }
 
     fn view(txns: &[Transaction]) -> SystemView<'_> {
-        SystemView {
-            now: SimTime::ZERO,
-            txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        }
+        SystemView::new(SimTime::ZERO, txns, SimDuration::from_ms(4.0))
     }
 
     #[test]

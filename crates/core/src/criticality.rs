@@ -11,7 +11,7 @@
 //! classes), and it composes with HP/wound-wait unchanged: a critical
 //! transaction wounds its way past non-critical lock holders.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 /// Priority head-room per criticality class: larger than any |deadline +
@@ -51,6 +51,12 @@ impl<P: Policy> Policy for Criticality<P> {
 
     fn iowait_restrict(&self) -> bool {
         self.inner.iowait_restrict()
+    }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // The class offset is static; the base policy's dependencies are
+        // the wrapper's dependencies.
+        self.inner.depends_on()
     }
 }
 
@@ -96,11 +102,7 @@ mod tests {
     }
 
     fn view(txns: &[Transaction]) -> SystemView<'_> {
-        SystemView {
-            now: SimTime::ZERO,
-            txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        }
+        SystemView::new(SimTime::ZERO, txns, SimDuration::from_ms(4.0))
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the highest priority — the source of the noncontributing executions
 //! §3.3.2 describes.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 /// The EDF-HP baseline policy.
@@ -22,6 +22,11 @@ impl Policy for EdfHp {
 
     fn priority(&self, txn: &Transaction, _view: &SystemView<'_>) -> Priority {
         Priority(-txn.deadline.as_ms())
+    }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // The deadline is fixed at arrival: compute once, cache forever.
+        PriorityDeps::Static
     }
 }
 
@@ -68,11 +73,7 @@ mod tests {
     #[test]
     fn earlier_deadline_wins() {
         let txns = vec![mk(0, 50.0), mk(1, 200.0)];
-        let v = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::ZERO,
-        };
+        let v = SystemView::new(SimTime::ZERO, &txns, SimDuration::ZERO);
         assert!(EdfHp.priority(&txns[0], &v) > EdfHp.priority(&txns[1], &v));
     }
 

@@ -12,7 +12,7 @@
 //! a penalty weight large enough that any non-zero penalty dominates any
 //! deadline in the simulated horizon.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 use crate::penalty::conflicting_victims;
@@ -38,6 +38,11 @@ impl Policy for EdfWait {
 
     fn iowait_restrict(&self) -> bool {
         true
+    }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // The victim count reads P-list membership and access sets.
+        PriorityDeps::ConflictState
     }
 }
 
@@ -88,11 +93,7 @@ mod tests {
             mk(1, 20.0, &[1], &[]),    // conflicts, urgent deadline
             mk(2, 99999.0, &[9], &[]), // conflict-free, distant deadline
         ];
-        let v = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        };
+        let v = SystemView::new(SimTime::ZERO, &txns, SimDuration::from_ms(4.0));
         let p_conflicting = EdfWait.priority(&txns[1], &v);
         let p_free = EdfWait.priority(&txns[2], &v);
         assert!(
@@ -104,11 +105,7 @@ mod tests {
     #[test]
     fn ties_fall_back_to_deadline() {
         let txns = vec![mk(0, 50.0, &[1], &[]), mk(1, 100.0, &[2], &[])];
-        let v = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::ZERO,
-        };
+        let v = SystemView::new(SimTime::ZERO, &txns, SimDuration::ZERO);
         assert!(EdfWait.priority(&txns[0], &v) > EdfWait.priority(&txns[1], &v));
     }
 

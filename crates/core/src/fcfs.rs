@@ -3,7 +3,7 @@
 //! Not evaluated in the paper, but useful as a floor: it shows how much of
 //! CCA's and EDF's advantage comes from using deadline information at all.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 /// The FCFS baseline: earlier arrival = higher priority.
@@ -17,6 +17,11 @@ impl Policy for Fcfs {
 
     fn priority(&self, txn: &Transaction, _view: &SystemView<'_>) -> Priority {
         Priority(-txn.arrival.as_ms())
+    }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // The arrival time never changes: compute once, cache forever.
+        PriorityDeps::Static
     }
 }
 
@@ -63,11 +68,7 @@ mod tests {
     #[test]
     fn earlier_arrival_wins() {
         let txns = vec![mk(0, 5.0), mk(1, 50.0)];
-        let v = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::ZERO,
-        };
+        let v = SystemView::new(SimTime::ZERO, &txns, SimDuration::ZERO);
         assert!(Fcfs.priority(&txns[0], &v) > Fcfs.priority(&txns[1], &v));
         assert_eq!(Fcfs.name(), "FCFS");
     }

@@ -8,7 +8,7 @@
 //! (it ignores blocking and restarts), exactly the weakness the paper
 //! points at.
 
-use rtx_rtdb::policy::{Policy, Priority, SystemView};
+use rtx_rtdb::policy::{Policy, Priority, PriorityDeps, SystemView};
 use rtx_rtdb::txn::Transaction;
 
 /// The Least Slack First baseline.
@@ -32,6 +32,12 @@ impl Policy for Lsf {
     fn priority(&self, txn: &Transaction, view: &SystemView<'_>) -> Priority {
         let slack = txn.deadline.as_ms() - view.now.as_ms() - Self::remaining_estimate_ms(txn);
         Priority(-slack)
+    }
+
+    fn depends_on(&self) -> PriorityDeps {
+        // Slack reads the clock and the transaction's own progress, but
+        // no other transaction's state.
+        PriorityDeps::TimeAndSelf
     }
 }
 
@@ -76,11 +82,7 @@ mod tests {
     }
 
     fn view_at(txns: &[Transaction], now_ms: f64) -> SystemView<'_> {
-        SystemView {
-            now: SimTime::from_ms(now_ms),
-            txns,
-            abort_cost: SimDuration::ZERO,
-        }
+        SystemView::new(SimTime::from_ms(now_ms), txns, SimDuration::ZERO)
     }
 
     #[test]

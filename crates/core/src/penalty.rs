@@ -17,26 +17,24 @@ use rtx_rtdb::policy::SystemView;
 use rtx_rtdb::txn::Transaction;
 use rtx_sim::time::SimDuration;
 
-/// Is `partial` unsafe (or conditionally unsafe) with respect to
-/// `candidate`? Oracle evaluation over the instances' item sets.
-///
-/// Mode-aware: `partial` must be rolled back iff it *wrote* something the
-/// candidate might access, or it accessed (in any mode) something the
-/// candidate might *write*. For the paper's write-only workload both
-/// conditions collapse to `hasaccessed(partial) ∩ mightaccess(candidate)`.
-pub fn is_unsafe_with(partial: &Transaction, candidate: &Transaction) -> bool {
-    partial.written.intersects(&candidate.might_access)
-        || candidate.might_write_into(&partial.accessed)
-}
+// The unsafety test lives with the transaction state (so the engine's
+// pair memo shares the single definition its cached verdicts must stay
+// bit-identical to); re-exported here, its historical home.
+pub use rtx_rtdb::txn::is_unsafe_with;
 
 /// The penalty of conflict of `candidate`: the total effective service
 /// time plus rollback time of every partially executed transaction that
 /// would have to be rolled back for `candidate` to run to its commit
 /// point without interruption.
+///
+/// The pair tests go through [`SystemView::is_unsafe_with`], so inside
+/// the engine they hit the version-gated memo; the sum itself is over
+/// exact integer durations, so its value is independent of evaluation
+/// order and of whether verdicts came from the cache.
 pub fn penalty_of_conflict(candidate: &Transaction, view: &SystemView<'_>) -> SimDuration {
     let mut total = SimDuration::ZERO;
     for t in view.partially_executed(candidate.id) {
-        if is_unsafe_with(t, candidate) {
+        if view.is_unsafe_with(t, candidate) {
             total += t.effective_service(view.now) + view.abort_cost;
         }
     }
@@ -46,7 +44,7 @@ pub fn penalty_of_conflict(candidate: &Transaction, view: &SystemView<'_>) -> Si
 /// The number of transactions `candidate` would destroy (the `m` above).
 pub fn conflicting_victims(candidate: &Transaction, view: &SystemView<'_>) -> usize {
     view.partially_executed(candidate.id)
-        .filter(|t| is_unsafe_with(t, candidate))
+        .filter(|t| view.is_unsafe_with(t, candidate))
         .count()
 }
 
@@ -92,11 +90,7 @@ mod tests {
     }
 
     fn view(txns: &[Transaction]) -> SystemView<'_> {
-        SystemView {
-            now: SimTime::ZERO,
-            txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        }
+        SystemView::new(SimTime::ZERO, txns, SimDuration::from_ms(4.0))
     }
 
     #[test]

@@ -56,16 +56,19 @@ impl DataSet {
     }
 
     /// Number of items in the set.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True iff the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Insert an item; returns `true` if it was not already present.
+    #[inline]
     pub fn insert(&mut self, item: ItemId) -> bool {
         let (w, m) = Self::locate(item);
         if w >= self.words.len() {
@@ -81,6 +84,7 @@ impl DataSet {
     }
 
     /// Remove an item; returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, item: ItemId) -> bool {
         let (w, m) = Self::locate(item);
         if w < self.words.len() && self.words[w] & m != 0 {
@@ -93,6 +97,7 @@ impl DataSet {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, item: ItemId) -> bool {
         let (w, m) = Self::locate(item);
         w < self.words.len() && self.words[w] & m != 0
@@ -107,19 +112,31 @@ impl DataSet {
     /// True iff `self` and `other` share no item. This is the hot query:
     /// "two transactions don't conflict if … they won't access overlapping
     /// data sets".
+    #[inline]
     pub fn is_disjoint(&self, other: &DataSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        // An empty side decides without touching either word vector; items
+        // past min(words.len()) cannot overlap, so the loop stops there and
+        // bails on the first shared word.
+        if self.len == 0 || other.len == 0 {
+            return true;
+        }
+        let n = self.words.len().min(other.words.len());
+        for i in 0..n {
+            if self.words[i] & other.words[i] != 0 {
+                return false;
+            }
+        }
+        true
     }
 
     /// True iff the sets share at least one item.
+    #[inline]
     pub fn intersects(&self, other: &DataSet) -> bool {
         !self.is_disjoint(other)
     }
 
     /// True iff every item of `self` is in `other`.
+    #[inline]
     pub fn is_subset(&self, other: &DataSet) -> bool {
         self.words.iter().enumerate().all(|(i, &a)| {
             let b = other.words.get(i).copied().unwrap_or(0);

@@ -22,6 +22,9 @@
 //!   immediately; one aborted mid-transfer holds the disk until the
 //!   transfer completes (§5).
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
 use rtx_sim::calendar::{Calendar, EventHandle};
 use rtx_sim::fault::FaultInjector;
 use rtx_sim::rng::StreamSeeder;
@@ -31,8 +34,9 @@ use crate::config::{AdmissionConfig, SimConfig};
 use crate::disk::Disk;
 use crate::error::RunError;
 use crate::locks::{LockMode, LockOutcome, LockTable};
-use crate::metrics::{MetricsCollector, RunSummary};
-use crate::policy::{Policy, Priority, SystemView};
+use crate::metrics::{MetricsCollector, RunSummary, SchedStats};
+use crate::policy::{Policy, Priority, PriorityDeps, SystemView};
+use crate::sched::{CacheMode, ConflictAccel};
 use crate::source::TxnSource;
 use crate::trace::{Trace, TraceEvent};
 use crate::txn::{Stage, Transaction, TxnId, TxnState};
@@ -62,6 +66,32 @@ enum Started {
     Blocked,
 }
 
+/// One cached priority value, stamped with the inputs it was computed
+/// from. Which stamps must match for the entry to be reused depends on
+/// the policy's declared [`PriorityDeps`].
+#[derive(Clone, Copy)]
+struct PriEntry {
+    value: Priority,
+    /// Simulation time the value was computed at.
+    at: SimTime,
+    /// Global conflict epoch at computation time.
+    epoch: u64,
+    /// The transaction's own-state version at computation time.
+    own: u64,
+    /// False until first computed.
+    valid: bool,
+}
+
+impl PriEntry {
+    const INVALID: PriEntry = PriEntry {
+        value: Priority::MIN,
+        at: SimTime::ZERO,
+        epoch: 0,
+        own: 0,
+        valid: false,
+    };
+}
+
 struct EngineState<'p> {
     cfg: &'p SimConfig,
     policy: &'p dyn Policy,
@@ -87,6 +117,28 @@ struct EngineState<'p> {
     /// Whether the disk's *active* transfer was drawn to fail. Taken (and
     /// reset) when the transfer completes.
     active_io_failed: bool,
+    /// How priorities and conflict relations are evaluated (incremental
+    /// caches, always-recompute oracle, or verify-both).
+    mode: CacheMode,
+    /// Measure wall time in `pick_next`? Off in normal runs so summaries
+    /// stay comparable across machines.
+    profile: bool,
+    /// Incrementally maintained conflict state: the P-list, per-txn
+    /// version counters, the pairwise conflict memo and the epoch. Kept
+    /// up to date in every mode (it is the ground truth `Verify` checks
+    /// the scans against); only *consulted* outside `AlwaysRecompute`.
+    accel: ConflictAccel,
+    /// Number of active transactions in `TxnState::Ready`, maintained by
+    /// [`Self::set_state`] — replaces the per-event ready-queue scan.
+    ready_count: usize,
+    /// Per-transaction cached priorities (indexed by id), invalidated per
+    /// the policy's [`PriorityDeps`].
+    pri_cache: RefCell<Vec<PriEntry>>,
+    // Scheduler-overhead tallies (Cells: bumped from &self paths).
+    pick_next_calls: Cell<u64>,
+    priority_evals: Cell<u64>,
+    priority_cache_hits: Cell<u64>,
+    sched_wall_ns: Cell<u64>,
 }
 
 impl<'p> EngineState<'p> {
@@ -121,6 +173,15 @@ impl<'p> EngineState<'p> {
             trace: None,
             faults,
             active_io_failed: false,
+            mode: CacheMode::Incremental,
+            profile: false,
+            accel: ConflictAccel::new(cfg.run.num_transactions),
+            ready_count: 0,
+            pri_cache: RefCell::new(Vec::with_capacity(cfg.run.num_transactions)),
+            pick_next_calls: Cell::new(0),
+            priority_evals: Cell::new(0),
+            priority_cache_hits: Cell::new(0),
+            sched_wall_ns: Cell::new(0),
         }
     }
 
@@ -144,12 +205,115 @@ impl<'p> EngineState<'p> {
         &mut self.txns[id.0 as usize]
     }
 
+    /// The one place an *active* transaction's scheduling state changes:
+    /// maintains the ready counter that replaces the per-event ready-queue
+    /// scan. (Terminal states set on not-yet-pushed slots — admission
+    /// rejection — bypass this; they are never Ready-counted.)
+    fn set_state(&mut self, id: TxnId, new: TxnState) {
+        let old = self.txn(id).state;
+        if old == new {
+            return;
+        }
+        if old == TxnState::Ready {
+            self.ready_count -= 1;
+        }
+        if new == TxnState::Ready {
+            self.ready_count += 1;
+        }
+        self.txn_mut(id).state = new;
+    }
+
+    /// The view handed to policies: accel-backed unless the engine is the
+    /// always-recompute oracle.
+    fn view(&self) -> SystemView<'_> {
+        let abort_cost = self.cfg.system.abort_cost();
+        match self.mode {
+            CacheMode::AlwaysRecompute => SystemView::new(self.now(), &self.txns, abort_cost),
+            _ => SystemView::with_accel(self.now(), &self.txns, abort_cost, &self.accel),
+        }
+    }
+
+    /// A scan-based, memo-free view — what `Verify` recomputes against.
+    fn fresh_view(&self) -> SystemView<'_> {
+        SystemView::new(self.now(), &self.txns, self.cfg.system.abort_cost())
+    }
+
+    /// The priority of `id` under the active cache mode.
+    ///
+    /// Cache validity is exactly what the policy's [`PriorityDeps`]
+    /// declares: `Static` entries never expire, `TimeAndSelf` entries
+    /// expire when time advances or the transaction's own state changes,
+    /// `ConflictState` entries additionally expire with the global
+    /// conflict epoch. `Volatile` (and the `AlwaysRecompute` oracle)
+    /// bypass the cache entirely. In `Verify` mode every returned value is
+    /// asserted bit-identical to a fresh scan-based recomputation.
+    fn priority_of(&self, id: TxnId) -> Priority {
+        let result = if self.mode == CacheMode::AlwaysRecompute {
+            self.priority_evals.set(self.priority_evals.get() + 1);
+            self.policy.priority(self.txn(id), &self.view())
+        } else {
+            let deps = self.policy.depends_on();
+            if deps == PriorityDeps::Volatile {
+                self.priority_evals.set(self.priority_evals.get() + 1);
+                self.policy.priority(self.txn(id), &self.view())
+            } else {
+                let now = self.now();
+                let epoch = self.accel.epoch();
+                let own = self.accel.own_version(id);
+                let idx = id.0 as usize;
+                let cached = self.pri_cache.borrow()[idx];
+                let hit = cached.valid
+                    && match deps {
+                        PriorityDeps::Static => true,
+                        PriorityDeps::TimeAndSelf => cached.at == now && cached.own == own,
+                        PriorityDeps::ConflictState => {
+                            cached.at == now && cached.epoch == epoch && cached.own == own
+                        }
+                        PriorityDeps::Volatile => unreachable!("handled above"),
+                    };
+                if hit {
+                    self.priority_cache_hits
+                        .set(self.priority_cache_hits.get() + 1);
+                    cached.value
+                } else {
+                    self.priority_evals.set(self.priority_evals.get() + 1);
+                    let value = self.policy.priority(self.txn(id), &self.view());
+                    self.pri_cache.borrow_mut()[idx] = PriEntry {
+                        value,
+                        at: now,
+                        epoch,
+                        own,
+                        valid: true,
+                    };
+                    value
+                }
+            }
+        };
+        if self.mode == CacheMode::Verify {
+            let fresh = self.policy.priority(self.txn(id), &self.fresh_view());
+            assert_eq!(
+                result.0.to_bits(),
+                fresh.0.to_bits(),
+                "{id}: cached priority {} != fresh {} (stale invalidation?)",
+                result.0,
+                fresh.0
+            );
+        }
+        result
+    }
+
     // ---- event handlers -------------------------------------------------
 
     fn on_arrival(&mut self, mut txn: Transaction) {
         debug_assert_eq!(txn.id.0 as usize, self.txns.len());
         let id = txn.id;
         let deadline = txn.deadline;
+        // Register with the acceleration layer before anything can look at
+        // the new id — rejected transactions too, so the id-indexed
+        // version/cache vectors stay dense. Arrival changes no conflict
+        // state (a fresh transaction holds nothing), so no epoch bump.
+        self.accel.register(id);
+        self.pri_cache.borrow_mut().push(PriEntry::INVALID);
         if let Some(adm) = self.cfg.system.admission {
             if !self.feasible(&txn, adm) {
                 // Reject at the door: the transaction never enters the
@@ -162,9 +326,11 @@ impl<'p> EngineState<'p> {
                 return;
             }
         }
+        debug_assert_eq!(txn.state, TxnState::Ready);
         self.txns.push(txn);
         self.secondary.push(false);
         self.active.push(id);
+        self.ready_count += 1;
         self.emit(|| TraceEvent::Arrival { txn: id, deadline });
         self.update_queue_metrics();
         self.reschedule(); // tr-arrival-schedule
@@ -176,12 +342,35 @@ impl<'p> EngineState<'p> {
     /// the penalty of conflict it would have to pay (or inflict) to run —
     /// inflated by the configured safety factor.
     fn feasible(&self, txn: &Transaction, adm: AdmissionConfig) -> bool {
-        let conflicts = self
-            .active
-            .iter()
-            .map(|&p| self.txn(p))
-            .filter(|p| p.is_partially_executed() && txn.conflicts_with(p))
-            .count() as u64;
+        let conflicts = match self.mode {
+            CacheMode::AlwaysRecompute => self
+                .active
+                .iter()
+                .map(|&p| self.txn(p))
+                .filter(|p| p.is_partially_executed() && txn.conflicts_with(p))
+                .count(),
+            _ => {
+                // The maintained P-list *is* the set the scan above
+                // filters `active` down to, and the pair memo returns the
+                // same verdicts as `conflicts_with`.
+                let n = self
+                    .accel
+                    .plist()
+                    .iter()
+                    .filter(|&&p| self.accel.conflicts(txn, self.txn(p)))
+                    .count();
+                if self.mode == CacheMode::Verify {
+                    let scanned = self
+                        .active
+                        .iter()
+                        .map(|&p| self.txn(p))
+                        .filter(|p| p.is_partially_executed() && txn.conflicts_with(p))
+                        .count();
+                    assert_eq!(n, scanned, "admission conflict count diverged");
+                }
+                n
+            }
+        } as u64;
         let penalty = self.cfg.system.abort_cost() * conflicts;
         let demand = (txn.resource_time + penalty).scale(adm.safety_factor);
         self.now() + demand <= txn.deadline
@@ -208,14 +397,21 @@ impl<'p> EngineState<'p> {
                 }
             }
             Stage::Compute => {
-                {
+                let narrowed = {
                     let t = self.txn_mut(id);
                     t.service += burst;
                     t.cpu_left = SimDuration::ZERO;
                     t.progress += 1;
                     // Branching workloads: the decision point executes with
                     // its update, narrowing the analytic mightaccess.
-                    t.maybe_execute_decision();
+                    t.maybe_execute_decision()
+                };
+                // Progress/service moved: own-state-dependent priorities
+                // (LSF) must recompute. A narrowing additionally changes
+                // the conflict relation system-wide.
+                self.accel.bump_own(id);
+                if narrowed {
+                    self.accel.note_narrowed(id);
                 }
                 if self.txn(id).progress == self.txn(id).total_updates() {
                     self.commit(id);
@@ -244,15 +440,14 @@ impl<'p> EngineState<'p> {
         if let Some(next_id) = self.disk.as_mut().expect("disk above").pop_next() {
             self.start_transfer(next_id);
         }
-        let t = self.txn_mut(id);
-        debug_assert_eq!(t.state, TxnState::IoActive);
-        if t.doomed {
+        debug_assert_eq!(self.txn(id).state, TxnState::IoActive);
+        if self.txn(id).doomed {
             // Aborted during the transfer: it now releases the disk and
             // re-enters the ready queue from scratch. Everything the
             // transfer did since the abort was wasted disk time.
-            t.doomed = false;
-            t.state = TxnState::Ready;
-            let wasted = now.since(t.doomed_at);
+            self.txn_mut(id).doomed = false;
+            self.set_state(id, TxnState::Ready);
+            let wasted = now.since(self.txn(id).doomed_at);
             self.metrics.add_wasted_disk_hold(wasted);
             self.emit(|| TraceEvent::IoDone { txn: id });
         } else if failed {
@@ -261,7 +456,8 @@ impl<'p> EngineState<'p> {
             self.handle_io_failure(id);
         } else {
             // The IO of the current update finished; the CPU burst remains.
-            t.state = TxnState::Ready;
+            self.set_state(id, TxnState::Ready);
+            let t = self.txn_mut(id);
             t.stage = Stage::Compute;
             t.cpu_left = t.update_time;
             t.io_retries = 0;
@@ -299,7 +495,7 @@ impl<'p> EngineState<'p> {
             .as_mut()
             .expect("transfer without a disk")
             .start(id, now, service);
-        self.txn_mut(id).state = TxnState::IoActive;
+        self.set_state(id, TxnState::IoActive);
         self.calendar.schedule(at, Event::IoDone(id));
     }
 
@@ -325,18 +521,20 @@ impl<'p> EngineState<'p> {
             let was_secondary = self.secondary[id.0 as usize];
             self.metrics.record_restart(was_secondary);
             self.secondary[id.0 as usize] = false;
-            let t = self.txn_mut(id);
-            t.reset_for_restart();
-            t.state = TxnState::Ready;
+            // The restart clears the access sets (and re-widens a
+            // narrowed mightaccess): leave the P-list, invalidate pairs.
+            self.accel.note_sets_cleared(id);
+            self.txn_mut(id).reset_for_restart();
+            self.set_state(id, TxnState::Ready);
         } else {
             self.emit(|| TraceEvent::IoFault { txn: id, retries });
             let backoff = plan.backoff_after(retries);
             self.metrics.record_io_retry(backoff);
             let at = self.now() + backoff;
+            self.set_state(id, TxnState::IoBackoff);
             let t = self.txn_mut(id);
             t.io_retries += 1;
             t.retry_token += 1;
-            t.state = TxnState::IoBackoff;
             let token = t.retry_token;
             self.calendar.schedule(at, Event::IoRetry(id, token));
         }
@@ -353,7 +551,7 @@ impl<'p> EngineState<'p> {
             }
         }
         let deadline_key = self.txn(id).deadline.as_micros();
-        self.txn_mut(id).state = TxnState::IoQueued;
+        self.set_state(id, TxnState::IoQueued);
         let disk = self.disk.as_mut().expect("IoRetry without a disk");
         if disk.enqueue(id, deadline_key) {
             self.start_transfer(id);
@@ -396,10 +594,17 @@ impl<'p> EngineState<'p> {
                     let mode = self.txn(id).current_mode();
                     match self.locks.request(id, item, mode) {
                         LockOutcome::Granted => {
+                            let was_partial = self.txn(id).is_partially_executed();
                             let t = self.txn_mut(id);
-                            t.accessed.insert(item);
+                            // Non-short-circuiting |= — the written insert
+                            // must execute even when accessed already held
+                            // the item (shared→exclusive re-lock).
+                            let mut grew = t.accessed.insert(item);
                             if mode == LockMode::Exclusive {
-                                t.written.insert(item);
+                                grew |= t.written.insert(item);
+                            }
+                            if grew {
+                                self.accel.note_access_growth(id, was_partial);
                             }
                             self.after_lock(id);
                         }
@@ -425,11 +630,16 @@ impl<'p> EngineState<'p> {
                                     self.abort(h);
                                 }
                                 self.locks.grant_after_abort(id, item, mode);
+                                let was_partial = self.txn(id).is_partially_executed();
                                 let t = self.txn_mut(id);
-                                t.accessed.insert(item);
+                                let mut grew = t.accessed.insert(item);
                                 if mode == LockMode::Exclusive {
-                                    t.written.insert(item);
+                                    grew |= t.written.insert(item);
                                 }
+                                if grew {
+                                    self.accel.note_access_growth(id, was_partial);
+                                }
+                                let t = self.txn_mut(id);
                                 t.stage = Stage::Recover;
                                 t.cpu_left = recovery;
                                 self.update_queue_metrics();
@@ -443,9 +653,8 @@ impl<'p> EngineState<'p> {
                                 // unreachable (Theorem 1's "no lock wait").
                                 self.metrics.record_lock_wait();
                                 self.emit(|| TraceEvent::LockWait { txn: id, item });
-                                let t = self.txn_mut(id);
-                                t.state = TxnState::LockWait;
-                                t.waiting_for = Some(item);
+                                self.set_state(id, TxnState::LockWait);
+                                self.txn_mut(id).waiting_for = Some(item);
                                 self.running = None;
                                 self.update_queue_metrics();
                                 return Started::Blocked;
@@ -454,8 +663,7 @@ impl<'p> EngineState<'p> {
                     }
                 }
                 Stage::Io => {
-                    let t = self.txn_mut(id);
-                    t.state = TxnState::IoQueued;
+                    self.set_state(id, TxnState::IoQueued);
                     self.running = None;
                     let deadline_key = self.txn(id).deadline.as_micros();
                     let disk = self.disk.as_mut().expect("Io stage without a disk");
@@ -525,14 +733,9 @@ impl<'p> EngineState<'p> {
     /// Does `requester` strictly outrank `holder` in the current priority
     /// order (priority, then earlier arrival, then smaller id)?
     fn outranks(&self, requester: TxnId, holder: TxnId) -> bool {
-        let view = SystemView {
-            now: self.now(),
-            txns: &self.txns,
-            abort_cost: self.cfg.system.abort_cost(),
-        };
+        let pr = self.priority_of(requester);
+        let ph = self.priority_of(holder);
         let (r, h) = (self.txn(requester), self.txn(holder));
-        let pr = self.policy.priority(r, &view);
-        let ph = self.policy.priority(h, &view);
         (pr, std::cmp::Reverse(r.arrival), std::cmp::Reverse(r.id))
             > (ph, std::cmp::Reverse(h.arrival), std::cmp::Reverse(h.id))
     }
@@ -548,9 +751,8 @@ impl<'p> EngineState<'p> {
             let id = self.active[idx];
             let t = self.txn(id);
             if t.state == TxnState::LockWait && t.waiting_for.is_some_and(|w| items.contains(&w)) {
-                let t = self.txn_mut(id);
-                t.state = TxnState::Ready;
-                t.waiting_for = None;
+                self.set_state(id, TxnState::Ready);
+                self.txn_mut(id).waiting_for = None;
             }
         }
     }
@@ -579,6 +781,10 @@ impl<'p> EngineState<'p> {
         let was_secondary = self.secondary[victim.0 as usize];
         self.metrics.record_restart(was_secondary);
         self.secondary[victim.0 as usize] = false;
+        // Victims always hold locks (asserted above), so the victim is on
+        // the P-list and leaves it now; its access sets clear and a
+        // narrowed mightaccess re-widens.
+        self.accel.note_sets_cleared(victim);
         let state = self.txn(victim).state;
         match state {
             TxnState::Ready => {
@@ -587,9 +793,8 @@ impl<'p> EngineState<'p> {
             TxnState::LockWait => {
                 // The victim was itself waiting for a lock; it restarts
                 // from scratch and re-enters the ready queue.
-                let t = self.txn_mut(victim);
-                t.reset_for_restart();
-                t.state = TxnState::Ready;
+                self.txn_mut(victim).reset_for_restart();
+                self.set_state(victim, TxnState::Ready);
             }
             TxnState::IoQueued => {
                 // "deleted from the disk queue immediately"
@@ -599,9 +804,8 @@ impl<'p> EngineState<'p> {
                     .expect("IoQueued without a disk")
                     .remove_queued(victim);
                 debug_assert!(removed);
-                let t = self.txn_mut(victim);
-                t.reset_for_restart();
-                t.state = TxnState::Ready;
+                self.txn_mut(victim).reset_for_restart();
+                self.set_state(victim, TxnState::Ready);
             }
             TxnState::IoActive => {
                 // "not deleted until it releases the disk" — hold time
@@ -619,7 +823,7 @@ impl<'p> EngineState<'p> {
                 let t = self.txn_mut(victim);
                 t.reset_for_restart();
                 t.retry_token += 1;
-                t.state = TxnState::Ready;
+                self.set_state(victim, TxnState::Ready);
             }
             TxnState::Running | TxnState::Committed | TxnState::Rejected => {
                 unreachable!("abort of a {state:?} transaction")
@@ -633,8 +837,13 @@ impl<'p> EngineState<'p> {
         let held = self.locks.held_by(id);
         self.locks.release_all(id);
         self.wake_waiters(&held);
+        // The committer leaves the P-list (a zero-update transaction was
+        // never on it) and stops being anyone's rollback victim.
+        if self.txn(id).is_partially_executed() {
+            self.accel.note_sets_cleared(id);
+        }
+        self.set_state(id, TxnState::Committed);
         let t = self.txn_mut(id);
-        t.state = TxnState::Committed;
         t.finish = Some(now);
         t.accessed.clear();
         let (arrival, deadline, class) = (t.arrival, t.deadline, t.criticality);
@@ -653,8 +862,27 @@ impl<'p> EngineState<'p> {
     // ---- the scheduler ---------------------------------------------------
 
     /// The continuous-evaluation dispatcher. Assigns new priorities to
-    /// every active transaction and puts the right one on the CPU.
+    /// every active transaction and puts the right one on the CPU. When
+    /// tracing, also logs this pass's scheduler-overhead deltas.
     fn reschedule(&mut self) {
+        if self.trace.is_none() {
+            return self.reschedule_inner();
+        }
+        let evals0 = self.priority_evals.get();
+        let hits0 = self.priority_cache_hits.get();
+        let pairs0 = self.accel.pair_checks();
+        self.reschedule_inner();
+        let evals = self.priority_evals.get() - evals0;
+        let cache_hits = self.priority_cache_hits.get() - hits0;
+        let pair_checks = self.accel.pair_checks() - pairs0;
+        self.emit(|| TraceEvent::SchedulerPass {
+            evals,
+            cache_hits,
+            pair_checks,
+        });
+    }
+
+    fn reschedule_inner(&mut self) {
         loop {
             match self.pick_next() {
                 None => {
@@ -668,7 +896,7 @@ impl<'p> EngineState<'p> {
                 Some((id, secondary)) => {
                     self.preempt_running();
                     self.secondary[id.0 as usize] = secondary;
-                    self.txn_mut(id).state = TxnState::Running;
+                    self.set_state(id, TxnState::Running);
                     self.running = Some(id);
                     self.emit(|| TraceEvent::Dispatch { txn: id, secondary });
                     match self.proceed(id) {
@@ -685,39 +913,52 @@ impl<'p> EngineState<'p> {
 
     /// Select the transaction to run: `TH` if runnable, else the
     /// IOwait-schedule choice. Returns `(id, chosen_via_iowait)`.
+    /// Wall-clock-timed in profiled runs.
     fn pick_next(&self) -> Option<(TxnId, bool)> {
-        let view = SystemView {
-            now: self.now(),
-            txns: &self.txns,
-            abort_cost: self.cfg.system.abort_cost(),
-        };
-        let th = self.best_by_priority(self.active.iter().copied(), &view)?;
+        self.pick_next_calls.set(self.pick_next_calls.get() + 1);
+        if self.profile {
+            let t0 = std::time::Instant::now();
+            let r = self.pick_next_inner();
+            self.sched_wall_ns
+                .set(self.sched_wall_ns.get() + t0.elapsed().as_nanos() as u64);
+            r
+        } else {
+            self.pick_next_inner()
+        }
+    }
+
+    fn pick_next_inner(&self) -> Option<(TxnId, bool)> {
+        let th = self.best_by_priority(self.active.iter().copied())?;
         if self.txn(th).is_runnable() {
             return Some((th, false));
         }
-        // TH is blocked on IO: IOwait-schedule.
+        // TH is blocked on IO: IOwait-schedule. With nothing Ready and
+        // nothing Running there is no candidate — skip the filtered scan
+        // (pure short-circuit; the scan below would also find nobody).
+        if self.mode != CacheMode::AlwaysRecompute
+            && self.ready_count == 0
+            && self.running.is_none()
+        {
+            return None;
+        }
         let candidates = self
             .active
             .iter()
             .copied()
             .filter(|&id| self.txn(id).is_runnable())
             .filter(|&id| !self.policy.iowait_restrict() || self.compatible_with_plist(id));
-        self.best_by_priority(candidates, &view)
-            .map(|id| (id, true))
+        self.best_by_priority(candidates).map(|id| (id, true))
     }
 
-    /// Highest-priority transaction among `ids`; ties broken by earlier
+    /// Highest-priority transaction among `ids` (priorities via the
+    /// cache-mode-aware [`Self::priority_of`]); ties broken by earlier
     /// arrival, then smaller id (deterministic).
-    fn best_by_priority(
-        &self,
-        ids: impl Iterator<Item = TxnId>,
-        view: &SystemView<'_>,
-    ) -> Option<TxnId> {
+    fn best_by_priority(&self, ids: impl Iterator<Item = TxnId>) -> Option<TxnId> {
         let mut best: Option<(Priority, SimTime, TxnId)> = None;
         for id in ids {
             let t = self.txn(id);
             debug_assert!(t.is_active());
-            let pri = self.policy.priority(t, view);
+            let pri = self.priority_of(id);
             let better = match &best {
                 None => true,
                 Some((bp, ba, bi)) => {
@@ -737,14 +978,40 @@ impl<'p> EngineState<'p> {
     /// For the paper's straight-line write-only workload this is the
     /// oracle test `mightaccess(candidate) ∩ mightaccess(partial) = ∅`;
     /// with shared locks only write-involved overlaps count.
+    ///
+    /// Incrementally: iterate the maintained P-list (same transactions,
+    /// same ascending-id order as the `active` scan) with memoized pair
+    /// verdicts.
     fn compatible_with_plist(&self, id: TxnId) -> bool {
         let candidate = self.txn(id);
-        self.active
-            .iter()
-            .filter(|&&p| p != id)
-            .map(|&p| self.txn(p))
-            .filter(|p| p.is_partially_executed())
-            .all(|p| !candidate.conflicts_with(p))
+        match self.mode {
+            CacheMode::AlwaysRecompute => self
+                .active
+                .iter()
+                .filter(|&&p| p != id)
+                .map(|&p| self.txn(p))
+                .filter(|p| p.is_partially_executed())
+                .all(|p| !candidate.conflicts_with(p)),
+            _ => {
+                let compatible = self
+                    .accel
+                    .plist()
+                    .iter()
+                    .filter(|&&p| p != id)
+                    .all(|&p| !self.accel.conflicts(candidate, self.txn(p)));
+                if self.mode == CacheMode::Verify {
+                    let scanned = self
+                        .active
+                        .iter()
+                        .filter(|&&p| p != id)
+                        .map(|&p| self.txn(p))
+                        .filter(|p| p.is_partially_executed())
+                        .all(|p| !candidate.conflicts_with(p));
+                    assert_eq!(compatible, scanned, "{id}: P-list compatibility diverged");
+                }
+                compatible
+            }
+        }
     }
 
     fn preempt_running(&mut self) {
@@ -758,25 +1025,54 @@ impl<'p> EngineState<'p> {
             let consumed = now.since(t.burst_start);
             t.cpu_left = t.cpu_left.saturating_sub(consumed);
             if t.stage == Stage::Compute {
+                // No own-version bump: at this fixed instant the
+                // transaction's *effective* service is unchanged — the
+                // in-flight part of the burst was already accruing
+                // continuously (see `Transaction::effective_service`), it
+                // merely moves from implicit to banked. Priorities that
+                // read effective service (CCA's penalty term) see the
+                // same value, so cached entries stay bit-valid.
                 t.service += consumed;
             }
-            t.state = TxnState::Ready;
+            self.set_state(r, TxnState::Ready);
             self.metrics.add_cpu_busy(consumed);
         }
     }
 
     fn update_queue_metrics(&mut self) {
         let now = self.now();
-        let plist = self
-            .active
-            .iter()
-            .filter(|&&id| self.txn(id).is_partially_executed())
-            .count();
-        let ready = self
-            .active
-            .iter()
-            .filter(|&&id| self.txn(id).state == TxnState::Ready)
-            .count();
+        let (plist, ready) = match self.mode {
+            CacheMode::AlwaysRecompute => {
+                let plist = self
+                    .active
+                    .iter()
+                    .filter(|&&id| self.txn(id).is_partially_executed())
+                    .count();
+                let ready = self
+                    .active
+                    .iter()
+                    .filter(|&&id| self.txn(id).state == TxnState::Ready)
+                    .count();
+                (plist, ready)
+            }
+            _ => {
+                if self.mode == CacheMode::Verify {
+                    let plist_scan = self
+                        .active
+                        .iter()
+                        .filter(|&&id| self.txn(id).is_partially_executed())
+                        .count();
+                    let ready_scan = self
+                        .active
+                        .iter()
+                        .filter(|&&id| self.txn(id).state == TxnState::Ready)
+                        .count();
+                    assert_eq!(self.accel.plist_len(), plist_scan, "P-list count diverged");
+                    assert_eq!(self.ready_count, ready_scan, "ready count diverged");
+                }
+                (self.accel.plist_len(), self.ready_count)
+            }
+        };
         self.metrics.set_plist_len(now, plist);
         self.metrics.set_ready_len(now, ready);
     }
@@ -806,13 +1102,16 @@ impl<'p> EngineState<'p> {
             "event calendar empty with uncommitted transactions (starvation bug)"
         );
         // Walk waiter → holder edges until a node repeats: that suffix is
-        // a cycle.
+        // a cycle. The visited map makes the repeat test O(1) instead of
+        // rescanning the walk prefix; the walk order itself is unchanged.
         let mut seen: Vec<TxnId> = Vec::new();
+        let mut visited: HashMap<TxnId, usize> = HashMap::new();
         let mut cur = waiters[0];
         let cycle_start = loop {
-            if let Some(pos) = seen.iter().position(|&t| t == cur) {
+            if let Some(&pos) = visited.get(&cur) {
                 break pos;
             }
+            visited.insert(cur, seen.len());
             seen.push(cur);
             let item = self
                 .txn(cur)
@@ -876,6 +1175,29 @@ impl<'p> EngineState<'p> {
                 assert!(self.locks.held_by(t.id).is_empty());
             }
         }
+        // The maintained P-list and ready counter (kept in every cache
+        // mode) agree with full scans.
+        let plist_scan: Vec<TxnId> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&id| self.txn(id).is_partially_executed())
+            .collect();
+        assert_eq!(
+            self.accel.plist(),
+            plist_scan.as_slice(),
+            "maintained P-list diverged from scan"
+        );
+        assert!(
+            self.accel.plist().windows(2).all(|w| w[0] < w[1]),
+            "P-list not strictly id-sorted"
+        );
+        let ready_scan = self
+            .active
+            .iter()
+            .filter(|&&id| self.txn(id).state == TxnState::Ready)
+            .count();
+        assert_eq!(self.ready_count, ready_scan, "ready counter diverged");
     }
 }
 
@@ -890,6 +1212,38 @@ pub fn run_simulation(cfg: &SimConfig, policy: &dyn Policy) -> RunSummary {
     run_simulation_with(cfg, policy, |_| {})
 }
 
+/// As [`run_simulation`] under an explicit [`CacheMode`].
+///
+/// The simulated outcome is bit-identical across modes (that is the
+/// incremental core's contract; `CacheMode::Verify` asserts it at every
+/// decision) — only the scheduler-overhead counters in
+/// [`RunSummary::sched`] differ.
+pub fn run_simulation_with_mode(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    mode: CacheMode,
+) -> RunSummary {
+    run_simulation_opts(cfg, policy, mode, false, |_| {})
+}
+
+/// As [`run_simulation`], additionally measuring wall-clock time spent in
+/// the scheduler (`RunSummary::sched.sched_wall_ns`). Kept out of the
+/// default path so normal summaries never carry machine-dependent values.
+pub fn run_simulation_profiled(cfg: &SimConfig, policy: &dyn Policy) -> RunSummary {
+    run_simulation_opts(cfg, policy, CacheMode::Incremental, true, |_| {})
+}
+
+/// As [`run_simulation_profiled`] under an explicit [`CacheMode`] — the
+/// benchmark harness runs this once incrementally and once with
+/// [`CacheMode::AlwaysRecompute`] to report the speedup.
+pub fn run_simulation_profiled_with_mode(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    mode: CacheMode,
+) -> RunSummary {
+    run_simulation_opts(cfg, policy, mode, true, |_| {})
+}
+
 /// Run a simulation over a custom [`TxnSource`] instead of the built-in
 /// workload generator. `expected` is the number of transactions the source
 /// will produce (the run ends once all of them terminate — commit or are
@@ -901,9 +1255,23 @@ pub fn run_simulation_from(
     source: &mut dyn TxnSource,
     expected: usize,
 ) -> RunSummary {
+    run_simulation_from_mode(cfg, policy, source, expected, CacheMode::Incremental)
+}
+
+/// As [`run_simulation_from`] under an explicit [`CacheMode`] — how the
+/// oracle-equivalence tests replay one recorded workload through the
+/// incremental, always-recompute and verifying engines.
+pub fn run_simulation_from_mode(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    source: &mut dyn TxnSource,
+    expected: usize,
+    mode: CacheMode,
+) -> RunSummary {
     cfg.validate().expect("invalid simulation configuration");
     assert!(expected > 0, "expected transaction count must be positive");
     let mut st = EngineState::new(cfg, policy);
+    st.mode = mode;
     drive(&mut st, source, expected, |_| {}).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -940,12 +1308,26 @@ fn run_simulation_with(
     policy: &dyn Policy,
     inspect: impl FnMut(&EngineState<'_>),
 ) -> RunSummary {
+    run_simulation_opts(cfg, policy, CacheMode::Incremental, false, inspect)
+}
+
+/// The common generator-driven entry point: cache mode, profiling and an
+/// inspection hook.
+fn run_simulation_opts(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    mode: CacheMode,
+    profile: bool,
+    inspect: impl FnMut(&EngineState<'_>),
+) -> RunSummary {
     cfg.validate().expect("invalid simulation configuration");
     poison_check(cfg);
     let seeder = StreamSeeder::new(cfg.run.seed);
     let table = TypeTable::generate(cfg, &seeder);
     let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
     let mut st = EngineState::new(cfg, policy);
+    st.mode = mode;
+    st.profile = profile;
     let expected = cfg.run.num_transactions;
     drive(&mut st, &mut generator, expected, inspect).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -1015,6 +1397,14 @@ fn drive(
         .as_ref()
         .map(|d| d.busy_until(end))
         .unwrap_or(SimDuration::ZERO);
+    st.metrics.set_sched_stats(SchedStats {
+        pick_next_calls: st.pick_next_calls.get(),
+        priority_evals: st.priority_evals.get(),
+        priority_cache_hits: st.priority_cache_hits.get(),
+        pair_checks: st.accel.pair_checks(),
+        pair_cache_hits: st.accel.pair_cache_hits(),
+        sched_wall_ns: st.sched_wall_ns.get(),
+    });
     Ok(st.metrics.finish(end, disk_busy))
 }
 

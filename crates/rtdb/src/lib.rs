@@ -56,6 +56,7 @@ pub mod locks;
 pub mod metrics;
 pub mod policy;
 pub mod runner;
+pub mod sched;
 pub mod source;
 pub mod trace;
 pub mod txn;
@@ -66,17 +67,19 @@ pub use config::{
 };
 pub use disk::DiskDiscipline;
 pub use engine::{
-    run_simulation, run_simulation_checked, run_simulation_from, run_simulation_traced,
-    run_simulation_validated,
+    run_simulation, run_simulation_checked, run_simulation_from, run_simulation_from_mode,
+    run_simulation_profiled, run_simulation_profiled_with_mode, run_simulation_traced,
+    run_simulation_validated, run_simulation_with_mode,
 };
 pub use error::{ConfigError, RunError};
-pub use metrics::RunSummary;
-pub use policy::{Policy, Priority, SystemView};
+pub use metrics::{RunSummary, SchedStats};
+pub use policy::{PartiallyExecuted, Policy, Priority, PriorityDeps, SystemView};
 pub use runner::{
     aggregate, improvement_percent, run_one, run_one_checked, run_replications,
     run_replications_checked, run_replications_with, run_seeds, run_seeds_checked,
     AggregateSummary, BatchSummary, Parallelism, ReplicationOptions, ReplicationTimer,
 };
+pub use sched::CacheMode;
 pub use source::{ReplaySource, TxnSource};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use txn::{DecisionSpec, Stage, Transaction, TxnId, TxnState};

@@ -13,6 +13,31 @@ use rtx_sim::hist::Histogram;
 use rtx_sim::stats::{Accumulator, TimeWeighted};
 use rtx_sim::time::{SimDuration, SimTime};
 
+/// Scheduler-overhead counters: how much work the continuous-evaluation
+/// dispatcher did, and how much of it the incremental caches absorbed.
+///
+/// All counters are deterministic functions of the event sequence —
+/// except `sched_wall_ns`, which is only measured in profiled runs
+/// (`run_simulation_profiled`) and stays 0 otherwise, so `RunSummary`
+/// equality remains meaningful for determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Scheduling points: calls to the engine's `pick_next`.
+    pub pick_next_calls: u64,
+    /// Actual `Policy::priority` evaluations performed.
+    pub priority_evals: u64,
+    /// Priority evaluations answered from the epoch-invalidated cache.
+    pub priority_cache_hits: u64,
+    /// Pairwise conflict tests requested (static `conflicts_with` plus
+    /// dynamic `is_unsafe_with`, e.g. from `penalty_of_conflict`).
+    pub pair_checks: u64,
+    /// Pair tests answered from the version-gated memo table.
+    pub pair_cache_hits: u64,
+    /// Wall-clock nanoseconds spent inside `pick_next` (profiled runs
+    /// only; 0 otherwise).
+    pub sched_wall_ns: u64,
+}
+
 /// Collected during one run.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
@@ -40,6 +65,7 @@ pub struct MetricsCollector {
     io_exhausted_aborts: u64,
     total_backoff: SimDuration,
     wasted_disk_hold: SimDuration,
+    sched: SchedStats,
 }
 
 impl MetricsCollector {
@@ -69,6 +95,7 @@ impl MetricsCollector {
             io_exhausted_aborts: 0,
             total_backoff: SimDuration::ZERO,
             wasted_disk_hold: SimDuration::ZERO,
+            sched: SchedStats::default(),
         }
     }
 
@@ -183,6 +210,12 @@ impl MetricsCollector {
         self.wasted_disk_hold += d;
     }
 
+    /// Install the scheduler-overhead counters (the engine sets these once
+    /// at the end of the run, from its internal tallies).
+    pub fn set_sched_stats(&mut self, sched: SchedStats) {
+        self.sched = sched;
+    }
+
     /// Transactions committed so far.
     pub fn committed(&self) -> u64 {
         self.committed
@@ -252,6 +285,7 @@ impl MetricsCollector {
             io_exhausted_aborts: self.io_exhausted_aborts,
             total_backoff_ms: self.total_backoff.as_ms(),
             wasted_disk_hold_ms: self.wasted_disk_hold.as_ms(),
+            sched: self.sched,
         }
     }
 }
@@ -334,6 +368,27 @@ pub struct RunSummary {
     /// Disk-hold time wasted by doomed transactions (aborted mid-transfer
     /// while the transfer ran on), ms.
     pub wasted_disk_hold_ms: f64,
+    /// Scheduler-overhead counters (priority evaluations, cache hits,
+    /// pair checks, profiled `pick_next` wall time).
+    pub sched: SchedStats,
+}
+
+impl RunSummary {
+    /// This summary with the scheduler-overhead counters zeroed.
+    ///
+    /// The *simulated* outcome of a run is independent of how the engine
+    /// evaluated priorities — cached or from scratch — but the overhead
+    /// counters of course differ across cache modes and across policies.
+    /// Equality tests that compare outcomes across such axes (e.g. "CCA
+    /// with weight 0 behaves exactly like EDF-HP", or "the incremental
+    /// engine matches the always-recompute oracle") compare
+    /// `a.sans_sched_stats() == b.sans_sched_stats()`.
+    pub fn sans_sched_stats(&self) -> RunSummary {
+        RunSummary {
+            sched: SchedStats::default(),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 
 use rtx_sim::time::{SimDuration, SimTime};
 
+use crate::sched::ConflictAccel;
 use crate::txn::{Transaction, TxnId};
 
 /// A scheduling priority. Higher compares greater. Total order (ties are
@@ -38,8 +39,36 @@ impl Ord for Priority {
     }
 }
 
+/// Which inputs a policy's [`Policy::priority`] is a function of — the
+/// engine's priority-cache invalidation hint.
+///
+/// Declaring a *wider* dependency than the policy actually has is always
+/// safe (it only costs recomputations); declaring a narrower one breaks
+/// bit-identity and is caught by the engine's `Verify` cache mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityDeps {
+    /// Depends only on the transaction's immutable attributes (deadline,
+    /// arrival, criticality). EDF-HP, FCFS: computed once, never again.
+    Static,
+    /// Depends on the current time and the transaction's own mutable
+    /// state (progress, service), but not on other transactions. LSF.
+    TimeAndSelf,
+    /// Depends on time, own state, *and* the system's conflict state
+    /// (P-list membership, access sets). CCA, EDF-Wait: invalidated by
+    /// the global conflict epoch.
+    ConflictState,
+    /// No cacheable structure declared; recompute at every use. The
+    /// conservative default for policies written before this hint
+    /// existed.
+    Volatile,
+}
+
 /// A read-only view of the system handed to policies when they evaluate a
 /// transaction's priority.
+///
+/// Construct with [`SystemView::new`]; the engine additionally threads an
+/// internal conflict accelerator through it so `penalty_of_conflict`'s
+/// pair tests hit the memoized path transparently.
 pub struct SystemView<'a> {
     /// Current simulation time.
     pub now: SimTime,
@@ -48,15 +77,119 @@ pub struct SystemView<'a> {
     /// CPU time required to roll back one transaction (the `rollback_t`
     /// term of the penalty of conflict).
     pub abort_cost: SimDuration,
+    /// The engine's incremental conflict state, when running cached.
+    accel: Option<&'a ConflictAccel>,
 }
 
 impl<'a> SystemView<'a> {
+    /// A plain view with no acceleration state: every P-list walk scans
+    /// `txns` and every pair test recomputes from the transactions' sets.
+    pub fn new(now: SimTime, txns: &'a [Transaction], abort_cost: SimDuration) -> Self {
+        SystemView {
+            now,
+            txns,
+            abort_cost,
+            accel: None,
+        }
+    }
+
+    /// A view backed by the engine's conflict accelerator: P-list walks
+    /// iterate the maintained list and pair tests are memoized.
+    pub(crate) fn with_accel(
+        now: SimTime,
+        txns: &'a [Transaction],
+        abort_cost: SimDuration,
+        accel: &'a ConflictAccel,
+    ) -> Self {
+        SystemView {
+            now,
+            txns,
+            abort_cost,
+            accel: Some(accel),
+        }
+    }
+
     /// The paper's *P list*: transactions that have partially executed
     /// (hold locks that would be destroyed by an abort), excluding `of`.
-    pub fn partially_executed(&self, of: TxnId) -> impl Iterator<Item = &'a Transaction> + '_ {
-        self.txns
-            .iter()
-            .filter(move |t| t.id != of && t.is_partially_executed())
+    ///
+    /// Yields in ascending id order either way: the maintained P-list is
+    /// kept id-sorted, and a scan of `txns` (slots are in id = arrival
+    /// order) visits the same transactions in the same order, so cached
+    /// and fresh evaluations are bit-identical.
+    pub fn partially_executed(&self, of: TxnId) -> PartiallyExecuted<'a> {
+        let inner = match self.accel {
+            Some(a) => PlistIter::Ids {
+                ids: a.plist().iter(),
+                txns: self.txns,
+                of,
+            },
+            None => PlistIter::Scan {
+                iter: self.txns.iter(),
+                of,
+            },
+        };
+        PartiallyExecuted { inner }
+    }
+
+    /// Is `partial` unsafe (or conditionally unsafe) with respect to
+    /// `candidate`? Memoized through the engine's pair cache when this
+    /// view carries one; otherwise computed from the transactions' sets.
+    /// Identical verdicts either way — see [`crate::txn::is_unsafe_with`].
+    pub fn is_unsafe_with(&self, partial: &Transaction, candidate: &Transaction) -> bool {
+        match self.accel {
+            Some(a) => a.is_unsafe(partial, candidate),
+            None => crate::txn::is_unsafe_with(partial, candidate),
+        }
+    }
+
+    /// Symmetric static conflict test (`conflicts_with`), memoized when
+    /// this view carries the engine's pair cache.
+    pub fn conflicts(&self, a: &Transaction, b: &Transaction) -> bool {
+        match self.accel {
+            Some(acc) => acc.conflicts(a, b),
+            None => a.conflicts_with(b),
+        }
+    }
+}
+
+enum PlistIter<'a> {
+    Scan {
+        iter: std::slice::Iter<'a, Transaction>,
+        of: TxnId,
+    },
+    Ids {
+        ids: std::slice::Iter<'a, TxnId>,
+        txns: &'a [Transaction],
+        of: TxnId,
+    },
+}
+
+/// Iterator over the P-list (see [`SystemView::partially_executed`]).
+pub struct PartiallyExecuted<'a> {
+    inner: PlistIter<'a>,
+}
+
+impl<'a> Iterator for PartiallyExecuted<'a> {
+    type Item = &'a Transaction;
+
+    fn next(&mut self) -> Option<&'a Transaction> {
+        match &mut self.inner {
+            PlistIter::Scan { iter, of } => iter.find(|t| t.id != *of && t.is_partially_executed()),
+            PlistIter::Ids { ids, txns, of } => {
+                for &id in ids.by_ref() {
+                    if id == *of {
+                        continue;
+                    }
+                    let t = &txns[id.0 as usize];
+                    debug_assert!(
+                        t.is_partially_executed(),
+                        "maintained P-list out of sync for {id}"
+                    );
+                    return Some(t);
+                }
+                None
+            }
+        }
     }
 }
 
@@ -92,6 +225,14 @@ pub trait Policy: Sync {
     /// (EDF-HP's behaviour, which produces noncontributing executions).
     fn iowait_restrict(&self) -> bool {
         false
+    }
+
+    /// What [`Policy::priority`] depends on — the engine's cache
+    /// invalidation hint. The default, [`PriorityDeps::Volatile`],
+    /// disables caching for this policy and is always correct; policies
+    /// should override it with the narrowest honest answer.
+    fn depends_on(&self) -> PriorityDeps {
+        PriorityDeps::Volatile
     }
 }
 
@@ -150,11 +291,7 @@ mod tests {
     #[test]
     fn partially_executed_filters_self_and_fresh() {
         let txns = vec![mk_txn(0, &[1]), mk_txn(1, &[]), mk_txn(2, &[2])];
-        let view = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::from_ms(4.0),
-        };
+        let view = SystemView::new(SimTime::ZERO, &txns, SimDuration::from_ms(4.0));
         let plist: Vec<u32> = view.partially_executed(TxnId(0)).map(|t| t.id.0).collect();
         assert_eq!(plist, vec![2], "self (0) and lock-free (1) excluded");
         let plist: Vec<u32> = view.partially_executed(TxnId(9)).map(|t| t.id.0).collect();
@@ -166,11 +303,7 @@ mod tests {
         let mut t = mk_txn(0, &[1]);
         t.state = TxnState::Committed;
         let txns = vec![t];
-        let view = SystemView {
-            now: SimTime::ZERO,
-            txns: &txns,
-            abort_cost: SimDuration::ZERO,
-        };
+        let view = SystemView::new(SimTime::ZERO, &txns, SimDuration::ZERO);
         assert_eq!(view.partially_executed(TxnId(9)).count(), 0);
     }
 }

@@ -1,0 +1,383 @@
+//! The incremental scheduling core's acceleration state.
+//!
+//! The engine's hot loop — `pick_next` → `Policy::priority` →
+//! `penalty_of_conflict` — used to rescan every transaction slot at every
+//! scheduling point, giving O(active × P-list) set operations per event.
+//! [`ConflictAccel`] makes the per-event cost proportional to *what
+//! changed* instead:
+//!
+//! * an explicitly maintained, id-sorted **P-list** (the partially
+//!   executed transactions) replaces the per-event scan of all slots;
+//! * a **pairwise conflict cache** memoizes the static `conflicts_with`
+//!   test and the dynamic `is_unsafe_with` test, gated by per-transaction
+//!   version counters so a pair is only re-examined after one side's
+//!   access sets actually changed;
+//! * a global **conflict epoch** stamps every P-list membership or access
+//!   set change, letting the engine's priority cache invalidate exactly
+//!   the entries whose declared inputs ([`crate::policy::PriorityDeps`])
+//!   moved.
+//!
+//! Correctness contract: every cached answer is **bit-identical** to a
+//! fresh recomputation. The engine's [`CacheMode::Verify`] mode asserts
+//! this at every single use, and `tests/incremental_equivalence.rs`
+//! drives it over randomized workloads.
+
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::txn::{is_unsafe_with, Transaction, TxnId};
+
+/// How the engine evaluates priorities and conflict relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Use the maintained P-list, the pairwise conflict cache and the
+    /// epoch-invalidated priority cache (the default; production path).
+    #[default]
+    Incremental,
+    /// Recompute everything from scratch at every scheduling point — the
+    /// pre-incremental reference engine. Used as the oracle in
+    /// equivalence tests and as the "cold" side of benchmarks.
+    AlwaysRecompute,
+    /// Run incrementally but recompute fresh alongside every cache read
+    /// and assert bit-identity. Slow; tests only.
+    Verify,
+}
+
+/// Deterministic, allocation-free hasher for packed `u64` pair keys
+/// (splitmix64 finalizer). The std `SipHash` default is safe but slow for
+/// this innermost-loop map, and hash *iteration order* is never observed,
+/// so a fixed-key hasher keeps runs reproducible across platforms.
+#[derive(Default)]
+struct PairKeyHasher(u64);
+
+impl Hasher for PairKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; only the u64 fast path is exercised.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = self.0 ^ n;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type PairMap = HashMap<u64, PairEntry, BuildHasherDefault<PairKeyHasher>>;
+
+/// One memoized pair verdict, stamped with the version counters of the
+/// inputs it was computed from.
+#[derive(Clone, Copy)]
+struct PairEntry {
+    versions: (u64, u64),
+    result: bool,
+}
+
+#[inline]
+fn pair_key(a: TxnId, b: TxnId) -> u64 {
+    (u64::from(a.0) << 32) | u64::from(b.0)
+}
+
+/// Incrementally maintained conflict state (see the module docs).
+///
+/// Owned by the engine; policies reach it read-only through
+/// [`crate::policy::SystemView`]. All mutation goes through the engine's
+/// state-transition bookkeeping, which is what makes the version/epoch
+/// stamps trustworthy.
+pub struct ConflictAccel {
+    /// Partially executed transactions, sorted by id (ascending). Because
+    /// the engine's `active` list is always in arrival = id order, this
+    /// reproduces the exact iteration order of the full-scan P-list.
+    plist: Vec<TxnId>,
+    /// Bumped when a transaction's `might_access` is reassigned (decision
+    /// narrowing, restart re-widening). Gates the static pair cache.
+    might_version: Vec<u64>,
+    /// Bumped when a transaction's `accessed`/`written` sets grow or are
+    /// cleared. Gates the dynamic unsafe-pair cache.
+    access_version: Vec<u64>,
+    /// Bumped on *any* own-state change that could move this
+    /// transaction's priority (progress, restarts, set changes). Part of
+    /// the priority-cache key.
+    own_version: Vec<u64>,
+    /// Bumped on every conflict-state change anywhere in the system
+    /// (P-list membership, access-set growth, `might_access`
+    /// reassignment). Invalidates `PriorityDeps::ConflictState` entries.
+    epoch: u64,
+    static_pairs: RefCell<PairMap>,
+    unsafe_pairs: RefCell<PairMap>,
+    pair_checks: Cell<u64>,
+    pair_cache_hits: Cell<u64>,
+}
+
+impl ConflictAccel {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ConflictAccel {
+            plist: Vec::new(),
+            might_version: Vec::with_capacity(capacity),
+            access_version: Vec::with_capacity(capacity),
+            own_version: Vec::with_capacity(capacity),
+            epoch: 0,
+            static_pairs: RefCell::new(PairMap::default()),
+            unsafe_pairs: RefCell::new(PairMap::default()),
+            pair_checks: Cell::new(0),
+            pair_cache_hits: Cell::new(0),
+        }
+    }
+
+    /// Register a newly arrived transaction (ids are dense and arrive in
+    /// order, so this is a push).
+    pub(crate) fn register(&mut self, id: TxnId) {
+        debug_assert_eq!(id.0 as usize, self.might_version.len());
+        self.might_version.push(0);
+        self.access_version.push(0);
+        self.own_version.push(0);
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn own_version(&self, id: TxnId) -> u64 {
+        self.own_version[id.0 as usize]
+    }
+
+    pub(crate) fn bump_own(&mut self, id: TxnId) {
+        self.own_version[id.0 as usize] += 1;
+    }
+
+    /// A lock grant grew `id`'s `accessed`/`written` sets. Joins the
+    /// P-list on the first grant since (re)start.
+    pub(crate) fn note_access_growth(&mut self, id: TxnId, was_partial: bool) {
+        self.access_version[id.0 as usize] += 1;
+        self.own_version[id.0 as usize] += 1;
+        self.epoch += 1;
+        if !was_partial {
+            let pos = self.plist.binary_search(&id).unwrap_err();
+            self.plist.insert(pos, id);
+        }
+    }
+
+    /// `id`'s access sets were cleared (abort/restart or commit) and — on
+    /// restart with a decision point — `might_access` was re-widened. The
+    /// transaction leaves the P-list.
+    pub(crate) fn note_sets_cleared(&mut self, id: TxnId) {
+        self.access_version[id.0 as usize] += 1;
+        self.might_version[id.0 as usize] += 1;
+        self.own_version[id.0 as usize] += 1;
+        self.epoch += 1;
+        let pos = self
+            .plist
+            .binary_search(&id)
+            .expect("cleared transaction held locks, so it was on the P-list");
+        self.plist.remove(pos);
+    }
+
+    /// `id` executed its decision point, narrowing `might_access`.
+    pub(crate) fn note_narrowed(&mut self, id: TxnId) {
+        self.might_version[id.0 as usize] += 1;
+        self.epoch += 1;
+    }
+
+    /// The maintained P-list, ascending by id.
+    pub(crate) fn plist(&self) -> &[TxnId] {
+        &self.plist
+    }
+
+    pub(crate) fn plist_len(&self) -> usize {
+        self.plist.len()
+    }
+
+    /// Memoized `is_unsafe_with(partial, candidate)` (directional), valid
+    /// while `partial`'s access sets and `candidate`'s `might_access` are
+    /// unchanged.
+    pub(crate) fn is_unsafe(&self, partial: &Transaction, candidate: &Transaction) -> bool {
+        self.pair_checks.set(self.pair_checks.get() + 1);
+        let versions = (
+            self.access_version[partial.id.0 as usize],
+            self.might_version[candidate.id.0 as usize],
+        );
+        match self
+            .unsafe_pairs
+            .borrow_mut()
+            .entry(pair_key(partial.id, candidate.id))
+        {
+            Entry::Occupied(mut e) => {
+                if e.get().versions == versions {
+                    self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
+                    e.get().result
+                } else {
+                    let result = is_unsafe_with(partial, candidate);
+                    e.insert(PairEntry { versions, result });
+                    result
+                }
+            }
+            Entry::Vacant(v) => {
+                let result = is_unsafe_with(partial, candidate);
+                v.insert(PairEntry { versions, result });
+                result
+            }
+        }
+    }
+
+    /// Memoized symmetric `a.conflicts_with(b)`, valid while both sides'
+    /// `might_access` sets are unchanged.
+    pub(crate) fn conflicts(&self, a: &Transaction, b: &Transaction) -> bool {
+        self.pair_checks.set(self.pair_checks.get() + 1);
+        let (lo, hi) = if a.id <= b.id { (a, b) } else { (b, a) };
+        let versions = (
+            self.might_version[lo.id.0 as usize],
+            self.might_version[hi.id.0 as usize],
+        );
+        match self.static_pairs.borrow_mut().entry(pair_key(lo.id, hi.id)) {
+            Entry::Occupied(mut e) => {
+                if e.get().versions == versions {
+                    self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
+                    e.get().result
+                } else {
+                    let result = lo.conflicts_with(hi);
+                    e.insert(PairEntry { versions, result });
+                    result
+                }
+            }
+            Entry::Vacant(v) => {
+                let result = lo.conflicts_with(hi);
+                v.insert(PairEntry { versions, result });
+                result
+            }
+        }
+    }
+
+    pub(crate) fn pair_checks(&self) -> u64 {
+        self.pair_checks.get()
+    }
+
+    pub(crate) fn pair_cache_hits(&self) -> u64 {
+        self.pair_cache_hits.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{Stage, TxnState};
+    use rtx_preanalysis::sets::DataSet;
+    use rtx_preanalysis::table::TypeId;
+    use rtx_preanalysis::ItemId;
+    use rtx_sim::time::{SimDuration, SimTime};
+
+    fn mk(id: u32, might: &[u32]) -> Transaction {
+        Transaction {
+            id: TxnId(id),
+            ty: TypeId(0),
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_ms(100.0),
+            resource_time: SimDuration::from_ms(80.0),
+            items: might.iter().map(|&i| ItemId(i)).collect(),
+            io_pattern: vec![],
+            modes: Vec::new(),
+            update_time: SimDuration::from_ms(4.0),
+            might_access: might.iter().map(|&i| ItemId(i)).collect(),
+            state: TxnState::Ready,
+            progress: 0,
+            stage: Stage::Lock,
+            cpu_left: SimDuration::ZERO,
+            burst_start: SimTime::ZERO,
+            accessed: DataSet::new(),
+            written: DataSet::new(),
+            service: SimDuration::ZERO,
+            restarts: 0,
+            waiting_for: None,
+            decision: None,
+            criticality: 0,
+            doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
+            finish: None,
+        }
+    }
+
+    #[test]
+    fn plist_stays_sorted() {
+        let mut a = ConflictAccel::new(4);
+        for i in 0..4 {
+            a.register(TxnId(i));
+        }
+        a.note_access_growth(TxnId(2), false);
+        a.note_access_growth(TxnId(0), false);
+        a.note_access_growth(TxnId(3), false);
+        assert_eq!(a.plist(), &[TxnId(0), TxnId(2), TxnId(3)]);
+        a.note_sets_cleared(TxnId(2));
+        assert_eq!(a.plist(), &[TxnId(0), TxnId(3)]);
+        assert_eq!(a.plist_len(), 2);
+    }
+
+    #[test]
+    fn growth_of_a_partial_does_not_duplicate() {
+        let mut a = ConflictAccel::new(2);
+        a.register(TxnId(0));
+        a.note_access_growth(TxnId(0), false);
+        a.note_access_growth(TxnId(0), true);
+        assert_eq!(a.plist(), &[TxnId(0)]);
+    }
+
+    #[test]
+    fn unsafe_cache_invalidates_on_version_bump() {
+        let mut a = ConflictAccel::new(2);
+        a.register(TxnId(0));
+        a.register(TxnId(1));
+        let mut partial = mk(0, &[1, 2]);
+        let candidate = mk(1, &[1, 9]);
+        // No overlap with accessed yet → safe; the verdict is cached.
+        assert!(!a.is_unsafe(&partial, &candidate));
+        assert!(!a.is_unsafe(&partial, &candidate));
+        assert_eq!(a.pair_cache_hits(), 1);
+        // The partial writes item 1. Without the version bump the stale
+        // "safe" verdict would be returned; with it, recomputed.
+        partial.accessed.insert(ItemId(1));
+        partial.written.insert(ItemId(1));
+        a.note_access_growth(TxnId(0), false);
+        assert!(a.is_unsafe(&partial, &candidate));
+        assert_eq!(a.pair_checks(), 3);
+    }
+
+    #[test]
+    fn static_cache_is_symmetric_and_version_gated() {
+        let mut a = ConflictAccel::new(2);
+        a.register(TxnId(0));
+        a.register(TxnId(1));
+        let mut x = mk(0, &[1, 2]);
+        let y = mk(1, &[2, 3]);
+        assert!(a.conflicts(&x, &y));
+        assert!(a.conflicts(&y, &x), "symmetric lookup hits the same entry");
+        assert_eq!(a.pair_cache_hits(), 1);
+        // Narrow x away from the overlap; the verdict flips.
+        x.might_access = DataSet::from_items([ItemId(1)]);
+        a.note_narrowed(TxnId(0));
+        assert!(!a.conflicts(&x, &y));
+    }
+
+    #[test]
+    fn epoch_advances_on_conflict_state_changes() {
+        let mut a = ConflictAccel::new(1);
+        a.register(TxnId(0));
+        let e0 = a.epoch();
+        a.note_access_growth(TxnId(0), false);
+        let e1 = a.epoch();
+        assert!(e1 > e0);
+        a.note_narrowed(TxnId(0));
+        assert!(a.epoch() > e1);
+        let e2 = a.epoch();
+        a.note_sets_cleared(TxnId(0));
+        assert!(a.epoch() > e2);
+    }
+}

@@ -96,6 +96,17 @@ pub enum TraceEvent {
         /// The aborted cycle member.
         victim: TxnId,
     },
+    /// One scheduler pass (a `reschedule` invocation) completed; the
+    /// counters are this pass's deltas of the run-wide scheduler-overhead
+    /// tallies (see [`crate::metrics::SchedStats`]).
+    SchedulerPass {
+        /// `Policy::priority` evaluations this pass performed.
+        evals: u64,
+        /// Priority lookups this pass answered from the cache.
+        cache_hits: u64,
+        /// Pairwise conflict tests this pass requested.
+        pair_checks: u64,
+    },
 }
 
 /// A timestamped [`TraceEvent`].
@@ -154,6 +165,7 @@ impl Trace {
             | TraceEvent::Commit { txn: t, .. }
             | TraceEvent::DeadlockResolved { victim: t } => *t == txn,
             TraceEvent::Abort { victim, by, .. } => *victim == txn || *by == txn,
+            TraceEvent::SchedulerPass { .. } => false,
         })
     }
 
@@ -225,6 +237,17 @@ impl fmt::Display for TraceRecord {
             }
             TraceEvent::DeadlockResolved { victim } => {
                 write!(f, "deadlock resolved by aborting {victim}")
+            }
+            TraceEvent::SchedulerPass {
+                evals,
+                cache_hits,
+                pair_checks,
+            } => {
+                write!(
+                    f,
+                    "scheduler pass: {evals} evals, {cache_hits} cache hits, \
+                     {pair_checks} pair checks"
+                )
             }
         }
     }

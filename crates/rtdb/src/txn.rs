@@ -249,12 +249,16 @@ impl Transaction {
 
     /// Called by the engine when an update completes: execute the decision
     /// point, narrowing `might_access`, if this was the decision update.
-    pub fn maybe_execute_decision(&mut self) {
+    /// Returns `true` iff a narrowing happened (the caller must invalidate
+    /// conflict-state caches keyed on `might_access`).
+    pub fn maybe_execute_decision(&mut self) -> bool {
         if let Some(d) = &self.decision {
             if self.progress == d.after_update {
                 self.might_access = d.narrowed.clone();
+                return true;
             }
         }
+        false
     }
 
     /// The *effective service time* as of `now`: CPU work that would be
@@ -280,6 +284,22 @@ impl Transaction {
     pub fn missed_deadline(&self) -> Option<bool> {
         self.lateness_ms().map(|l| l > 0.0)
     }
+}
+
+/// Is `partial` unsafe (or conditionally unsafe) with respect to
+/// `candidate`? Oracle evaluation over the instances' item sets (§3.3.1).
+///
+/// Mode-aware: `partial` must be rolled back iff it *wrote* something the
+/// candidate might access, or it accessed (in any mode) something the
+/// candidate might *write*. For the paper's write-only workload both
+/// conditions collapse to `hasaccessed(partial) ∩ mightaccess(candidate)`.
+///
+/// Lives here (rather than in `rtx-core`'s penalty module, which
+/// re-exports it) so the engine's conflict memoization can share the one
+/// definition the cached verdicts must stay bit-identical to.
+pub fn is_unsafe_with(partial: &Transaction, candidate: &Transaction) -> bool {
+    partial.written.intersects(&candidate.might_access)
+        || candidate.might_write_into(&partial.accessed)
 }
 
 #[cfg(test)]

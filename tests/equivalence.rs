@@ -48,7 +48,14 @@ fn cca_weight_zero_equals_edf_hp_on_main_memory() {
             let cfg = mm(seed, rate, 250);
             let edf = run_simulation(&cfg, &EdfHp);
             let cca0 = run_simulation(&cfg, &EdfLikeCca);
-            assert_eq!(edf, cca0, "divergence at seed {seed} rate {rate}");
+            // The policies cache differently (EDF-HP is Static, the CCA
+            // formula is not), so compare everything but the scheduler
+            // counters: the *trajectory* must still be bit-identical.
+            assert_eq!(
+                edf.sans_sched_stats(),
+                cca0.sans_sched_stats(),
+                "divergence at seed {seed} rate {rate}"
+            );
         }
     }
 }
@@ -61,7 +68,7 @@ fn real_cca_weight_zero_matches_edf_hp_on_main_memory() {
         let cfg = mm(seed, 9.0, 250);
         let edf = run_simulation(&cfg, &EdfHp);
         let cca0 = run_simulation(&cfg, &Cca::new(0.0));
-        assert_eq!(edf, cca0);
+        assert_eq!(edf.sans_sched_stats(), cca0.sans_sched_stats());
     }
 }
 

@@ -79,6 +79,17 @@ fn mm_cca_identical_across_thread_counts() {
 }
 
 #[test]
+fn mm_cca_high_mpl_identical_across_thread_counts() {
+    // Far past saturation the P-list and conflict caches are at their
+    // busiest; the incremental bookkeeping must not introduce any
+    // thread-count-visible state.
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 200;
+    cfg.run.arrival_rate_tps = 40.0;
+    check_all_parallelism_settings(&cfg, &Cca::base(), 4);
+}
+
+#[test]
 fn disk_edf_identical_across_thread_counts() {
     let mut cfg = SimConfig::disk_base();
     cfg.run.num_transactions = 80;
