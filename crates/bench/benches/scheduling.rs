@@ -116,6 +116,72 @@ fn bench_lock_table(c: &mut Criterion) {
     group.finish();
 }
 
+/// One scheduling decision over a frozen n-deep system: the lazy-heap
+/// pick path ([`CacheMode::Incremental`]) against the verbatim full
+/// scan ([`CacheMode::AlwaysRecompute`]), for both ConflictState
+/// policies. `warm` measures the steady state (caches populated, heap
+/// current — the amortized O(log n) claim); `cold` invalidates every
+/// cached priority before each pick, so the pick pays a full recompute
+/// plus heap rebuild (the worst case the laziness can produce).
+fn bench_best_by_priority(c: &mut Criterion) {
+    use rtx_rtdb::engine::PickHarness;
+    use rtx_rtdb::{CacheMode, SimConfig};
+    let mut group = c.benchmark_group("best_by_priority");
+    let policies: Vec<(&str, Box<dyn Policy>)> = vec![
+        ("cca", Box::new(Cca::base())),
+        ("edf_wait", Box::new(EdfWait)),
+    ];
+    for &mpl in &[16usize, 64, 256] {
+        // Half the system partially executed (P-list members), half
+        // fresh candidates — a contended mid-burst snapshot.
+        let txns: Vec<Transaction> = (0..mpl as u32)
+            .map(|i| {
+                let items: Vec<u32> = (0..8).map(|k| (i * 3 + k) % 30).collect();
+                if i % 2 == 0 {
+                    mk_txn(i, &items, &items[..4], 40.0)
+                } else {
+                    mk_txn(i, &items, &[], 0.0)
+                }
+            })
+            .collect();
+        let mut cfg = SimConfig::mm_base();
+        cfg.run.num_transactions = mpl;
+        for (name, policy) in &policies {
+            let heap_warm =
+                PickHarness::new(&cfg, policy.as_ref(), txns.clone(), CacheMode::Incremental);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_heap_warm"), mpl),
+                &mpl,
+                |b, _| b.iter(|| black_box(heap_warm.pick())),
+            );
+            let mut heap_cold =
+                PickHarness::new(&cfg, policy.as_ref(), txns.clone(), CacheMode::Incremental);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_heap_cold"), mpl),
+                &mpl,
+                |b, _| {
+                    b.iter(|| {
+                        heap_cold.invalidate_conflict_caches();
+                        black_box(heap_cold.pick())
+                    })
+                },
+            );
+            let scan = PickHarness::new(
+                &cfg,
+                policy.as_ref(),
+                txns.clone(),
+                CacheMode::AlwaysRecompute,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_scan"), mpl),
+                &mpl,
+                |b, _| b.iter(|| black_box(scan.pick())),
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Whole-run scheduling cost at high multiprogramming levels: a burst
 /// arrival pattern keeps ~all `n` transactions simultaneously active, so
 /// every reschedule pass walks an `n`-deep system. `cached` is the
@@ -150,6 +216,6 @@ fn bench_unused(_: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_priority_eval, bench_penalty, bench_lock_table, bench_high_mpl, bench_unused
+    targets = bench_priority_eval, bench_penalty, bench_lock_table, bench_best_by_priority, bench_high_mpl, bench_unused
 }
 criterion_main!(benches);

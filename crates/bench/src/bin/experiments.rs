@@ -17,7 +17,8 @@
 //! `--bench-profile` runs the scheduler-overhead profile (incremental
 //! engine vs the always-recompute oracle, wall-clock timed) and writes
 //! `<out>/BENCH_scheduling.json`. It may be given alone or alongside
-//! experiment ids.
+//! experiment ids; with `--quick` it profiles only a small MPL-64 burst
+//! (the CI regression smoke) instead of the full policy × MPL sweep.
 //!
 //! Replications fan out across worker threads (`--jobs N`; default: all
 //! available hardware threads; `--jobs 1` forces serial). The merge is
@@ -125,7 +126,7 @@ fn main() -> ExitCode {
     }
 
     if bench_profile {
-        let json = rtx_bench::bench_profile_json();
+        let json = rtx_bench::bench_profile_json(matches!(scale, Scale::Quick));
         let path = out_dir.join("BENCH_scheduling.json");
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
             eprintln!("failed to create {}: {e}", out_dir.display());

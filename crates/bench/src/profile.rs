@@ -1,11 +1,14 @@
 //! Scheduler-overhead profiling: the `--bench-profile` mode.
 //!
 //! Runs matched pairs of simulations — the production incremental engine
-//! ([`CacheMode::Incremental`]) against the always-recompute oracle
+//! ([`CacheMode::Incremental`], whose ConflictState/Static policies pick
+//! through the lazy priority heap) against the always-recompute oracle
 //! ([`CacheMode::AlwaysRecompute`], the pre-incremental hot loop kept
 //! verbatim) — with wall-clock timing of `pick_next` enabled, checks the
 //! two trajectories agree bit-for-bit, and renders the counters plus the
-//! measured speedup as `BENCH_scheduling.json`.
+//! measured speedup as `BENCH_scheduling.json`. Scenarios cover both
+//! ConflictState policies (CCA and EDF-Wait) across MPL so the JSON
+//! shows the heap-vs-scan ratio per policy and per MPL.
 //!
 //! The scheduler wall time is a *profiling artifact*: it varies by
 //! machine and run, unlike every other field the simulator emits. The
@@ -13,7 +16,7 @@
 //! output; the counters and the `identical` flags are the deterministic
 //! part.
 
-use rtx_core::Cca;
+use rtx_core::{Cca, EdfWait};
 use rtx_rtdb::{
     run_simulation_profiled_with_mode, CacheMode, Policy, RunSummary, SchedStats, SimConfig,
 };
@@ -22,6 +25,7 @@ use rtx_rtdb::{
 /// (distinct seeds) under both cache modes.
 struct Scenario {
     name: &'static str,
+    policy: Box<dyn Policy>,
     cfg: SimConfig,
     reps: u64,
 }
@@ -33,25 +37,63 @@ struct Cell {
     committed: u64,
 }
 
-fn scenarios() -> Vec<Scenario> {
-    let mut out = Vec::new();
-    // High-MPL burst: arrivals far faster than service, so ~all
-    // transactions are simultaneously active and every reschedule pass
-    // walks an n-deep system. This is where the caches matter most.
-    for &mpl in &[64usize, 256] {
-        let mut cfg = SimConfig::mm_base();
-        cfg.run.num_transactions = mpl;
-        cfg.run.arrival_rate_tps = 2_000.0;
-        out.push(Scenario {
-            name: if mpl == 64 {
-                "mm_cca_burst_mpl64"
-            } else {
-                "mm_cca_burst_mpl256"
-            },
-            cfg,
-            reps: 5,
-        });
+impl Cell {
+    /// Mean wall nanoseconds per `pick_next` call — the headline
+    /// heap-vs-scan number (machine-dependent, like `sched_wall_ns`).
+    fn pick_ns(&self) -> f64 {
+        self.sched.sched_wall_ns as f64 / self.sched.pick_next_calls.max(1) as f64
     }
+}
+
+/// A high-MPL burst: arrivals far faster than service, so ~all
+/// transactions are simultaneously active and every reschedule pass
+/// works over an n-deep system. This is where the pick path's
+/// complexity matters most.
+fn burst(mpl: usize) -> SimConfig {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = mpl;
+    cfg.run.arrival_rate_tps = 2_000.0;
+    cfg
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    if quick {
+        // CI smoke: one small burst, enough to catch a pick-path
+        // regression (cached slower than the oracle) in seconds.
+        return vec![Scenario {
+            name: "mm_cca_burst_mpl64",
+            policy: Box::new(Cca::base()),
+            cfg: burst(64),
+            reps: 2,
+        }];
+    }
+    // Heap-vs-scan across MPL for both ConflictState policies.
+    let mut out = vec![
+        Scenario {
+            name: "mm_cca_burst_mpl64",
+            policy: Box::new(Cca::base()),
+            cfg: burst(64),
+            reps: 5,
+        },
+        Scenario {
+            name: "mm_cca_burst_mpl256",
+            policy: Box::new(Cca::base()),
+            cfg: burst(256),
+            reps: 5,
+        },
+        Scenario {
+            name: "mm_edfwait_burst_mpl64",
+            policy: Box::new(EdfWait),
+            cfg: burst(64),
+            reps: 5,
+        },
+        Scenario {
+            name: "mm_edfwait_burst_mpl256",
+            policy: Box::new(EdfWait),
+            cfg: burst(256),
+            reps: 5,
+        },
+    ];
     // Paper-scale steady state on main memory and disk: the P-list stays
     // short here (§3.3), so this bounds the *overhead* of the
     // bookkeeping in the regime the paper argues is typical.
@@ -60,6 +102,7 @@ fn scenarios() -> Vec<Scenario> {
     mm.run.arrival_rate_tps = 9.0;
     out.push(Scenario {
         name: "mm_cca_steady",
+        policy: Box::new(Cca::base()),
         cfg: mm,
         reps: 3,
     });
@@ -68,6 +111,7 @@ fn scenarios() -> Vec<Scenario> {
     disk.run.arrival_rate_tps = 4.0;
     out.push(Scenario {
         name: "disk_cca_steady",
+        policy: Box::new(Cca::base()),
         cfg: disk,
         reps: 3,
     });
@@ -91,6 +135,11 @@ fn run_cell(
         cell.sched.priority_cache_hits += s.sched.priority_cache_hits;
         cell.sched.pair_checks += s.sched.pair_checks;
         cell.sched.pair_cache_hits += s.sched.pair_cache_hits;
+        cell.sched.heap_pushes += s.sched.heap_pushes;
+        cell.sched.heap_stale_pops += s.sched.heap_stale_pops;
+        cell.sched.heap_validated_picks += s.sched.heap_validated_picks;
+        cell.sched.pair_invalidations += s.sched.pair_invalidations;
+        cell.sched.verify_checks += s.sched.verify_checks;
         cell.sched.sched_wall_ns += s.sched.sched_wall_ns;
         cell.committed += s.committed;
         // Everything but the scheduler's own instrumentation must be
@@ -102,32 +151,43 @@ fn run_cell(
 
 fn cell_json(cell: &Cell, indent: &str) -> String {
     format!(
-        "{{\n{indent}  \"sched_wall_ns\": {},\n{indent}  \"pick_next_calls\": {},\n\
+        "{{\n{indent}  \"sched_wall_ns\": {},\n{indent}  \"pick_ns\": {:.1},\n\
+         {indent}  \"pick_next_calls\": {},\n\
          {indent}  \"priority_evals\": {},\n{indent}  \"priority_cache_hits\": {},\n\
          {indent}  \"pair_checks\": {},\n{indent}  \"pair_cache_hits\": {},\n\
+         {indent}  \"heap_pushes\": {},\n{indent}  \"heap_stale_pops\": {},\n\
+         {indent}  \"heap_validated_picks\": {},\n{indent}  \"pair_invalidations\": {},\n\
          {indent}  \"committed\": {}\n{indent}}}",
         cell.sched.sched_wall_ns,
+        cell.pick_ns(),
         cell.sched.pick_next_calls,
         cell.sched.priority_evals,
         cell.sched.priority_cache_hits,
         cell.sched.pair_checks,
         cell.sched.pair_cache_hits,
+        cell.sched.heap_pushes,
+        cell.sched.heap_stale_pops,
+        cell.sched.heap_validated_picks,
+        cell.sched.pair_invalidations,
         cell.committed,
     )
 }
 
 /// Run the scheduler-overhead profile and render `BENCH_scheduling.json`.
 ///
-/// Returns the JSON document. Panics if any scenario's incremental
-/// trajectory diverges from the recompute oracle — the profile doubles
-/// as an end-to-end equivalence check at realistic scales.
-pub fn bench_profile_json() -> String {
-    let policy = Cca::base();
+/// `quick` restricts the profile to a single small burst (the CI
+/// regression smoke); the full profile sweeps policy × MPL plus the
+/// steady states. Returns the JSON document. Panics if any scenario's
+/// incremental trajectory diverges from the recompute oracle — the
+/// profile doubles as an end-to-end equivalence check at realistic
+/// scales.
+pub fn bench_profile_json(quick: bool) -> String {
     let mut entries = Vec::new();
-    for sc in scenarios() {
+    for sc in scenarios(quick) {
         eprintln!("profiling {} ({} reps x 2 modes)…", sc.name, sc.reps);
-        let (cold, cold_outcomes) = run_cell(&sc.cfg, &policy, sc.reps, CacheMode::AlwaysRecompute);
-        let (cached, cached_outcomes) = run_cell(&sc.cfg, &policy, sc.reps, CacheMode::Incremental);
+        let policy = sc.policy.as_ref();
+        let (cold, cold_outcomes) = run_cell(&sc.cfg, policy, sc.reps, CacheMode::AlwaysRecompute);
+        let (cached, cached_outcomes) = run_cell(&sc.cfg, policy, sc.reps, CacheMode::Incremental);
         assert_eq!(
             cold_outcomes, cached_outcomes,
             "{}: incremental trajectory diverged from the recompute oracle",
@@ -135,9 +195,12 @@ pub fn bench_profile_json() -> String {
         );
         let speedup = cold.sched.sched_wall_ns as f64 / cached.sched.sched_wall_ns.max(1) as f64;
         eprintln!(
-            "  sched wall: cold {:.2} ms, cached {:.2} ms ({speedup:.2}x)",
+            "  sched wall: cold {:.2} ms, cached {:.2} ms ({speedup:.2}x); \
+             pick {:.0} ns -> {:.0} ns",
             cold.sched.sched_wall_ns as f64 / 1e6,
             cached.sched.sched_wall_ns as f64 / 1e6,
+            cold.pick_ns(),
+            cached.pick_ns(),
         );
         entries.push(format!(
             "    {{\n      \"name\": \"{}\",\n      \"policy\": \"{}\",\n      \
@@ -157,7 +220,7 @@ pub fn bench_profile_json() -> String {
     }
     format!(
         "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
-         \"note\": \"sched_wall_ns is machine-dependent; counters and identity flags are deterministic\",\n  \
+         \"note\": \"sched_wall_ns/pick_ns are machine-dependent; counters and identity flags are deterministic\",\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )

@@ -79,10 +79,23 @@ impl Policy for Cca {
         true
     }
 
+    fn conflict_clear_raise(&self, cleared: &Transaction, view: &SystemView<'_>) -> f64 {
+        // A victim of the clear loses exactly `w · (effective_service +
+        // abort_cost)` of penalty — the term `cleared` contributed — and
+        // a non-victim loses nothing, so this bound is tight.
+        self.weight * (cleared.effective_service(view.now) + view.abort_cost).as_ms()
+    }
+
     fn depends_on(&self) -> PriorityDeps {
         // The penalty term reads the P-list membership, the victims'
         // access sets and their effective service: time, own state and
-        // conflict state all matter.
+        // conflict state all matter. It satisfies both halves of the
+        // `ConflictState` invalidation contract: other transactions
+        // enter only through `is_unsafe_with` (which partials would be
+        // destroyed) and those partials' effective service (shape), and
+        // since every penalty term is nonnegative and grows with access
+        // growth and the clock, only a partial's clear can *raise* the
+        // priority (fall-monotonicity, w >= 0).
         PriorityDeps::ConflictState
     }
 }

@@ -53,9 +53,19 @@ impl<P: Policy> Policy for Criticality<P> {
         self.inner.iowait_restrict()
     }
 
+    fn conflict_clear_raise(&self, cleared: &Transaction, view: &SystemView<'_>) -> f64 {
+        // The class offset is a per-transaction constant: it cancels in
+        // any before/after difference, so the base policy's rise bound is
+        // the wrapper's rise bound.
+        self.inner.conflict_clear_raise(cleared, view)
+    }
+
     fn depends_on(&self) -> PriorityDeps {
         // The class offset is static; the base policy's dependencies are
-        // the wrapper's dependencies.
+        // the wrapper's dependencies. Adding a per-transaction constant
+        // preserves the base policy's `ConflictState` invalidation
+        // contract, so the delegated hint stays valid under targeted
+        // (per-pair) invalidation too.
         self.inner.depends_on()
     }
 }

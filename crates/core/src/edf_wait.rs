@@ -40,8 +40,21 @@ impl Policy for EdfWait {
         true
     }
 
+    fn conflict_clear_raise(&self, _cleared: &Transaction, _view: &SystemView<'_>) -> f64 {
+        // The clear removes at most one victim from each other
+        // transaction's count — one lexicographic step.
+        EFFECTIVE_INFINITY_MS
+    }
+
     fn depends_on(&self) -> PriorityDeps {
-        // The victim count reads P-list membership and access sets.
+        // The victim count reads P-list membership and access sets, and
+        // nothing else about other transactions — exactly the set of
+        // unsafe partials that per-transaction conflict stamps track, so
+        // targeted invalidation is sufficient. Fall-monotonicity holds
+        // trivially: growth can only add victims (priority falls, which
+        // the lazy heap tolerates), a clear removes them (eager walk),
+        // and there is no dependence on the victims' service at all — a
+        // cached value survives clock advances bit-exactly.
         PriorityDeps::ConflictState
     }
 }

@@ -72,10 +72,11 @@ enum Started {
 #[derive(Clone, Copy)]
 struct PriEntry {
     value: Priority,
-    /// Simulation time the value was computed at.
+    /// Simulation time the value was computed at (`TimeAndSelf` key).
     at: SimTime,
-    /// Global conflict epoch at computation time.
-    epoch: u64,
+    /// The transaction's per-pair conflict stamp at computation time
+    /// (`ConflictState` key) — see [`ConflictAccel::pair_stamp`].
+    stamp: u64,
     /// The transaction's own-state version at computation time.
     own: u64,
     /// False until first computed.
@@ -86,10 +87,197 @@ impl PriEntry {
     const INVALID: PriEntry = PriEntry {
         value: Priority::MIN,
         at: SimTime::ZERO,
-        epoch: 0,
+        stamp: 0,
         own: 0,
         valid: false,
     };
+}
+
+/// One lazy priority-index entry. Ordered exactly like the scan's
+/// tie-break — `(Priority, Reverse(arrival), Reverse(id))` — so the index
+/// maximum is the scan winner bit-for-bit. The key (`pri`) is an **upper
+/// bound** on the transaction's exact priority; the pick path revalidates
+/// the top against an exact recomputation before dispatching.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    pri: Priority,
+    arrival: SimTime,
+    id: TxnId,
+}
+
+impl HeapEntry {
+    fn key(
+        &self,
+    ) -> (
+        Priority,
+        std::cmp::Reverse<SimTime>,
+        std::cmp::Reverse<TxnId>,
+    ) {
+        (
+            self.pri,
+            std::cmp::Reverse(self.arrival),
+            std::cmp::Reverse(self.id),
+        )
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The lazy max-heap priority index: a position-tracked binary heap with
+/// exactly one entry per indexed transaction.
+///
+/// Position tracking (`pos`) is what makes conflict-epoch invalidation
+/// O(log n) *in place*: a clear repairs each affected transaction's key
+/// with [`PriorityIndex::set_key`] (a sift, no duplicate entry, no
+/// rebuild), and a lazy-fall demotion during pick validation is the same
+/// operation downwards. The old duplicate-entry design paid an eval +
+/// push + eventual stale pop per repaired transaction; this pays a few
+/// swaps.
+#[derive(Default)]
+struct PriorityIndex {
+    /// The heap slots (max-heap by [`HeapEntry::cmp`]).
+    slots: Vec<HeapEntry>,
+    /// Transaction id → slot position + 1; 0 = not in the index. Dense,
+    /// grown by [`PriorityIndex::register`] at arrival.
+    pos: Vec<u32>,
+}
+
+impl PriorityIndex {
+    /// Register a newly arrived transaction id (dense, in order).
+    fn register(&mut self) {
+        self.pos.push(0);
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn contains(&self, id: TxnId) -> bool {
+        self.pos[id.0 as usize] != 0
+    }
+
+    /// The maximum entry, if any. O(1).
+    fn peek(&self) -> Option<HeapEntry> {
+        self.slots.first().copied()
+    }
+
+    /// `id`'s current key, if indexed. O(1); used by consistency checks.
+    fn key_of(&self, id: TxnId) -> Option<Priority> {
+        match self.pos[id.0 as usize] {
+            0 => None,
+            p => Some(self.slots[(p - 1) as usize].pri),
+        }
+    }
+
+    /// Insert an entry for a transaction not currently indexed.
+    fn insert(&mut self, e: HeapEntry) {
+        debug_assert!(!self.contains(e.id), "{} already indexed", e.id);
+        let i = self.slots.len();
+        self.slots.push(e);
+        self.pos[e.id.0 as usize] = i as u32 + 1;
+        self.sift_up(i);
+    }
+
+    /// Remove `id`'s entry (a departed transaction). Returns whether it
+    /// was present.
+    fn remove(&mut self, id: TxnId) -> bool {
+        let p = self.pos[id.0 as usize];
+        if p == 0 {
+            return false;
+        }
+        let i = (p - 1) as usize;
+        self.pos[id.0 as usize] = 0;
+        let last = self.slots.len() - 1;
+        if i != last {
+            self.slots.swap(i, last);
+            self.pos[self.slots[i].id.0 as usize] = i as u32 + 1;
+        }
+        self.slots.pop();
+        if i < self.slots.len() {
+            // The displaced entry can need to move either way.
+            self.sift_up(i);
+            self.sift_down(i);
+        }
+        true
+    }
+
+    /// Reposition `id` under a new key (raise or lower). Returns whether
+    /// it was present.
+    fn set_key(&mut self, id: TxnId, pri: Priority) -> bool {
+        let p = self.pos[id.0 as usize];
+        if p == 0 {
+            return false;
+        }
+        let i = (p - 1) as usize;
+        self.slots[i].pri = pri;
+        self.sift_up(i);
+        self.sift_down(i);
+        true
+    }
+
+    /// Lower `id`'s key. The demote loop's half of `set_key`: the entry
+    /// can only move toward the leaves, so the upward pass is skipped.
+    fn demote_key(&mut self, id: TxnId, pri: Priority) {
+        let p = self.pos[id.0 as usize];
+        debug_assert!(p != 0, "{id} not indexed");
+        let i = (p - 1) as usize;
+        debug_assert!(pri < self.slots[i].pri, "demote must lower the key");
+        self.slots[i].pri = pri;
+        self.sift_down(i);
+    }
+
+    // The sifts move the displaced entry as a "hole": parents/children
+    // shift into place one write each, and the entry lands once at the
+    // end — half the slot and `pos` writes of swap-based sifting.
+
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.slots[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if e <= self.slots[parent] {
+                break;
+            }
+            self.slots[i] = self.slots[parent];
+            self.pos[self.slots[i].id.0 as usize] = i as u32 + 1;
+            i = parent;
+        }
+        self.slots[i] = e;
+        self.pos[e.id.0 as usize] = i as u32 + 1;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.slots[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.slots.len() {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < self.slots.len() && self.slots[r] > self.slots[l] {
+                r
+            } else {
+                l
+            };
+            if self.slots[child] <= e {
+                break;
+            }
+            self.slots[i] = self.slots[child];
+            self.pos[self.slots[i].id.0 as usize] = i as u32 + 1;
+            i = child;
+        }
+        self.slots[i] = e;
+        self.pos[e.id.0 as usize] = i as u32 + 1;
+    }
 }
 
 struct EngineState<'p> {
@@ -134,11 +322,49 @@ struct EngineState<'p> {
     /// Per-transaction cached priorities (indexed by id), invalidated per
     /// the policy's [`PriorityDeps`].
     pri_cache: RefCell<Vec<PriEntry>>,
+    /// The lazy max-heap priority index over active transactions (used
+    /// for `Static` and `ConflictState` policies outside
+    /// `AlwaysRecompute`). Exactly one entry per active transaction,
+    /// keyed by an upper bound on its exact priority — seeded at
+    /// arrival, repositioned in place whenever the cache is written, and
+    /// removed at commit. Invariant: an active transaction's index key
+    /// is bit-identical to its `pri_cache` value.
+    index: RefCell<PriorityIndex>,
+    /// Scratch buffer for filtered picks (IOwait-schedule): entries of
+    /// unacceptable transactions are lifted out while scanning and
+    /// re-inserted afterwards; reused to avoid per-pick allocation.
+    scratch: RefCell<Vec<HeapEntry>>,
+    /// Scratch buffer for the targeted pair-stamp walks.
+    walk_buf: Vec<TxnId>,
     // Scheduler-overhead tallies (Cells: bumped from &self paths).
     pick_next_calls: Cell<u64>,
     priority_evals: Cell<u64>,
     priority_cache_hits: Cell<u64>,
     sched_wall_ns: Cell<u64>,
+    heap_pushes: Cell<u64>,
+    heap_stale_pops: Cell<u64>,
+    heap_validated_picks: Cell<u64>,
+    verify_checks: Cell<u64>,
+}
+
+/// `v` plus a floating-point safety margin: used when repairing a cached
+/// upper bound by an exact real-arithmetic delta, so the repaired key
+/// stays an upper bound even after the roundings the fresh evaluation and
+/// the repair perform differently.
+///
+/// The margin scales with `scale` — the largest magnitude appearing in
+/// *either* computation — not with `v` itself: a repair can cancel (an
+/// EDF-Wait entry at `-(d + 10¹²)` raised by `10¹²` lands near `-d`),
+/// and the bits of `d` lost to rounding at magnitude `10¹²` are an
+/// *absolute* error of order `ulp(10¹²)`, invisible at the result's own
+/// magnitude. Looseness is harmless — the pick path revalidates the top
+/// bit-exactly before dispatching — only a key *below* the true priority
+/// would be unsound.
+fn nudge_up(v: f64, scale: f64) -> f64 {
+    if v.is_infinite() {
+        return v;
+    }
+    v + (scale * (32.0 * f64::EPSILON)).max(f64::MIN_POSITIVE)
 }
 
 impl<'p> EngineState<'p> {
@@ -178,11 +404,33 @@ impl<'p> EngineState<'p> {
             accel: ConflictAccel::new(cfg.run.num_transactions),
             ready_count: 0,
             pri_cache: RefCell::new(Vec::with_capacity(cfg.run.num_transactions)),
+            index: RefCell::new(PriorityIndex::default()),
+            scratch: RefCell::new(Vec::new()),
+            walk_buf: Vec::new(),
             pick_next_calls: Cell::new(0),
             priority_evals: Cell::new(0),
             priority_cache_hits: Cell::new(0),
             sched_wall_ns: Cell::new(0),
+            heap_pushes: Cell::new(0),
+            heap_stale_pops: Cell::new(0),
+            heap_validated_picks: Cell::new(0),
+            verify_checks: Cell::new(0),
         }
+    }
+
+    /// Is the lazy priority heap the pick path for this run? True for
+    /// policies whose cached priorities survive across scheduling points
+    /// (`Static`, and `ConflictState` under per-pair stamps).
+    /// `TimeAndSelf` and `Volatile` priorities move with every clock
+    /// advance, so a heap over them would be rebuilt per pick — the scan
+    /// is strictly cheaper. `AlwaysRecompute` keeps the verbatim pre-heap
+    /// scan as the oracle.
+    fn heap_in_use(&self) -> bool {
+        self.mode != CacheMode::AlwaysRecompute
+            && matches!(
+                self.policy.depends_on(),
+                PriorityDeps::Static | PriorityDeps::ConflictState
+            )
     }
 
     /// Record a trace event if tracing is enabled.
@@ -223,6 +471,103 @@ impl<'p> EngineState<'p> {
         self.txn_mut(id).state = new;
     }
 
+    /// Do conflict events perform targeted per-pair invalidation? Only
+    /// worth the walk when a `ConflictState` policy actually reads the
+    /// stamps; the `AlwaysRecompute` oracle never consults any cache.
+    fn targeted_invalidation_active(&self) -> bool {
+        self.mode != CacheMode::AlwaysRecompute
+            && self.policy.depends_on() == PriorityDeps::ConflictState
+    }
+
+    /// A lock grant grew `id`'s access sets: record it with the
+    /// accelerator; nothing else.
+    ///
+    /// Deliberately **no** walk over the other transactions and no index
+    /// maintenance: growth can only *add* nonnegative penalty terms, i.e.
+    /// only *lower* other `ConflictState` priorities (see
+    /// `PriorityDeps::ConflictState`'s fall-monotonicity clause), and
+    /// `id`'s own priority never reads its own access sets. Cached values
+    /// and index keys become stale-high upper bounds, which the
+    /// peek-and-revalidate pick tolerates — the O(active) per-grant walk
+    /// is traded for an occasional demotion at the next pick.
+    fn conflict_grew(&mut self, id: TxnId, was_partial: bool) {
+        self.accel.note_access_growth(id, was_partial);
+    }
+
+    /// `id`'s access sets are about to be cleared (abort/restart or
+    /// commit): repair the cached priorities of the transactions whose
+    /// penalty currently includes `id` — the walk runs *before* the
+    /// clearing so the still-valid memo describes the contribution being
+    /// removed — then record the clearing.
+    ///
+    /// This is the **one** conflict event that keeps an eager walk: a
+    /// clear removes penalty terms, i.e. *raises* the affected
+    /// `ConflictState` priorities, and a risen priority hiding under a
+    /// low index key would make a peek-ordered pick unsound. Falls
+    /// (growth, clock advance) need no walk — see [`Self::conflict_grew`].
+    fn conflict_cleared(&mut self, id: TxnId) {
+        if self.targeted_invalidation_active() {
+            self.repair_unsafe_against(id);
+        }
+        self.accel.note_sets_cleared(id);
+    }
+
+    /// The targeted per-pair walk on a clear: for every active
+    /// transaction `X` with `is_unsafe(c, X)` — exactly those whose
+    /// penalty is about to lose `c`'s term — bump `X`'s pair stamp (its
+    /// conflict epoch moved) and *repair* its cached priority and index
+    /// key in place, in O(1) per victim, with no exact recomputation:
+    ///
+    /// Removing `c`'s term raises a victim's priority by at most the
+    /// policy-supplied [`Policy::conflict_clear_raise`] bound (for CCA,
+    /// `w · (effective_service(c) + abort_cost)` — the exact term every
+    /// victim loses). Adding that bound (plus a few ULPs of rounding
+    /// slack) to the victim's cached value, itself an upper bound,
+    /// yields a new upper bound on the post-clear priority; the pick
+    /// path's revalidation tightens it exactly when (and only when) the
+    /// victim surfaces at the top. The old design recomputed and
+    /// re-pushed every victim here — O(victims) full evaluations per
+    /// clear, which dominated high-contention runs.
+    ///
+    /// O(active) memoized pair tests, paid only on clears (the rare,
+    /// priority-raising event); the other active transactions keep their
+    /// cached priorities untouched, where the old global epoch flushed
+    /// every one of them.
+    fn repair_unsafe_against(&mut self, c: TxnId) {
+        let raise = self.policy.conflict_clear_raise(self.txn(c), &self.view());
+        let mut affected = std::mem::take(&mut self.walk_buf);
+        affected.clear();
+        {
+            let ct = self.txn(c);
+            for &x in &self.active {
+                if x != c && self.accel.is_unsafe(ct, self.txn(x)) {
+                    affected.push(x);
+                }
+            }
+        }
+        for &x in &affected {
+            self.accel.bump_pair_stamp(x);
+            let bound = {
+                let mut cache = self.pri_cache.borrow_mut();
+                let e = &mut cache[x.0 as usize];
+                debug_assert!(
+                    e.valid && e.value.0.is_finite(),
+                    "{x}: active ConflictState transaction without a seeded cache entry"
+                );
+                debug_assert!(raise >= 0.0, "clear-raise bound must be nonnegative");
+                let bound = Priority(nudge_up(e.value.0 + raise, e.value.0.abs().max(raise)));
+                e.value = bound;
+                e.stamp = self.accel.pair_stamp(x);
+                e.own = self.accel.own_version(x);
+                e.at = self.now();
+                bound
+            };
+            self.index_upsert(x, bound);
+        }
+        affected.clear();
+        self.walk_buf = affected;
+    }
+
     /// The view handed to policies: accel-backed unless the engine is the
     /// always-recompute oracle.
     fn view(&self) -> SystemView<'_> {
@@ -238,16 +583,33 @@ impl<'p> EngineState<'p> {
         SystemView::new(self.now(), &self.txns, self.cfg.system.abort_cost())
     }
 
-    /// The priority of `id` under the active cache mode.
+    /// The cached priority of `id` under the active cache mode.
     ///
-    /// Cache validity is exactly what the policy's [`PriorityDeps`]
-    /// declares: `Static` entries never expire, `TimeAndSelf` entries
-    /// expire when time advances or the transaction's own state changes,
-    /// `ConflictState` entries additionally expire with the global
-    /// conflict epoch. `Volatile` (and the `AlwaysRecompute` oracle)
-    /// bypass the cache entirely. In `Verify` mode every returned value is
-    /// asserted bit-identical to a fresh scan-based recomputation.
+    /// Cache validity is what the policy's [`PriorityDeps`] declares:
+    /// `Static` entries never expire, `TimeAndSelf` entries expire when
+    /// time advances or the transaction's own state changes,
+    /// `ConflictState` entries expire when the transaction's own state or
+    /// its per-pair conflict stamp moves. `Volatile` (and the
+    /// `AlwaysRecompute` oracle) bypass the cache entirely.
+    ///
+    /// **Exactness.** For every dependency class but `ConflictState` a
+    /// hit is bit-exact. A surviving `ConflictState` entry is only an
+    /// **upper bound** on the fresh value: the engine deliberately does
+    /// not bump stamps on priority *falls* (another transaction's access
+    /// growth, effective service accruing with the clock) — only on
+    /// *raises* (clears; see [`Self::conflict_cleared`]). Decision points
+    /// that need the exact value go through [`Self::priority_exact`];
+    /// this path feeds the heap keys and the non-`ConflictState` scans.
+    /// In `Verify` mode the returned value is asserted against a fresh
+    /// scan-based recomputation — bit-identical where the path claims
+    /// exactness, `>=` where it claims an upper bound.
+    ///
+    /// When the priority index is in use, every cache *write* also moves
+    /// the transaction's index key to the new value in place — the
+    /// paired-writes invariant (an active transaction's index key is
+    /// bit-identical to its cached value at all times).
     fn priority_of(&self, id: TxnId) -> Priority {
+        let mut upper_bound_hit = false;
         let result = if self.mode == CacheMode::AlwaysRecompute {
             self.priority_evals.set(self.priority_evals.get() + 1);
             self.policy.priority(self.txn(id), &self.view())
@@ -258,7 +620,7 @@ impl<'p> EngineState<'p> {
                 self.policy.priority(self.txn(id), &self.view())
             } else {
                 let now = self.now();
-                let epoch = self.accel.epoch();
+                let stamp = self.accel.pair_stamp(id);
                 let own = self.accel.own_version(id);
                 let idx = id.0 as usize;
                 let cached = self.pri_cache.borrow()[idx];
@@ -266,12 +628,11 @@ impl<'p> EngineState<'p> {
                     && match deps {
                         PriorityDeps::Static => true,
                         PriorityDeps::TimeAndSelf => cached.at == now && cached.own == own,
-                        PriorityDeps::ConflictState => {
-                            cached.at == now && cached.epoch == epoch && cached.own == own
-                        }
+                        PriorityDeps::ConflictState => cached.stamp == stamp && cached.own == own,
                         PriorityDeps::Volatile => unreachable!("handled above"),
                     };
                 if hit {
+                    upper_bound_hit = deps == PriorityDeps::ConflictState;
                     self.priority_cache_hits
                         .set(self.priority_cache_hits.get() + 1);
                     cached.value
@@ -281,25 +642,115 @@ impl<'p> EngineState<'p> {
                     self.pri_cache.borrow_mut()[idx] = PriEntry {
                         value,
                         at: now,
-                        epoch,
+                        stamp,
                         own,
                         valid: true,
                     };
+                    if self.heap_in_use() {
+                        self.index_upsert(id, value);
+                    }
                     value
                 }
             }
         };
         if self.mode == CacheMode::Verify {
             let fresh = self.policy.priority(self.txn(id), &self.fresh_view());
+            self.verify_checks.set(self.verify_checks.get() + 1);
+            if upper_bound_hit {
+                assert!(
+                    result >= fresh,
+                    "{id}: surviving ConflictState entry {} < fresh {} \
+                     (a priority rise escaped the clear walk)",
+                    result.0,
+                    fresh.0
+                );
+            } else {
+                assert_eq!(
+                    result.0.to_bits(),
+                    fresh.0.to_bits(),
+                    "{id}: cached priority {} != fresh {} (stale invalidation?)",
+                    result.0,
+                    fresh.0
+                );
+            }
+        }
+        result
+    }
+
+    /// The **exact** priority of `id` — what scheduling decisions (heap
+    /// pick validation, wound/HP lock-conflict comparisons) consume.
+    ///
+    /// For every dependency class but `ConflictState` the cached path is
+    /// already exact and this delegates to [`Self::priority_of`]. For
+    /// `ConflictState` under lazy falls a surviving entry may be
+    /// stale-high, so the value is recomputed against the accel-backed
+    /// view (memoized pair verdicts keep this O(P-list), and the P-list
+    /// stays near-empty in exactly the high-contention regimes that made
+    /// the old per-event walks explode). A recompute that *confirms* the
+    /// surviving entry counts as a cache hit and leaves cache and index
+    /// untouched; a fall rewrites the entry and demotes the index key in
+    /// place — which is exactly how the pick loop retires a stale top.
+    fn priority_exact(&self, id: TxnId) -> Priority {
+        if self.mode == CacheMode::AlwaysRecompute
+            || self.policy.depends_on() != PriorityDeps::ConflictState
+        {
+            return self.priority_of(id);
+        }
+        let value = self.policy.priority(self.txn(id), &self.view());
+        let now = self.now();
+        let stamp = self.accel.pair_stamp(id);
+        let own = self.accel.own_version(id);
+        let idx = id.0 as usize;
+        let confirmed = {
+            let cached = self.pri_cache.borrow()[idx];
+            cached.valid
+                && cached.stamp == stamp
+                && cached.own == own
+                && cached.value.0.to_bits() == value.0.to_bits()
+        };
+        if confirmed {
+            self.priority_cache_hits
+                .set(self.priority_cache_hits.get() + 1);
+        } else {
+            self.priority_evals.set(self.priority_evals.get() + 1);
+            self.pri_cache.borrow_mut()[idx] = PriEntry {
+                value,
+                at: now,
+                stamp,
+                own,
+                valid: true,
+            };
+            if self.heap_in_use() {
+                self.index_upsert(id, value);
+            }
+        }
+        if self.mode == CacheMode::Verify {
+            let fresh = self.policy.priority(self.txn(id), &self.fresh_view());
+            self.verify_checks.set(self.verify_checks.get() + 1);
             assert_eq!(
-                result.0.to_bits(),
+                value.0.to_bits(),
                 fresh.0.to_bits(),
-                "{id}: cached priority {} != fresh {} (stale invalidation?)",
-                result.0,
+                "{id}: exact priority {} != fresh {} (accel view diverged)",
+                value.0,
                 fresh.0
             );
         }
-        result
+        value
+    }
+
+    /// Move `id`'s index key to `value` in place (or insert it if `id`
+    /// has no entry yet) — the index half of every priority-cache write.
+    /// O(log n) sift; never creates a duplicate entry.
+    fn index_upsert(&self, id: TxnId, value: Priority) {
+        let mut index = self.index.borrow_mut();
+        if !index.set_key(id, value) {
+            index.insert(HeapEntry {
+                pri: value,
+                arrival: self.txn(id).arrival,
+                id,
+            });
+        }
+        self.heap_pushes.set(self.heap_pushes.get() + 1);
     }
 
     // ---- event handlers -------------------------------------------------
@@ -314,6 +765,7 @@ impl<'p> EngineState<'p> {
         // state (a fresh transaction holds nothing), so no epoch bump.
         self.accel.register(id);
         self.pri_cache.borrow_mut().push(PriEntry::INVALID);
+        self.index.borrow_mut().register();
         if let Some(adm) = self.cfg.system.admission {
             if !self.feasible(&txn, adm) {
                 // Reject at the door: the transaction never enters the
@@ -331,6 +783,12 @@ impl<'p> EngineState<'p> {
         self.secondary.push(false);
         self.active.push(id);
         self.ready_count += 1;
+        // Seed the newcomer's cache entry and index key eagerly: the
+        // index must hold exactly one entry per active transaction before
+        // the next pick can trust its peek.
+        if self.heap_in_use() {
+            self.priority_exact(id);
+        }
         self.emit(|| TraceEvent::Arrival { txn: id, deadline });
         self.update_queue_metrics();
         self.reschedule(); // tr-arrival-schedule
@@ -366,6 +824,7 @@ impl<'p> EngineState<'p> {
                         .map(|&p| self.txn(p))
                         .filter(|p| p.is_partially_executed() && txn.conflicts_with(p))
                         .count();
+                    self.verify_checks.set(self.verify_checks.get() + 1);
                     assert_eq!(n, scanned, "admission conflict count diverged");
                 }
                 n
@@ -407,11 +866,19 @@ impl<'p> EngineState<'p> {
                     t.maybe_execute_decision()
                 };
                 // Progress/service moved: own-state-dependent priorities
-                // (LSF) must recompute. A narrowing additionally changes
-                // the conflict relation system-wide.
+                // (LSF) must recompute — lazily; under `ConflictState`
+                // deps own service never raises the owner's priority, so
+                // the stale index key stays an upper bound. A narrowing
+                // additionally changes how the partials relate to *this*
+                // transaction — and only this one (`is_unsafe` never
+                // reads a partial's `might_access`) — and can *raise* its
+                // priority, so refresh its key eagerly and exactly.
                 self.accel.bump_own(id);
                 if narrowed {
                     self.accel.note_narrowed(id);
+                    if self.heap_in_use() {
+                        self.priority_exact(id);
+                    }
                 }
                 if self.txn(id).progress == self.txn(id).total_updates() {
                     self.commit(id);
@@ -523,7 +990,7 @@ impl<'p> EngineState<'p> {
             self.secondary[id.0 as usize] = false;
             // The restart clears the access sets (and re-widens a
             // narrowed mightaccess): leave the P-list, invalidate pairs.
-            self.accel.note_sets_cleared(id);
+            self.conflict_cleared(id);
             self.txn_mut(id).reset_for_restart();
             self.set_state(id, TxnState::Ready);
         } else {
@@ -604,7 +1071,7 @@ impl<'p> EngineState<'p> {
                                 grew |= t.written.insert(item);
                             }
                             if grew {
-                                self.accel.note_access_growth(id, was_partial);
+                                self.conflict_grew(id, was_partial);
                             }
                             self.after_lock(id);
                         }
@@ -637,7 +1104,7 @@ impl<'p> EngineState<'p> {
                                     grew |= t.written.insert(item);
                                 }
                                 if grew {
-                                    self.accel.note_access_growth(id, was_partial);
+                                    self.conflict_grew(id, was_partial);
                                 }
                                 let t = self.txn_mut(id);
                                 t.stage = Stage::Recover;
@@ -732,9 +1199,13 @@ impl<'p> EngineState<'p> {
 
     /// Does `requester` strictly outrank `holder` in the current priority
     /// order (priority, then earlier arrival, then smaller id)?
+    ///
+    /// A wound/wait decision is a scheduling decision: it must see
+    /// **exact** priorities, not the stale-high upper bounds a surviving
+    /// `ConflictState` cache entry may hold under lazy falls.
     fn outranks(&self, requester: TxnId, holder: TxnId) -> bool {
-        let pr = self.priority_of(requester);
-        let ph = self.priority_of(holder);
+        let pr = self.priority_exact(requester);
+        let ph = self.priority_exact(holder);
         let (r, h) = (self.txn(requester), self.txn(holder));
         (pr, std::cmp::Reverse(r.arrival), std::cmp::Reverse(r.id))
             > (ph, std::cmp::Reverse(h.arrival), std::cmp::Reverse(h.id))
@@ -784,7 +1255,7 @@ impl<'p> EngineState<'p> {
         // Victims always hold locks (asserted above), so the victim is on
         // the P-list and leaves it now; its access sets clear and a
         // narrowed mightaccess re-widens.
-        self.accel.note_sets_cleared(victim);
+        self.conflict_cleared(victim);
         let state = self.txn(victim).state;
         match state {
             TxnState::Ready => {
@@ -834,13 +1305,20 @@ impl<'p> EngineState<'p> {
     fn commit(&mut self, id: TxnId) {
         debug_assert_eq!(self.running, Some(id));
         let now = self.now();
+        // The final burst is already banked in `service` (`on_cpu_done`
+        // ran first), but `burst_start` still points at the burst's
+        // start, so `effective_service` would double-charge it. Nothing
+        // observes the committer's effective service between here and
+        // the `Committed` state — except the clear-repair bound below,
+        // which the correction keeps tight.
+        self.txn_mut(id).burst_start = now;
         let held = self.locks.held_by(id);
         self.locks.release_all(id);
         self.wake_waiters(&held);
         // The committer leaves the P-list (a zero-update transaction was
         // never on it) and stops being anyone's rollback victim.
         if self.txn(id).is_partially_executed() {
-            self.accel.note_sets_cleared(id);
+            self.conflict_cleared(id);
         }
         self.set_state(id, TxnState::Committed);
         let t = self.txn_mut(id);
@@ -855,6 +1333,9 @@ impl<'p> EngineState<'p> {
             .record_commit_in_class(class, arrival, deadline, now);
         self.running = None;
         self.active.retain(|&a| a != id);
+        if self.heap_in_use() {
+            self.index.borrow_mut().remove(id);
+        }
         self.update_queue_metrics();
         self.reschedule(); // tr-finish-schedule
     }
@@ -871,14 +1352,17 @@ impl<'p> EngineState<'p> {
         let evals0 = self.priority_evals.get();
         let hits0 = self.priority_cache_hits.get();
         let pairs0 = self.accel.pair_checks();
+        let invalidations0 = self.accel.pair_invalidations();
         self.reschedule_inner();
         let evals = self.priority_evals.get() - evals0;
         let cache_hits = self.priority_cache_hits.get() - hits0;
         let pair_checks = self.accel.pair_checks() - pairs0;
+        let invalidations = self.accel.pair_invalidations() - invalidations0;
         self.emit(|| TraceEvent::SchedulerPass {
             evals,
             cache_hits,
             pair_checks,
+            invalidations,
         });
     }
 
@@ -928,6 +1412,12 @@ impl<'p> EngineState<'p> {
     }
 
     fn pick_next_inner(&self) -> Option<(TxnId, bool)> {
+        if self.mode == CacheMode::Verify {
+            self.verify_surviving_entries();
+        }
+        if self.heap_in_use() {
+            return self.pick_next_heap();
+        }
         let th = self.best_by_priority(self.active.iter().copied())?;
         if self.txn(th).is_runnable() {
             return Some((th, false));
@@ -948,6 +1438,337 @@ impl<'p> EngineState<'p> {
             .filter(|&id| self.txn(id).is_runnable())
             .filter(|&id| !self.policy.iowait_restrict() || self.compatible_with_plist(id));
         self.best_by_priority(candidates).map(|id| (id, true))
+    }
+
+    /// The index-backed pick: peek-validate-demote.
+    ///
+    /// Soundness under lazy falls: every index key is an **upper bound**
+    /// on its transaction's exact priority (falls are tolerated; the two
+    /// raising events — a partial's clear, a transaction's own
+    /// `might_access` narrowing — repair or refresh the affected keys
+    /// eagerly). So when the peeked maximum's exact recomputation
+    /// *matches* its key, it is the true argmax — every other
+    /// transaction's exact priority sits at or below its own key, which
+    /// sits at or below the peeked key; the
+    /// `(Priority, Reverse(arrival), Reverse(id))` composite key settles
+    /// ties the same way, because arrival and id never change. When the
+    /// recomputation comes out lower, its cache write already demoted the
+    /// key in place and a different transaction surfaces at the top —
+    /// each transaction demotes at most once per pick, so the loop
+    /// terminates in amortized O(log n).
+    fn pick_next_heap(&self) -> Option<(TxnId, bool)> {
+        let th = self.heap_best();
+        if self.mode == CacheMode::Verify {
+            self.verify_checks.set(self.verify_checks.get() + 1);
+            let oracle = self.fresh_best(|_| true);
+            assert_eq!(th, oracle, "heap TH pick diverged from the fresh scan");
+        }
+        let th = th?;
+        if self.txn(th).is_runnable() {
+            return Some((th, false));
+        }
+        // TH blocked on IO: IOwait-schedule (same short-circuit as the
+        // scan path — with nothing Ready and nothing Running the filtered
+        // pop would also find nobody).
+        if self.ready_count == 0 && self.running.is_none() {
+            return None;
+        }
+        let restrict = self.policy.iowait_restrict();
+        let pick = self.heap_best_filtered(restrict);
+        if self.mode == CacheMode::Verify {
+            self.verify_checks.set(self.verify_checks.get() + 1);
+            let oracle = self.fresh_best(|id| {
+                self.txn(id).is_runnable() && (!restrict || self.fresh_compatible(id))
+            });
+            assert_eq!(
+                pick, oracle,
+                "heap IOwait pick diverged from the fresh scan"
+            );
+        }
+        pick.map(|id| (id, true))
+    }
+
+    /// Peek the maximum-keyed entry and validate it: when its exact
+    /// priority confirms the key bit-for-bit it is the true argmax and
+    /// the pick is done in O(1) heap work. When the exact value comes out
+    /// lower, `priority_exact`'s cache write has already demoted the key
+    /// in place (one O(log n) sift), so the loop simply peeks again —
+    /// each transaction can be demoted at most once per pick, which
+    /// bounds the loop.
+    fn heap_best(&self) -> Option<TxnId> {
+        if self.mode != CacheMode::Verify && self.policy.depends_on() == PriorityDeps::ConflictState
+        {
+            return self.heap_best_fast();
+        }
+        loop {
+            // The index borrow must not be held across `priority_exact`,
+            // which repositions the key on a fall.
+            let Some(top) = self.index.borrow().peek() else {
+                debug_assert!(self.active.is_empty(), "index lost an active entry");
+                return None;
+            };
+            debug_assert_eq!(
+                self.pri_cache.borrow()[top.id.0 as usize].value.0.to_bits(),
+                top.pri.0.to_bits(),
+                "index key disagrees with the cache"
+            );
+            let exact = self.priority_exact(top.id);
+            if exact.0.to_bits() == top.pri.0.to_bits() {
+                self.heap_validated_picks
+                    .set(self.heap_validated_picks.get() + 1);
+                return Some(top.id);
+            }
+            debug_assert!(
+                exact < top.pri,
+                "index key was not an upper bound: {} key {} < exact {} (state {:?}, \
+                 partial {}, running {:?})",
+                top.id,
+                top.pri.0,
+                exact.0,
+                self.txn(top.id).state,
+                self.txn(top.id).is_partially_executed(),
+                self.running,
+            );
+            self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+        }
+    }
+
+    /// The peek-validate-demote loop with the per-iteration dispatch
+    /// hoisted out: one index borrow for the whole pick, the view and
+    /// clock read once, and the demote fused to eval + cache write +
+    /// in-place sift. Semantically identical to the general loop in
+    /// [`Self::heap_best`] — the demote loop dominates pick latency in
+    /// high-contention bursts, so its constant factor is what the
+    /// `ConflictState` production path pays per stale entry.
+    ///
+    /// One deliberate shortcut: a top whose recomputed value confirms the
+    /// key bit-for-bit is returned without restamping its cache entry
+    /// (`priority_exact` would refresh `stamp`/`own` if they had moved
+    /// while the value did not). The entry stays a valid upper bound
+    /// either way; a later lookup at most re-derives the same value once.
+    fn heap_best_fast(&self) -> Option<TxnId> {
+        let now = self.now();
+        let view = self.view();
+        let mut index = self.index.borrow_mut();
+        loop {
+            let Some(top) = index.peek() else {
+                debug_assert!(self.active.is_empty(), "index lost an active entry");
+                return None;
+            };
+            debug_assert_eq!(
+                self.pri_cache.borrow()[top.id.0 as usize].value.0.to_bits(),
+                top.pri.0.to_bits(),
+                "index key disagrees with the cache"
+            );
+            let value = self.policy.priority(self.txn(top.id), &view);
+            if value.0.to_bits() == top.pri.0.to_bits() {
+                self.priority_cache_hits
+                    .set(self.priority_cache_hits.get() + 1);
+                self.heap_validated_picks
+                    .set(self.heap_validated_picks.get() + 1);
+                return Some(top.id);
+            }
+            debug_assert!(value < top.pri, "index key was not an upper bound");
+            self.priority_evals.set(self.priority_evals.get() + 1);
+            self.pri_cache.borrow_mut()[top.id.0 as usize] = PriEntry {
+                value,
+                at: now,
+                stamp: self.accel.pair_stamp(top.id),
+                own: self.accel.own_version(top.id),
+                valid: true,
+            };
+            index.demote_key(top.id, value);
+            self.heap_pushes.set(self.heap_pushes.get() + 1);
+            self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+        }
+    }
+
+    /// As [`Self::heap_best`] restricted to runnable (and, when the
+    /// policy asks, P-list-compatible) transactions: remove unacceptable
+    /// tops into a scratch buffer until the best acceptable entry whose
+    /// exact priority confirms its key, then re-insert the parked
+    /// entries. (Parked entries need no revalidation — acceptability does
+    /// not depend on the priority, and their possibly stale-high keys
+    /// stay upper bounds when re-inserted.)
+    fn heap_best_filtered(&self, restrict: bool) -> Option<TxnId> {
+        if self.mode != CacheMode::Verify && self.policy.depends_on() == PriorityDeps::ConflictState
+        {
+            return self.heap_best_filtered_fast(restrict);
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        debug_assert!(scratch.is_empty());
+        let mut winner = None;
+        while winner.is_none() {
+            // Short-lived index borrow: `priority_exact` below may sift.
+            let Some(top) = self.index.borrow().peek() else {
+                break;
+            };
+            let id = top.id;
+            if !(self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))) {
+                self.index.borrow_mut().remove(id);
+                scratch.push(top);
+                continue;
+            }
+            let exact = self.priority_exact(id);
+            if exact.0.to_bits() == top.pri.0.to_bits() {
+                winner = Some(id);
+            } else {
+                debug_assert!(exact < top.pri, "index key was not an upper bound");
+                self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+            }
+        }
+        {
+            let mut index = self.index.borrow_mut();
+            for e in scratch.drain(..) {
+                index.insert(e);
+            }
+        }
+        if winner.is_some() {
+            self.heap_validated_picks
+                .set(self.heap_validated_picks.get() + 1);
+        }
+        winner
+    }
+
+    /// [`Self::heap_best_filtered`] with the same constant-factor
+    /// treatment as [`Self::heap_best_fast`] (and the same restamping
+    /// shortcut on a bit-exact confirm).
+    fn heap_best_filtered_fast(&self, restrict: bool) -> Option<TxnId> {
+        let now = self.now();
+        let view = self.view();
+        let mut scratch = self.scratch.borrow_mut();
+        debug_assert!(scratch.is_empty());
+        let mut index = self.index.borrow_mut();
+        let mut winner = None;
+        while winner.is_none() {
+            let Some(top) = index.peek() else {
+                break;
+            };
+            let id = top.id;
+            if !(self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))) {
+                index.remove(id);
+                scratch.push(top);
+                continue;
+            }
+            let value = self.policy.priority(self.txn(id), &view);
+            if value.0.to_bits() == top.pri.0.to_bits() {
+                self.priority_cache_hits
+                    .set(self.priority_cache_hits.get() + 1);
+                winner = Some(id);
+            } else {
+                debug_assert!(value < top.pri, "index key was not an upper bound");
+                self.priority_evals.set(self.priority_evals.get() + 1);
+                self.pri_cache.borrow_mut()[id.0 as usize] = PriEntry {
+                    value,
+                    at: now,
+                    stamp: self.accel.pair_stamp(id),
+                    own: self.accel.own_version(id),
+                    valid: true,
+                };
+                index.demote_key(id, value);
+                self.heap_pushes.set(self.heap_pushes.get() + 1);
+                self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+            }
+        }
+        for e in scratch.drain(..) {
+            index.insert(e);
+        }
+        if winner.is_some() {
+            self.heap_validated_picks
+                .set(self.heap_validated_picks.get() + 1);
+        }
+        winner
+    }
+
+    /// The scan the `Verify` heap asserts against: fresh (memo-free)
+    /// priorities over `active` with the scan tie-break, restricted by
+    /// `filter`.
+    fn fresh_best(&self, filter: impl Fn(TxnId) -> bool) -> Option<TxnId> {
+        let view = self.fresh_view();
+        let mut best: Option<(Priority, SimTime, TxnId)> = None;
+        for &id in &self.active {
+            if !filter(id) {
+                continue;
+            }
+            let t = self.txn(id);
+            let pri = self.policy.priority(t, &view);
+            let better = match &best {
+                None => true,
+                Some((bp, ba, bi)) => {
+                    (pri, std::cmp::Reverse(t.arrival), std::cmp::Reverse(t.id))
+                        > (*bp, std::cmp::Reverse(*ba), std::cmp::Reverse(*bi))
+                }
+            };
+            if better {
+                best = Some((pri, t.arrival, id));
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Memo-free IOwait compatibility (the `Verify` oracle's filter).
+    fn fresh_compatible(&self, id: TxnId) -> bool {
+        let candidate = self.txn(id);
+        self.active
+            .iter()
+            .filter(|&&p| p != id)
+            .map(|&p| self.txn(p))
+            .filter(|p| p.is_partially_executed())
+            .all(|p| !candidate.conflicts_with(p))
+    }
+
+    /// `Verify`: every cache entry that *survived* invalidation (would be
+    /// a hit under the policy's declared deps) must still satisfy what the
+    /// cache claims for it — bit-identity for `Static`/`TimeAndSelf`, the
+    /// upper-bound invariant for `ConflictState` (lazy falls leave
+    /// stale-high survivors by design; a survivor *below* the fresh value
+    /// means a priority rise escaped the clear walk, which would make the
+    /// heap's pop order unsound). Checked at every pick rather than at
+    /// the entry's next (possibly much later) use.
+    fn verify_surviving_entries(&self) {
+        let deps = self.policy.depends_on();
+        if deps == PriorityDeps::Volatile {
+            return;
+        }
+        let view = self.fresh_view();
+        let now = self.now();
+        let cache = self.pri_cache.borrow();
+        for &id in &self.active {
+            let cached = cache[id.0 as usize];
+            let hit = cached.valid
+                && match deps {
+                    PriorityDeps::Static => true,
+                    PriorityDeps::TimeAndSelf => {
+                        cached.at == now && cached.own == self.accel.own_version(id)
+                    }
+                    PriorityDeps::ConflictState => {
+                        cached.stamp == self.accel.pair_stamp(id)
+                            && cached.own == self.accel.own_version(id)
+                    }
+                    PriorityDeps::Volatile => unreachable!("handled above"),
+                };
+            if hit {
+                let fresh = self.policy.priority(self.txn(id), &view);
+                self.verify_checks.set(self.verify_checks.get() + 1);
+                if deps == PriorityDeps::ConflictState {
+                    assert!(
+                        cached.value >= fresh,
+                        "{id}: surviving cache entry {} < fresh {} \
+                         (a priority rise escaped the clear walk)",
+                        cached.value.0,
+                        fresh.0
+                    );
+                } else {
+                    assert_eq!(
+                        cached.value.0.to_bits(),
+                        fresh.0.to_bits(),
+                        "{id}: surviving cache entry {} != fresh {} (invalidation too narrow)",
+                        cached.value.0,
+                        fresh.0
+                    );
+                }
+            }
+        }
     }
 
     /// Highest-priority transaction among `ids` (priorities via the
@@ -992,25 +1813,39 @@ impl<'p> EngineState<'p> {
                 .map(|&p| self.txn(p))
                 .filter(|p| p.is_partially_executed())
                 .all(|p| !candidate.conflicts_with(p)),
-            _ => {
-                let compatible = self
-                    .accel
-                    .plist()
-                    .iter()
-                    .filter(|&&p| p != id)
-                    .all(|&p| !self.accel.conflicts(candidate, self.txn(p)));
-                if self.mode == CacheMode::Verify {
-                    let scanned = self
-                        .active
-                        .iter()
-                        .filter(|&&p| p != id)
-                        .map(|&p| self.txn(p))
-                        .filter(|p| p.is_partially_executed())
-                        .all(|p| !candidate.conflicts_with(p));
-                    assert_eq!(compatible, scanned, "{id}: P-list compatibility diverged");
+            CacheMode::Verify => {
+                // One pass over `active` yields both answers: filtering it
+                // by `is_partially_executed` visits exactly the maintained
+                // P-list in the same ascending-id order (that identity is
+                // itself asserted in `update_queue_metrics` and
+                // `validate_state`), so each pair can be checked memoized
+                // vs fresh as it streams by instead of scanning twice.
+                let mut compatible = true;
+                for &p in &self.active {
+                    if p == id {
+                        continue;
+                    }
+                    let partial = self.txn(p);
+                    if !partial.is_partially_executed() {
+                        continue;
+                    }
+                    let memoized = self.accel.conflicts(candidate, partial);
+                    let fresh = candidate.conflicts_with(partial);
+                    self.verify_checks.set(self.verify_checks.get() + 1);
+                    assert_eq!(
+                        memoized, fresh,
+                        "{id}: memoized pair verdict against {p} diverged"
+                    );
+                    compatible &= !memoized;
                 }
                 compatible
             }
+            CacheMode::Incremental => self
+                .accel
+                .plist()
+                .iter()
+                .filter(|&&p| p != id)
+                .all(|&p| !self.accel.conflicts(candidate, self.txn(p))),
         }
     }
 
@@ -1067,6 +1902,7 @@ impl<'p> EngineState<'p> {
                         .iter()
                         .filter(|&&id| self.txn(id).state == TxnState::Ready)
                         .count();
+                    self.verify_checks.set(self.verify_checks.get() + 2);
                     assert_eq!(self.accel.plist_len(), plist_scan, "P-list count diverged");
                     assert_eq!(self.ready_count, ready_scan, "ready count diverged");
                 }
@@ -1198,6 +2034,22 @@ impl<'p> EngineState<'p> {
             .filter(|&&id| self.txn(id).state == TxnState::Ready)
             .count();
         assert_eq!(self.ready_count, ready_scan, "ready counter diverged");
+        // The priority index holds exactly one entry per active
+        // transaction, keyed bit-identically to its cached value.
+        if self.heap_in_use() {
+            let index = self.index.borrow();
+            assert_eq!(index.len(), self.active.len(), "index size diverged");
+            let cache = self.pri_cache.borrow();
+            for &id in &self.active {
+                assert!(index.contains(id), "{id}: active but not indexed");
+                let key = index.key_of(id).expect("contained above");
+                assert_eq!(
+                    key.0.to_bits(),
+                    cache[id.0 as usize].value.0.to_bits(),
+                    "{id}: index key and cached priority disagree"
+                );
+            }
+        }
     }
 }
 
@@ -1283,12 +2135,24 @@ pub fn run_simulation_checked(
     cfg: &SimConfig,
     policy: &dyn Policy,
 ) -> Result<RunSummary, RunError> {
+    run_simulation_checked_mode(cfg, policy, CacheMode::Incremental)
+}
+
+/// As [`run_simulation_checked`] under an explicit [`CacheMode`] — the
+/// replication runner's whole-suite equivalence sweeps thread the mode
+/// override through here.
+pub fn run_simulation_checked_mode(
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    mode: CacheMode,
+) -> Result<RunSummary, RunError> {
     cfg.validate()?;
     poison_check(cfg);
     let seeder = StreamSeeder::new(cfg.run.seed);
     let table = TypeTable::generate(cfg, &seeder);
     let mut generator = ArrivalGenerator::new(cfg, &table, &seeder);
     let mut st = EngineState::new(cfg, policy);
+    st.mode = mode;
     let expected = cfg.run.num_transactions;
     drive(&mut st, &mut generator, expected, |_| {})
 }
@@ -1376,6 +2240,11 @@ fn drive(
                 continue;
             }
         };
+        // Popping an event advances the simulation clock. A partially
+        // executed Compute-stage runner accrues effective service, which
+        // can only *lower* ConflictState priorities computed against it —
+        // stale-high cache entries and heap keys the pick path's
+        // pop-and-revalidate already tolerates, so no invalidation here.
         match fired.payload {
             Event::Arrival(txn) => {
                 if let Some(next) = source.next_transaction() {
@@ -1403,6 +2272,11 @@ fn drive(
         priority_cache_hits: st.priority_cache_hits.get(),
         pair_checks: st.accel.pair_checks(),
         pair_cache_hits: st.accel.pair_cache_hits(),
+        heap_pushes: st.heap_pushes.get(),
+        heap_stale_pops: st.heap_stale_pops.get(),
+        heap_validated_picks: st.heap_validated_picks.get(),
+        pair_invalidations: st.accel.pair_invalidations(),
+        verify_checks: st.verify_checks.get(),
         sched_wall_ns: st.sched_wall_ns.get(),
     });
     Ok(st.metrics.finish(end, disk_busy))
@@ -1428,6 +2302,110 @@ pub fn run_simulation_traced(cfg: &SimConfig, policy: &dyn Policy) -> (RunSummar
     let summary =
         drive(&mut st, &mut generator, expected, |_| {}).unwrap_or_else(|e| panic!("{e}"));
     (summary, st.trace.take().expect("trace enabled above"))
+}
+
+/// A frozen-system harness for `best_by_priority` micro-benchmarks:
+/// builds an engine whose active set is exactly the supplied
+/// transactions and exposes the pick path — heap-indexed under
+/// [`CacheMode::Incremental`], the verbatim full scan under
+/// [`CacheMode::AlwaysRecompute`] — without running any events.
+///
+/// Bench/test support only. The harness never dispatches the picked
+/// transaction, so repeated [`PickHarness::pick`] calls measure the
+/// steady-state (warm-cache) cost; call
+/// [`PickHarness::invalidate_conflict_caches`] between picks to measure
+/// the cold path for `ConflictState` policies (for `Static` policies a
+/// valid entry is definitionally never stale, so there is no cold case
+/// to measure).
+pub struct PickHarness<'p> {
+    st: EngineState<'p>,
+}
+
+impl<'p> PickHarness<'p> {
+    /// Assemble a harness over `txns`, which must carry dense ids
+    /// `0..n` in order. Transactions with non-empty `accessed` sets are
+    /// registered as P-list members, exactly as if they had grown their
+    /// sets inside a run.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense or a transaction is not active.
+    pub fn new(
+        cfg: &'p SimConfig,
+        policy: &'p dyn Policy,
+        txns: Vec<Transaction>,
+        mode: CacheMode,
+    ) -> Self {
+        let mut st = EngineState::new(cfg, policy);
+        st.mode = mode;
+        for txn in txns {
+            let id = txn.id;
+            assert_eq!(
+                id.0 as usize,
+                st.txns.len(),
+                "transaction ids must be dense"
+            );
+            assert!(txn.is_active(), "harness transactions must be active");
+            st.accel.register(id);
+            st.pri_cache.borrow_mut().push(PriEntry::INVALID);
+            st.index.borrow_mut().register();
+            let partial = txn.is_partially_executed();
+            if txn.state == TxnState::Ready {
+                st.ready_count += 1;
+            }
+            st.txns.push(txn);
+            st.secondary.push(false);
+            st.active.push(id);
+            if partial {
+                st.accel.note_access_growth(id, false);
+            }
+        }
+        // Seed every cache entry and index key, as arrivals do in a run.
+        if st.heap_in_use() {
+            for i in 0..st.active.len() {
+                st.priority_exact(st.active[i]);
+            }
+        }
+        PickHarness { st }
+    }
+
+    /// One scheduling decision over the frozen system (see
+    /// `pick_next`): the best runnable transaction, or the best
+    /// IOwait-compatible one when the policy restricts. Counted in
+    /// [`Self::stats`] like any in-run pick.
+    pub fn pick(&self) -> Option<(TxnId, bool)> {
+        self.st.pick_next()
+    }
+
+    /// Invalidate every cached `ConflictState` priority by bumping each
+    /// transaction's pair stamp — the cold-cache case. Index keys keep
+    /// their (still-correct) values, so the next pick pays exact
+    /// revalidation of the entries it actually inspects rather than a
+    /// full-system recompute: that asymmetry against the scan oracle is
+    /// precisely what the cold benchmark now measures.
+    pub fn invalidate_conflict_caches(&mut self) {
+        for i in 0..self.st.active.len() {
+            let id = self.st.active[i];
+            self.st.accel.bump_pair_stamp(id);
+        }
+    }
+
+    /// The scheduler counters accumulated by this harness's picks
+    /// (wall time stays 0: harness runs are never profiled).
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            pick_next_calls: self.st.pick_next_calls.get(),
+            priority_evals: self.st.priority_evals.get(),
+            priority_cache_hits: self.st.priority_cache_hits.get(),
+            pair_checks: self.st.accel.pair_checks(),
+            pair_cache_hits: self.st.accel.pair_cache_hits(),
+            heap_pushes: self.st.heap_pushes.get(),
+            heap_stale_pops: self.st.heap_stale_pops.get(),
+            heap_validated_picks: self.st.heap_validated_picks.get(),
+            pair_invalidations: self.st.accel.pair_invalidations(),
+            verify_checks: self.st.verify_checks.get(),
+            sched_wall_ns: self.st.sched_wall_ns.get(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,13 +26,32 @@ pub struct SchedStats {
     pub pick_next_calls: u64,
     /// Actual `Policy::priority` evaluations performed.
     pub priority_evals: u64,
-    /// Priority evaluations answered from the epoch-invalidated cache.
+    /// Priority evaluations answered from the stamp-gated cache,
+    /// including pick-loop recomputations that confirmed the cached
+    /// value bit-for-bit.
     pub priority_cache_hits: u64,
     /// Pairwise conflict tests requested (static `conflicts_with` plus
     /// dynamic `is_unsafe_with`, e.g. from `penalty_of_conflict`).
     pub pair_checks: u64,
-    /// Pair tests answered from the version-gated memo table.
+    /// Pair tests answered from the version-gated pair cache.
     pub pair_cache_hits: u64,
+    /// Priority-index key writes: inserts plus in-place repositions
+    /// (clear repairs and eval-driven cache writes) while the
+    /// heap-indexed pick path is active.
+    pub heap_pushes: u64,
+    /// Stale-high index tops demoted in place by the pick loop's
+    /// validation (the cost of tolerating priority falls lazily).
+    pub heap_stale_pops: u64,
+    /// Picks answered by the index (top confirmed by an exact
+    /// recomputation) instead of a full scan.
+    pub heap_validated_picks: u64,
+    /// Per-transaction conflict-stamp bumps: how many cached
+    /// ConflictState priorities targeted invalidation actually flushed
+    /// (the global epoch flushed *all* of them on every change).
+    pub pair_invalidations: u64,
+    /// Verify-mode divergence checks performed (cache-vs-fresh
+    /// assertions that ran and passed; 0 outside `CacheMode::Verify`).
+    pub verify_checks: u64,
     /// Wall-clock nanoseconds spent inside `pick_next` (profiled runs
     /// only; 0 otherwise).
     pub sched_wall_ns: u64,

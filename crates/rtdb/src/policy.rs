@@ -53,9 +53,26 @@ pub enum PriorityDeps {
     /// Depends on the current time and the transaction's own mutable
     /// state (progress, service), but not on other transactions. LSF.
     TimeAndSelf,
-    /// Depends on time, own state, *and* the system's conflict state
-    /// (P-list membership, access sets). CCA, EDF-Wait: invalidated by
-    /// the global conflict epoch.
+    /// Depends on time, own state, *and* the system's conflict state.
+    /// CCA, EDF-Wait. Contract, part 1 (shape): the priority of `T` may
+    /// depend on other transactions **only** through the set of partials
+    /// unsafe w.r.t. `T` (`is_unsafe_with`) and those partials'
+    /// effective service / abort cost. Contract, part 2
+    /// (fall-monotonicity): conflict events other than a partial's
+    /// *clear* — an access-set growth, effective service accruing with
+    /// the clock — may only **lower** the priority, never raise it
+    /// (penalty terms are nonnegative and grow monotonically). Contract,
+    /// part 3 (own state): of `T`'s own mutable state, only a narrowing
+    /// of `T`'s `might_access` may *raise* `T`'s priority; its own
+    /// service and progress must not enter its own priority at all. The
+    /// engine leans on all three: a partial's clear repairs the affected
+    /// cached values in place by the policy's
+    /// [`Policy::conflict_clear_raise`] bound, a narrowing eagerly
+    /// refreshes `T`'s own entry, and every other event leaves cached
+    /// values and index keys as stale-high upper bounds that the lazy
+    /// pick path revalidates at the top. A policy whose priority can
+    /// *rise* on growth or with time must declare
+    /// [`PriorityDeps::Volatile`] instead.
     ConflictState,
     /// No cacheable structure declared; recompute at every use. The
     /// conservative default for policies written before this hint
@@ -233,6 +250,25 @@ pub trait Policy: Sync {
     /// should override it with the narrowest honest answer.
     fn depends_on(&self) -> PriorityDeps {
         PriorityDeps::Volatile
+    }
+
+    /// For [`PriorityDeps::ConflictState`] policies: an upper bound (in
+    /// priority units) on how much *any* other transaction's priority can
+    /// rise when `cleared`'s access sets clear, evaluated **before** the
+    /// clearing (so `cleared`'s effective service is still the one the
+    /// victims' penalties charged).
+    ///
+    /// The engine uses this to repair affected index keys in place — old
+    /// key plus this bound stays an upper bound on the post-clear
+    /// priority, no recomputation needed. Soundness only requires a value
+    /// `>=` the true rise; tightness only buys fewer revalidations at the
+    /// next pick. The default, `+∞`, is always sound (the repaired keys
+    /// float to the top and revalidate exactly) and is what a
+    /// `ConflictState` policy gets if it declines to override. Policies
+    /// with other dependency classes never see this called.
+    fn conflict_clear_raise(&self, cleared: &Transaction, view: &SystemView<'_>) -> f64 {
+        let _ = (cleared, view);
+        f64::INFINITY
     }
 }
 

@@ -25,10 +25,11 @@ use std::time::{Duration, Instant};
 use rtx_sim::stats::{Estimate, Replications};
 
 use crate::config::SimConfig;
-use crate::engine::{run_simulation, run_simulation_checked};
+use crate::engine::{run_simulation_checked_mode, run_simulation_with_mode};
 use crate::error::RunError;
 use crate::metrics::RunSummary;
 use crate::policy::Policy;
+use crate::CacheMode;
 
 /// How a batch of replications is spread across OS threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -189,7 +190,29 @@ pub struct AggregateSummary {
 pub fn run_one(cfg: &SimConfig, policy: &dyn Policy, rep: usize) -> RunSummary {
     let mut run_cfg = cfg.clone();
     run_cfg.run.seed = cfg.run.seed.wrapping_add(rep as u64);
-    run_simulation(&run_cfg, policy)
+    run_simulation_with_mode(&run_cfg, policy, cache_mode_override())
+}
+
+/// Cache-mode override for whole-suite sweeps: `RTX_CACHE_MODE=recompute`
+/// replays every replication through the always-recompute oracle,
+/// `RTX_CACHE_MODE=verify` through the self-asserting verifier; unset (or
+/// `incremental`) is the production engine. Published tables are
+/// bit-identical under all three — regenerating `results/*.csv` under
+/// each value is the whole-suite equivalence gate.
+///
+/// # Panics
+/// Panics on an unrecognized value: a typo must not silently fall back
+/// to the production engine mid-gate.
+fn cache_mode_override() -> CacheMode {
+    match std::env::var("RTX_CACHE_MODE") {
+        Err(_) => CacheMode::Incremental,
+        Ok(v) => match v.as_str() {
+            "" | "incremental" => CacheMode::Incremental,
+            "recompute" => CacheMode::AlwaysRecompute,
+            "verify" => CacheMode::Verify,
+            other => panic!("unknown RTX_CACHE_MODE: {other:?}"),
+        },
+    }
 }
 
 /// As [`run_one`], but every failure mode is typed: an invalid
@@ -203,7 +226,7 @@ pub fn run_one_checked(
 ) -> Result<RunSummary, RunError> {
     let mut run_cfg = cfg.clone();
     run_cfg.run.seed = cfg.run.seed.wrapping_add(rep as u64);
-    run_simulation_checked(&run_cfg, policy)
+    run_simulation_checked_mode(&run_cfg, policy, cache_mode_override())
 }
 
 /// Extract a human-readable message from a panic payload.
@@ -497,7 +520,7 @@ mod tests {
         let via_helper = run_one(&cfg, &Edf, 3);
         let mut manual_cfg = cfg.clone();
         manual_cfg.run.seed = 10;
-        let manual = run_simulation(&manual_cfg, &Edf);
+        let manual = crate::engine::run_simulation(&manual_cfg, &Edf);
         assert_eq!(via_helper, manual);
     }
 

@@ -8,24 +8,25 @@
 //!
 //! * an explicitly maintained, id-sorted **P-list** (the partially
 //!   executed transactions) replaces the per-event scan of all slots;
-//! * a **pairwise conflict cache** memoizes the static `conflicts_with`
-//!   test and the dynamic `is_unsafe_with` test, gated by per-transaction
-//!   version counters so a pair is only re-examined after one side's
-//!   access sets actually changed;
-//! * a global **conflict epoch** stamps every P-list membership or access
-//!   set change, letting the engine's priority cache invalidate exactly
-//!   the entries whose declared inputs ([`crate::policy::PriorityDeps`])
-//!   moved.
+//! * a **pairwise conflict cache** (direct-mapped, lossy) memoizes the
+//!   static `conflicts_with` test and the dynamic `is_unsafe_with` test,
+//!   gated by per-transaction version counters so a pair is only
+//!   re-examined after one side's access sets actually changed;
+//! * a **per-transaction pair stamp** records, for every transaction,
+//!   the last time the set of partially executed transactions unsafe with
+//!   respect to *it* changed. A conflict event at transaction `C`
+//!   (lock-grant growth, abort/commit set clearing, decision narrowing)
+//!   bumps only the stamps of the transactions whose relation to `C`
+//!   actually moved, so the engine's priority cache invalidates exactly
+//!   those [`crate::policy::PriorityDeps::ConflictState`] entries instead
+//!   of epoch-flushing every one of them.
 //!
 //! Correctness contract: every cached answer is **bit-identical** to a
 //! fresh recomputation. The engine's [`CacheMode::Verify`] mode asserts
 //! this at every single use, and `tests/incremental_equivalence.rs`
 //! drives it over randomized workloads.
 
-use std::cell::{Cell, RefCell};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::cell::Cell;
 
 use crate::txn::{is_unsafe_with, Transaction, TxnId};
 
@@ -45,41 +46,81 @@ pub enum CacheMode {
     Verify,
 }
 
-/// Deterministic, allocation-free hasher for packed `u64` pair keys
-/// (splitmix64 finalizer). The std `SipHash` default is safe but slow for
-/// this innermost-loop map, and hash *iteration order* is never observed,
-/// so a fixed-key hasher keeps runs reproducible across platforms.
-#[derive(Default)]
-struct PairKeyHasher(u64);
+/// splitmix64 finalizer: a deterministic full-avalanche mix for packed
+/// `u64` pair keys, fixed across platforms so runs stay reproducible.
+#[inline]
+fn mix64(n: u64) -> u64 {
+    let mut z = n;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-impl Hasher for PairKeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
+/// One memoized pair verdict, tagged with the pair key it belongs to and
+/// the version counters of the inputs it was computed from.
+#[derive(Clone, Copy)]
+struct PairSlot {
+    key: u64,
+    versions: (u64, u64),
+    result: bool,
+}
 
-    fn write(&mut self, bytes: &[u8]) {
-        // FNV-1a fallback; only the u64 fast path is exercised.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+impl PairSlot {
+    /// No transaction ever gets id `u32::MAX` (ids are dense from 0), so
+    /// this key matches no real pair.
+    const EMPTY: PairSlot = PairSlot {
+        key: u64::MAX,
+        versions: (0, 0),
+        result: false,
+    };
+}
+
+/// log2 of the pair-cache slot count. 8192 slots × 32 B = 256 KiB per
+/// cache — small enough to stay cache-resident, large enough that the
+/// hot working set (partials × candidates) rarely collides.
+const PAIR_CACHE_BITS: u32 = 13;
+
+/// Direct-mapped, lossy pair-verdict cache.
+///
+/// Each packed pair key hashes to exactly one slot; a colliding pair
+/// simply overwrites it. Losing an entry only costs a recomputation —
+/// verdicts are pure functions of the two transactions' sets, so a
+/// lossy cache cannot change results, only hit rates. Compared to a
+/// `HashMap` memo this removes probe chains, occupancy bookkeeping and
+/// insertion rehashing from the innermost loop — which matters precisely
+/// in high-contention bursts, where version churn drives the hit rate
+/// toward zero and every check would otherwise pay full map overhead for
+/// nothing. `Cell` slots keep lookups `&self` without `RefCell` traffic.
+struct PairCache {
+    slots: Box<[Cell<PairSlot>]>,
+}
+
+impl PairCache {
+    fn new() -> Self {
+        PairCache {
+            slots: vec![Cell::new(PairSlot::EMPTY); 1 << PAIR_CACHE_BITS].into_boxed_slice(),
         }
     }
 
-    fn write_u64(&mut self, n: u64) {
-        let mut z = self.0 ^ n;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        self.0 = z ^ (z >> 31);
+    #[inline]
+    fn slot_of(key: u64) -> usize {
+        (mix64(key) >> (64 - PAIR_CACHE_BITS)) as usize
     }
-}
 
-type PairMap = HashMap<u64, PairEntry, BuildHasherDefault<PairKeyHasher>>;
+    #[inline]
+    fn get(&self, key: u64, versions: (u64, u64)) -> Option<bool> {
+        let s = self.slots[Self::slot_of(key)].get();
+        (s.key == key && s.versions == versions).then_some(s.result)
+    }
 
-/// One memoized pair verdict, stamped with the version counters of the
-/// inputs it was computed from.
-#[derive(Clone, Copy)]
-struct PairEntry {
-    versions: (u64, u64),
-    result: bool,
+    #[inline]
+    fn put(&self, key: u64, versions: (u64, u64), result: bool) {
+        self.slots[Self::slot_of(key)].set(PairSlot {
+            key,
+            versions,
+            result,
+        });
+    }
 }
 
 #[inline]
@@ -108,12 +149,17 @@ pub struct ConflictAccel {
     /// transaction's priority (progress, restarts, set changes). Part of
     /// the priority-cache key.
     own_version: Vec<u64>,
-    /// Bumped on every conflict-state change anywhere in the system
-    /// (P-list membership, access-set growth, `might_access`
-    /// reassignment). Invalidates `PriorityDeps::ConflictState` entries.
-    epoch: u64,
-    static_pairs: RefCell<PairMap>,
-    unsafe_pairs: RefCell<PairMap>,
+    /// Per-transaction conflict stamp: bumped for exactly the
+    /// transactions whose *unsafe/conditionally-unsafe partial set* (the
+    /// input of a [`crate::policy::PriorityDeps::ConflictState`]
+    /// priority) changed. The engine computes the affected set at every
+    /// conflict event — it owns the transaction slots the pair tests
+    /// need — and calls [`Self::bump_pair_stamp`] per member.
+    pair_stamp: Vec<u64>,
+    /// Total pair-stamp bumps (targeted invalidations) performed.
+    pair_invalidations: Cell<u64>,
+    static_pairs: PairCache,
+    unsafe_pairs: PairCache,
     pair_checks: Cell<u64>,
     pair_cache_hits: Cell<u64>,
 }
@@ -125,9 +171,10 @@ impl ConflictAccel {
             might_version: Vec::with_capacity(capacity),
             access_version: Vec::with_capacity(capacity),
             own_version: Vec::with_capacity(capacity),
-            epoch: 0,
-            static_pairs: RefCell::new(PairMap::default()),
-            unsafe_pairs: RefCell::new(PairMap::default()),
+            pair_stamp: Vec::with_capacity(capacity),
+            pair_invalidations: Cell::new(0),
+            static_pairs: PairCache::new(),
+            unsafe_pairs: PairCache::new(),
             pair_checks: Cell::new(0),
             pair_cache_hits: Cell::new(0),
         }
@@ -140,10 +187,22 @@ impl ConflictAccel {
         self.might_version.push(0);
         self.access_version.push(0);
         self.own_version.push(0);
+        self.pair_stamp.push(0);
     }
 
-    pub(crate) fn epoch(&self) -> u64 {
-        self.epoch
+    /// The conflict stamp of `id` — the per-transaction replacement for
+    /// the old global conflict epoch. Part of the priority-cache key for
+    /// `ConflictState` policies.
+    pub(crate) fn pair_stamp(&self, id: TxnId) -> u64 {
+        self.pair_stamp[id.0 as usize]
+    }
+
+    /// The unsafe-partial set of `id` changed: invalidate its cached
+    /// `ConflictState` priority (and only its).
+    pub(crate) fn bump_pair_stamp(&mut self, id: TxnId) {
+        self.pair_stamp[id.0 as usize] += 1;
+        self.pair_invalidations
+            .set(self.pair_invalidations.get() + 1);
     }
 
     pub(crate) fn own_version(&self, id: TxnId) -> u64 {
@@ -156,10 +215,16 @@ impl ConflictAccel {
 
     /// A lock grant grew `id`'s `accessed`/`written` sets. Joins the
     /// P-list on the first grant since (re)start.
+    ///
+    /// The growth may flip `is_unsafe(id, X)` for other transactions `X`,
+    /// but that can only *lower* their `ConflictState` priorities (the
+    /// penalty gains nonnegative terms), so no stamps are bumped for
+    /// them: the engine's lazy heap tolerates stale-high cached values
+    /// and revalidates on pop. Only clears — which *raise* priorities —
+    /// get an eager walk (see [`Self::note_sets_cleared`]).
     pub(crate) fn note_access_growth(&mut self, id: TxnId, was_partial: bool) {
         self.access_version[id.0 as usize] += 1;
         self.own_version[id.0 as usize] += 1;
-        self.epoch += 1;
         if !was_partial {
             let pos = self.plist.binary_search(&id).unwrap_err();
             self.plist.insert(pos, id);
@@ -169,11 +234,14 @@ impl ConflictAccel {
     /// `id`'s access sets were cleared (abort/restart or commit) and — on
     /// restart with a decision point — `might_access` was re-widened. The
     /// transaction leaves the P-list.
+    ///
+    /// The engine performs the targeted pair-stamp walk *before* this
+    /// call, while `id`'s sets (and the memoized verdicts keyed on their
+    /// versions) still describe the contribution being removed.
     pub(crate) fn note_sets_cleared(&mut self, id: TxnId) {
         self.access_version[id.0 as usize] += 1;
         self.might_version[id.0 as usize] += 1;
         self.own_version[id.0 as usize] += 1;
-        self.epoch += 1;
         let pos = self
             .plist
             .binary_search(&id)
@@ -182,9 +250,15 @@ impl ConflictAccel {
     }
 
     /// `id` executed its decision point, narrowing `might_access`.
+    ///
+    /// A narrowing changes only how *other* partials relate to `id` as a
+    /// candidate (`is_unsafe` reads the partial's `accessed`/`written`
+    /// against the candidate's `might_access`), so the only
+    /// `ConflictState` priority it can move is `id`'s own: one stamp
+    /// bump, no walk.
     pub(crate) fn note_narrowed(&mut self, id: TxnId) {
         self.might_version[id.0 as usize] += 1;
-        self.epoch += 1;
+        self.bump_pair_stamp(id);
     }
 
     /// The maintained P-list, ascending by id.
@@ -205,27 +279,14 @@ impl ConflictAccel {
             self.access_version[partial.id.0 as usize],
             self.might_version[candidate.id.0 as usize],
         );
-        match self
-            .unsafe_pairs
-            .borrow_mut()
-            .entry(pair_key(partial.id, candidate.id))
-        {
-            Entry::Occupied(mut e) => {
-                if e.get().versions == versions {
-                    self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
-                    e.get().result
-                } else {
-                    let result = is_unsafe_with(partial, candidate);
-                    e.insert(PairEntry { versions, result });
-                    result
-                }
-            }
-            Entry::Vacant(v) => {
-                let result = is_unsafe_with(partial, candidate);
-                v.insert(PairEntry { versions, result });
-                result
-            }
+        let key = pair_key(partial.id, candidate.id);
+        if let Some(result) = self.unsafe_pairs.get(key, versions) {
+            self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
+            return result;
         }
+        let result = is_unsafe_with(partial, candidate);
+        self.unsafe_pairs.put(key, versions, result);
+        result
     }
 
     /// Memoized symmetric `a.conflicts_with(b)`, valid while both sides'
@@ -237,23 +298,14 @@ impl ConflictAccel {
             self.might_version[lo.id.0 as usize],
             self.might_version[hi.id.0 as usize],
         );
-        match self.static_pairs.borrow_mut().entry(pair_key(lo.id, hi.id)) {
-            Entry::Occupied(mut e) => {
-                if e.get().versions == versions {
-                    self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
-                    e.get().result
-                } else {
-                    let result = lo.conflicts_with(hi);
-                    e.insert(PairEntry { versions, result });
-                    result
-                }
-            }
-            Entry::Vacant(v) => {
-                let result = lo.conflicts_with(hi);
-                v.insert(PairEntry { versions, result });
-                result
-            }
+        let key = pair_key(lo.id, hi.id);
+        if let Some(result) = self.static_pairs.get(key, versions) {
+            self.pair_cache_hits.set(self.pair_cache_hits.get() + 1);
+            return result;
         }
+        let result = lo.conflicts_with(hi);
+        self.static_pairs.put(key, versions, result);
+        result
     }
 
     pub(crate) fn pair_checks(&self) -> u64 {
@@ -262,6 +314,10 @@ impl ConflictAccel {
 
     pub(crate) fn pair_cache_hits(&self) -> u64 {
         self.pair_cache_hits.get()
+    }
+
+    pub(crate) fn pair_invalidations(&self) -> u64 {
+        self.pair_invalidations.get()
     }
 }
 
@@ -367,17 +423,27 @@ mod tests {
     }
 
     #[test]
-    fn epoch_advances_on_conflict_state_changes() {
-        let mut a = ConflictAccel::new(1);
-        a.register(TxnId(0));
-        let e0 = a.epoch();
+    fn pair_stamps_are_per_transaction() {
+        let mut a = ConflictAccel::new(3);
+        for i in 0..3 {
+            a.register(TxnId(i));
+        }
+        let s1 = a.pair_stamp(TxnId(1));
+        let s2 = a.pair_stamp(TxnId(2));
+        // Narrowing invalidates only the narrowed transaction itself.
+        a.note_narrowed(TxnId(1));
+        assert!(a.pair_stamp(TxnId(1)) > s1);
+        assert_eq!(a.pair_stamp(TxnId(2)), s2);
+        // Targeted bumps touch exactly the named transaction and tally.
+        let inv = a.pair_invalidations();
+        a.bump_pair_stamp(TxnId(2));
+        assert!(a.pair_stamp(TxnId(2)) > s2);
+        assert_eq!(a.pair_stamp(TxnId(0)), 0);
+        assert_eq!(a.pair_invalidations(), inv + 1);
+        // Growth and clearing keep version counters moving but leave the
+        // cross-transaction stamping to the engine's walk.
         a.note_access_growth(TxnId(0), false);
-        let e1 = a.epoch();
-        assert!(e1 > e0);
-        a.note_narrowed(TxnId(0));
-        assert!(a.epoch() > e1);
-        let e2 = a.epoch();
         a.note_sets_cleared(TxnId(0));
-        assert!(a.epoch() > e2);
+        assert_eq!(a.pair_stamp(TxnId(0)), 0);
     }
 }

@@ -106,6 +106,9 @@ pub enum TraceEvent {
         cache_hits: u64,
         /// Pairwise conflict tests this pass requested.
         pair_checks: u64,
+        /// Cached priorities this pass invalidated via per-pair
+        /// conflict stamps.
+        invalidations: u64,
     },
 }
 
@@ -242,11 +245,12 @@ impl fmt::Display for TraceRecord {
                 evals,
                 cache_hits,
                 pair_checks,
+                invalidations,
             } => {
                 write!(
                     f,
                     "scheduler pass: {evals} evals, {cache_hits} cache hits, \
-                     {pair_checks} pair checks"
+                     {pair_checks} pair checks, {invalidations} invalidations"
                 )
             }
         }

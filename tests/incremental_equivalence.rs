@@ -220,6 +220,69 @@ proptest! {
         prop_assert_eq!(oracle.sched.priority_cache_hits, 0);
         prop_assert_eq!(oracle.sched.pair_cache_hits, 0);
     }
+
+    /// Stale-key stress: a tiny database and tight slack make every
+    /// transaction conflict, so priorities of P-list neighbours are
+    /// repaired and demoted constantly and the current index maximum is
+    /// repeatedly aborted or restarted out from under its key. The
+    /// heap-indexed pick (lazy: stale-high keys are demoted in place
+    /// when validation surfaces them) must still equal the oracle's
+    /// full scan — under faults, shared locks, decision narrowing and
+    /// mid-run aborts alike.
+    #[test]
+    fn heap_picks_survive_stale_entry_stress(
+        specs in proptest::collection::vec(
+            (
+                0.05f64..5.0,                                   // arrivals pile up
+                proptest::collection::vec(0u16..4, 1..5),        // 4-item db: all conflict
+                0.05f64..1.0,                                    // tight slack: aborts + misses
+                proptest::collection::vec(any::<bool>(), 8),
+                proptest::collection::vec(any::<bool>(), 8),
+                proptest::option::of(0usize..3),
+            )
+                .prop_map(|(gap_ms, mut items, slack, io, reads, branch_at)| {
+                    items.dedup();
+                    TxnSpec { gap_ms, items, slack, io, reads, branch_at }
+                }),
+            5..30,
+        ),
+        disk in any::<bool>(),
+        with_modes in any::<bool>(),
+        faults in any::<bool>(),
+        conflict_policy in 0usize..2,
+    ) {
+        // Only the ConflictState policies pick through the heap.
+        let p: Box<dyn Policy> = if conflict_policy == 0 {
+            Box::new(Cca::base())
+        } else {
+            Box::new(EdfWait)
+        };
+        let oracle =
+            run_specs_mode(&specs, p.as_ref(), disk, with_modes, faults, CacheMode::AlwaysRecompute);
+        let inc =
+            run_specs_mode(&specs, p.as_ref(), disk, with_modes, faults, CacheMode::Incremental);
+        let verified =
+            run_specs_mode(&specs, p.as_ref(), disk, with_modes, faults, CacheMode::Verify);
+        prop_assert_eq!(
+            inc.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "heap pick diverged from the oracle scan under {}",
+            p.name()
+        );
+        prop_assert_eq!(
+            verified.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "verify mode diverged under {}",
+            p.name()
+        );
+        // The heap path actually ran incrementally and never in the
+        // oracle; Verify's per-pick oracle comparisons all executed.
+        prop_assert!(inc.sched.heap_validated_picks > 0);
+        prop_assert_eq!(oracle.sched.heap_pushes, 0);
+        prop_assert_eq!(oracle.sched.heap_validated_picks, 0);
+        prop_assert_eq!(inc.sched.verify_checks, 0);
+        prop_assert!(verified.sched.verify_checks > 0);
+    }
 }
 
 /// Generator-driven workloads (the Poisson arrival path, not a replay
@@ -312,6 +375,48 @@ fn caches_engage_and_reduce_evaluations() {
         inc.sched.priority_evals, cfg.run.num_transactions as u64,
         "EDF-HP evaluates each deadline exactly once"
     );
+}
+
+/// MPL-256 burst determinism: at the sweep's highest contention point
+/// (arrivals far faster than service, so ~256 transactions are active
+/// at once) the heap-indexed pick must equal the oracle scan on every
+/// decision, rerun bit-identically, and actually exercise its laziness:
+/// validated picks, stale pops (keys demoted in place when validation
+/// surfaces them), and targeted per-pair invalidations all engage.
+#[test]
+fn mpl256_burst_heap_determinism() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 256;
+    cfg.run.arrival_rate_tps = 2_000.0;
+    for p in [&Cca::base() as &dyn Policy, &EdfWait] {
+        let oracle = run_simulation_with_mode(&cfg, p, CacheMode::AlwaysRecompute);
+        let inc = run_simulation_with_mode(&cfg, p, CacheMode::Incremental);
+        let verified = run_simulation_with_mode(&cfg, p, CacheMode::Verify);
+        assert_eq!(
+            inc.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "MPL-256: heap picks diverged from the oracle under {}",
+            p.name()
+        );
+        assert_eq!(
+            verified.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "MPL-256: verify diverged under {}",
+            p.name()
+        );
+        let again = run_simulation_with_mode(&cfg, p, CacheMode::Incremental);
+        assert_eq!(
+            inc,
+            again,
+            "{}: heap pick path must be deterministic",
+            p.name()
+        );
+        assert_eq!(inc.sched.pick_next_calls, oracle.sched.pick_next_calls);
+        assert!(inc.sched.heap_validated_picks > 0, "{}", p.name());
+        assert!(inc.sched.heap_stale_pops > 0, "{}", p.name());
+        assert!(inc.sched.pair_invalidations > 0, "{}", p.name());
+        assert_eq!(oracle.sched.heap_pushes, 0, "{}", p.name());
+    }
 }
 
 /// Profiled runs populate the wall-clock counter without perturbing the
