@@ -126,7 +126,7 @@ fn main() -> ExitCode {
     }
 
     if bench_profile {
-        let json = rtx_bench::bench_profile_json(matches!(scale, Scale::Quick));
+        let (json, summary) = rtx_bench::bench_profile_docs(matches!(scale, Scale::Quick));
         let path = out_dir.join("BENCH_scheduling.json");
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
             eprintln!("failed to create {}: {e}", out_dir.display());
@@ -137,6 +137,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("bench profile -> {}", path.display());
+        // The per-policy pick-latency summary lives at the repo root so
+        // a reviewer sees the headline numbers without digging through
+        // the full per-mode counter dump.
+        let summary_path = PathBuf::from("BENCH_sched.json");
+        if let Err(e) = std::fs::write(&summary_path, summary) {
+            eprintln!("failed to write {}: {e}", summary_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench summary -> {}", summary_path.display());
         if ids.is_empty() {
             return ExitCode::SUCCESS;
         }

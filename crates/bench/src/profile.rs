@@ -16,7 +16,7 @@
 //! output; the counters and the `identical` flags are the deterministic
 //! part.
 
-use rtx_core::{Cca, EdfWait};
+use rtx_core::{Cca, EdfWait, Lsf};
 use rtx_rtdb::{
     run_simulation_profiled_with_mode, CacheMode, Policy, RunSummary, SchedStats, SimConfig,
 };
@@ -58,16 +58,27 @@ fn burst(mpl: usize) -> SimConfig {
 
 fn scenarios(quick: bool) -> Vec<Scenario> {
     if quick {
-        // CI smoke: one small burst, enough to catch a pick-path
-        // regression (cached slower than the oracle) in seconds.
-        return vec![Scenario {
-            name: "mm_cca_burst_mpl64",
-            policy: Box::new(Cca::base()),
-            cfg: burst(64),
-            reps: 2,
-        }];
+        // CI smoke: one small and one mid-size burst — enough to catch a
+        // pick-path regression (cached slower than the oracle, stale-pop
+        // blowup) in seconds. The MPL-256 cell is what the CI regression
+        // gate compares against its checked-in baseline.
+        return vec![
+            Scenario {
+                name: "mm_cca_burst_mpl64",
+                policy: Box::new(Cca::base()),
+                cfg: burst(64),
+                reps: 2,
+            },
+            Scenario {
+                name: "mm_cca_burst_mpl256",
+                policy: Box::new(Cca::base()),
+                cfg: burst(256),
+                reps: 2,
+            },
+        ];
     }
-    // Heap-vs-scan across MPL for both ConflictState policies.
+    // Split-index-vs-scan across MPL for both ConflictState policies,
+    // plus the slack-ordered index for LSF (TimeAndSelf).
     let mut out = vec![
         Scenario {
             name: "mm_cca_burst_mpl64",
@@ -82,6 +93,12 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             reps: 5,
         },
         Scenario {
+            name: "mm_cca_burst_mpl1024",
+            policy: Box::new(Cca::base()),
+            cfg: burst(1024),
+            reps: 2,
+        },
+        Scenario {
             name: "mm_edfwait_burst_mpl64",
             policy: Box::new(EdfWait),
             cfg: burst(64),
@@ -90,6 +107,24 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
         Scenario {
             name: "mm_edfwait_burst_mpl256",
             policy: Box::new(EdfWait),
+            cfg: burst(256),
+            reps: 5,
+        },
+        Scenario {
+            name: "mm_edfwait_burst_mpl1024",
+            policy: Box::new(EdfWait),
+            cfg: burst(1024),
+            reps: 2,
+        },
+        Scenario {
+            name: "mm_lsf_burst_mpl64",
+            policy: Box::new(Lsf),
+            cfg: burst(64),
+            reps: 5,
+        },
+        Scenario {
+            name: "mm_lsf_burst_mpl256",
+            policy: Box::new(Lsf),
             cfg: burst(256),
             reps: 5,
         },
@@ -139,6 +174,10 @@ fn run_cell(
         cell.sched.heap_stale_pops += s.sched.heap_stale_pops;
         cell.sched.heap_validated_picks += s.sched.heap_validated_picks;
         cell.sched.pair_invalidations += s.sched.pair_invalidations;
+        cell.sched.pair_cache_evictions += s.sched.pair_cache_evictions;
+        cell.sched.clear_repair_clears += s.sched.clear_repair_clears;
+        cell.sched.clear_repair_visits += s.sched.clear_repair_visits;
+        cell.sched.index_migrations += s.sched.index_migrations;
         cell.sched.verify_checks += s.sched.verify_checks;
         cell.sched.sched_wall_ns += s.sched.sched_wall_ns;
         cell.committed += s.committed;
@@ -157,6 +196,8 @@ fn cell_json(cell: &Cell, indent: &str) -> String {
          {indent}  \"pair_checks\": {},\n{indent}  \"pair_cache_hits\": {},\n\
          {indent}  \"heap_pushes\": {},\n{indent}  \"heap_stale_pops\": {},\n\
          {indent}  \"heap_validated_picks\": {},\n{indent}  \"pair_invalidations\": {},\n\
+         {indent}  \"pair_cache_evictions\": {},\n{indent}  \"clear_repair_clears\": {},\n\
+         {indent}  \"clear_repair_visits\": {},\n{indent}  \"index_migrations\": {},\n\
          {indent}  \"committed\": {}\n{indent}}}",
         cell.sched.sched_wall_ns,
         cell.pick_ns(),
@@ -169,20 +210,26 @@ fn cell_json(cell: &Cell, indent: &str) -> String {
         cell.sched.heap_stale_pops,
         cell.sched.heap_validated_picks,
         cell.sched.pair_invalidations,
+        cell.sched.pair_cache_evictions,
+        cell.sched.clear_repair_clears,
+        cell.sched.clear_repair_visits,
+        cell.sched.index_migrations,
         cell.committed,
     )
 }
 
-/// Run the scheduler-overhead profile and render `BENCH_scheduling.json`.
+/// Run the scheduler-overhead profile and render both JSON documents:
+/// the full per-mode counter dump (`BENCH_scheduling.json`) and the
+/// per-scenario summary committed at the repo root (`BENCH_sched.json`).
 ///
-/// `quick` restricts the profile to a single small burst (the CI
-/// regression smoke); the full profile sweeps policy × MPL plus the
-/// steady states. Returns the JSON document. Panics if any scenario's
-/// incremental trajectory diverges from the recompute oracle — the
-/// profile doubles as an end-to-end equivalence check at realistic
-/// scales.
-pub fn bench_profile_json(quick: bool) -> String {
+/// `quick` restricts the profile to the CI regression smoke cells; the
+/// full profile sweeps policy × MPL plus the steady states. Panics if
+/// any scenario's incremental trajectory diverges from the recompute
+/// oracle — the profile doubles as an end-to-end equivalence check at
+/// realistic scales.
+pub fn bench_profile_docs(quick: bool) -> (String, String) {
     let mut entries = Vec::new();
+    let mut summaries = Vec::new();
     for sc in scenarios(quick) {
         eprintln!("profiling {} ({} reps x 2 modes)…", sc.name, sc.reps);
         let policy = sc.policy.as_ref();
@@ -217,11 +264,42 @@ pub fn bench_profile_json(quick: bool) -> String {
             cell_json(&cached, "      "),
             speedup,
         ));
+        summaries.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"policy\": \"{}\",\n      \
+             \"mpl\": {},\n      \"cached_pick_ns\": {:.1},\n      \
+             \"oracle_pick_ns\": {:.1},\n      \"sched_speedup\": {:.2},\n      \
+             \"heap_stale_pops\": {},\n      \"clear_repair_clears\": {},\n      \
+             \"clear_repair_visits\": {},\n      \"index_migrations\": {},\n      \
+             \"pair_cache_evictions\": {}\n    }}",
+            sc.name,
+            policy.name(),
+            sc.cfg.run.num_transactions,
+            cached.pick_ns(),
+            cold.pick_ns(),
+            speedup,
+            cached.sched.heap_stale_pops,
+            cached.sched.clear_repair_clears,
+            cached.sched.clear_repair_visits,
+            cached.sched.index_migrations,
+            cached.sched.pair_cache_evictions,
+        ));
     }
-    format!(
+    let full = format!(
         "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
          \"note\": \"sched_wall_ns/pick_ns are machine-dependent; counters and identity flags are deterministic\",\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
-    )
+    );
+    let summary = format!(
+        "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
+         \"note\": \"pick latencies are machine-dependent; counters are deterministic\",\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        summaries.join(",\n")
+    );
+    (full, summary)
+}
+
+/// The full profile document alone — see [`bench_profile_docs`].
+pub fn bench_profile_json(quick: bool) -> String {
+    bench_profile_docs(quick).0
 }

@@ -64,9 +64,21 @@ impl<P: Policy> Policy for Criticality<P> {
         // The class offset is static; the base policy's dependencies are
         // the wrapper's dependencies. Adding a per-transaction constant
         // preserves the base policy's `ConflictState` invalidation
-        // contract, so the delegated hint stays valid under targeted
-        // (per-pair) invalidation too.
+        // contract (including its runner fall rate — constants drop out
+        // of any difference), so the delegated hint stays valid under
+        // targeted (per-pair) invalidation too.
         self.inner.depends_on()
+    }
+
+    fn time_invariant_key(&self, txn: &Transaction) -> Option<f64> {
+        // base ≈ now + K_inner  ⇒  wrapped ≈ now + (K_inner + class·band).
+        // The extra addition re-rounds, but the slack index only needs
+        // `K` to order candidates and bound the exact value to within a
+        // few ulp of the largest magnitude involved — the engine's
+        // validation slack covers the band term's rounding.
+        self.inner
+            .time_invariant_key(txn)
+            .map(|k| k + txn.criticality as f64 * CLASS_BAND)
     }
 }
 

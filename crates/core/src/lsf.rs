@@ -39,6 +39,14 @@ impl Policy for Lsf {
         // no other transaction's state.
         PriorityDeps::TimeAndSelf
     }
+
+    fn time_invariant_key(&self, txn: &Transaction) -> Option<f64> {
+        // -slack = now - (deadline - estimate): the clock enters as a
+        // plain additive term, so ordering by `estimate - deadline` is
+        // ordering by priority at any instant. Changes only when
+        // `progress` does (update completion, restart).
+        Some(Self::remaining_estimate_ms(txn) - txn.deadline.as_ms())
+    }
 }
 
 #[cfg(test)]

@@ -225,17 +225,6 @@ impl PriorityIndex {
         true
     }
 
-    /// Lower `id`'s key. The demote loop's half of `set_key`: the entry
-    /// can only move toward the leaves, so the upward pass is skipped.
-    fn demote_key(&mut self, id: TxnId, pri: Priority) {
-        let p = self.pos[id.0 as usize];
-        debug_assert!(p != 0, "{id} not indexed");
-        let i = (p - 1) as usize;
-        debug_assert!(pri < self.slots[i].pri, "demote must lower the key");
-        self.slots[i].pri = pri;
-        self.sift_down(i);
-    }
-
     // The sifts move the displaced entry as a "hole": parents/children
     // shift into place one write each, and the entry lands once at the
     // end — half the slot and `pos` writes of swap-based sifting.
@@ -277,6 +266,86 @@ impl PriorityIndex {
         }
         self.slots[i] = e;
         self.pos[e.id.0 as usize] = i as u32 + 1;
+    }
+
+    /// All current entries, heap order (used to enumerate a half during
+    /// anchor migration; order does not matter to callers).
+    fn entries(&self) -> &[HeapEntry] {
+        &self.slots
+    }
+}
+
+/// Which half of the [`SplitIndex`] an entry lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Half {
+    /// Keys are bit-identical to the cached value (or a repaired bound)
+    /// and hold still between structural events.
+    Free,
+    /// Keys store `bound + A(t_write)` where `A` is the engine's global
+    /// fall accumulator, so the *effective* bound `key − A(now)` falls
+    /// with the anchored runner's accruing service while the stored key
+    /// never moves. Holds exactly the entries whose true priority is
+    /// falling: those unsafe w.r.t. the anchored runner (plus entries
+    /// frozen in place after the anchor ended, whose folded bounds are
+    /// then simply constant and still sound).
+    Timed,
+}
+
+/// The split lazy priority index.
+///
+/// PR 4's single index demoted every runner-conflicting key at every
+/// pick while the runner's service accrued — O(conflicting) evals per
+/// scheduling point at high MPL. Splitting the index by *how* a key
+/// decays turns that into O(1): runner-free keys don't move at all, and
+/// runner-conflicting keys all fall at the same policy-declared rate
+/// ([`crate::policy::PriorityDeps::ConflictState::runner_fall_rate`]),
+/// so one shared offset `A(now)` stands in for all of their falls. Keys
+/// migrate between halves only at structural events (anchor changes,
+/// cache writes), each migration O(log n) and counted.
+#[derive(Default)]
+struct SplitIndex {
+    free: PriorityIndex,
+    timed: PriorityIndex,
+}
+
+impl SplitIndex {
+    fn register(&mut self) {
+        self.free.register();
+        self.timed.register();
+    }
+
+    fn len(&self) -> usize {
+        self.free.len() + self.timed.len()
+    }
+
+    fn half_of(&self, id: TxnId) -> Option<Half> {
+        if self.free.contains(id) {
+            Some(Half::Free)
+        } else if self.timed.contains(id) {
+            Some(Half::Timed)
+        } else {
+            None
+        }
+    }
+
+    fn half(&mut self, h: Half) -> &mut PriorityIndex {
+        match h {
+            Half::Free => &mut self.free,
+            Half::Timed => &mut self.timed,
+        }
+    }
+
+    /// `id`'s stored key and half, if indexed.
+    fn key_of(&self, id: TxnId) -> Option<(Priority, Half)> {
+        if let Some(p) = self.free.key_of(id) {
+            Some((p, Half::Free))
+        } else {
+            self.timed.key_of(id).map(|p| (p, Half::Timed))
+        }
+    }
+
+    fn remove(&mut self, id: TxnId) -> bool {
+        self.free.remove(id) || self.timed.remove(id)
     }
 }
 
@@ -322,20 +391,47 @@ struct EngineState<'p> {
     /// Per-transaction cached priorities (indexed by id), invalidated per
     /// the policy's [`PriorityDeps`].
     pri_cache: RefCell<Vec<PriEntry>>,
-    /// The lazy max-heap priority index over active transactions (used
-    /// for `Static` and `ConflictState` policies outside
-    /// `AlwaysRecompute`). Exactly one entry per active transaction,
-    /// keyed by an upper bound on its exact priority — seeded at
-    /// arrival, repositioned in place whenever the cache is written, and
-    /// removed at commit. Invariant: an active transaction's index key
-    /// is bit-identical to its `pri_cache` value.
-    index: RefCell<PriorityIndex>,
+    /// The split lazy priority index over active transactions (used for
+    /// `Static` and `ConflictState` policies outside `AlwaysRecompute`).
+    /// Exactly one entry per active transaction across the two halves —
+    /// seeded at arrival, repositioned in place whenever the cache is
+    /// written, and removed at commit. Invariant: an active
+    /// transaction's *free*-half key is bit-identical to its `pri_cache`
+    /// value; a *timed*-half key folded back by the fall accumulator
+    /// (`key − A(now)`, with float slack) is an upper bound on it.
+    index: RefCell<SplitIndex>,
+    /// Slack-ordered pick index for `TimeAndSelf` policies exposing a
+    /// time-invariant key (`Policy::time_invariant_key`; LSF): keys hold
+    /// `K` with `priority ≈ now + K`, so the order is the priority order
+    /// at every instant and picks validate the top instead of rescanning
+    /// the active set.
+    slack: RefCell<PriorityIndex>,
+    /// The policy's declared runner fall rate (`ConflictState` policies;
+    /// 0 elsewhere): priority units per ms of runner compute time.
+    fall_rate: f64,
+    /// Fall accumulated over *completed* anchored compute spans, in
+    /// priority units. `A(now) = offset_base + fall_rate · (now − t0)`
+    /// while anchored at `t0`, else `offset_base`.
+    offset_base: Cell<f64>,
+    /// `Some((runner, t0))` while the runner's compute burst accrues
+    /// service: the timed half then holds exactly the active entries
+    /// unsafe w.r.t. that runner.
+    anchor: Cell<Option<(TxnId, SimTime)>>,
+    /// Largest deadline (ms) over all arrivals so far — the global
+    /// magnitude scale bounding the slack index's float error.
+    max_deadline_ms: Cell<f64>,
+    /// Largest |K| ever stored in the slack index (a `Criticality`
+    /// wrapper's class bands can dwarf every deadline): part of the
+    /// effective-bound scale in [`Self::slack_eff_scale`].
+    slack_key_scale: Cell<f64>,
     /// Scratch buffer for filtered picks (IOwait-schedule): entries of
     /// unacceptable transactions are lifted out while scanning and
     /// re-inserted afterwards; reused to avoid per-pick allocation.
-    scratch: RefCell<Vec<HeapEntry>>,
+    scratch: RefCell<Vec<(HeapEntry, Half)>>,
     /// Scratch buffer for the targeted pair-stamp walks.
     walk_buf: Vec<TxnId>,
+    /// Scratch buffer for reverse-index sharer enumeration.
+    sharer_buf: RefCell<Vec<TxnId>>,
     // Scheduler-overhead tallies (Cells: bumped from &self paths).
     pick_next_calls: Cell<u64>,
     priority_evals: Cell<u64>,
@@ -345,6 +441,14 @@ struct EngineState<'p> {
     heap_stale_pops: Cell<u64>,
     heap_validated_picks: Cell<u64>,
     verify_checks: Cell<u64>,
+    /// Clear-repair walks performed and candidates visited by them: the
+    /// visit count scales with the cleared transaction's sharer set, not
+    /// with MPL, which is the reverse index's point.
+    clear_repair_clears: Cell<u64>,
+    clear_repair_visits: Cell<u64>,
+    /// Entries moved between split-index halves (anchor changes and
+    /// cross-half cache writes).
+    index_migrations: Cell<u64>,
 }
 
 /// `v` plus a floating-point safety margin: used when repairing a cached
@@ -360,7 +464,7 @@ struct EngineState<'p> {
 /// magnitude. Looseness is harmless — the pick path revalidates the top
 /// bit-exactly before dispatching — only a key *below* the true priority
 /// would be unsound.
-fn nudge_up(v: f64, scale: f64) -> f64 {
+pub fn nudge_up(v: f64, scale: f64) -> f64 {
     if v.is_infinite() {
         return v;
     }
@@ -401,12 +505,28 @@ impl<'p> EngineState<'p> {
             active_io_failed: false,
             mode: CacheMode::Incremental,
             profile: false,
-            accel: ConflictAccel::new(cfg.run.num_transactions),
+            accel: ConflictAccel::new(cfg.run.num_transactions, cfg.workload.db_size as usize),
             ready_count: 0,
             pri_cache: RefCell::new(Vec::with_capacity(cfg.run.num_transactions)),
-            index: RefCell::new(PriorityIndex::default()),
+            index: RefCell::new(SplitIndex::default()),
+            slack: RefCell::new(PriorityIndex::default()),
+            fall_rate: match policy.depends_on() {
+                PriorityDeps::ConflictState { runner_fall_rate } => {
+                    assert!(
+                        runner_fall_rate.is_finite() && runner_fall_rate >= 0.0,
+                        "runner fall rate must be finite and non-negative"
+                    );
+                    runner_fall_rate
+                }
+                _ => 0.0,
+            },
+            offset_base: Cell::new(0.0),
+            anchor: Cell::new(None),
+            max_deadline_ms: Cell::new(0.0),
+            slack_key_scale: Cell::new(0.0),
             scratch: RefCell::new(Vec::new()),
             walk_buf: Vec::new(),
+            sharer_buf: RefCell::new(Vec::new()),
             pick_next_calls: Cell::new(0),
             priority_evals: Cell::new(0),
             priority_cache_hits: Cell::new(0),
@@ -415,6 +535,9 @@ impl<'p> EngineState<'p> {
             heap_stale_pops: Cell::new(0),
             heap_validated_picks: Cell::new(0),
             verify_checks: Cell::new(0),
+            clear_repair_clears: Cell::new(0),
+            clear_repair_visits: Cell::new(0),
+            index_migrations: Cell::new(0),
         }
     }
 
@@ -429,8 +552,181 @@ impl<'p> EngineState<'p> {
         self.mode != CacheMode::AlwaysRecompute
             && matches!(
                 self.policy.depends_on(),
-                PriorityDeps::Static | PriorityDeps::ConflictState
+                PriorityDeps::Static | PriorityDeps::ConflictState { .. }
             )
+    }
+
+    /// Is the slack-ordered index the pick path for this run? True for
+    /// `TimeAndSelf` policies that expose a time-invariant key
+    /// ([`Policy::time_invariant_key`]): their priorities all advance
+    /// with the clock at the same unit rate, so the *order* of cached
+    /// keys survives clock advances even though the values don't. The
+    /// index is maintained per transaction (a policy returning `None`
+    /// simply never populates it), so requiring full coverage of the
+    /// active set makes the gate safe for any policy; the
+    /// `AlwaysRecompute` oracle keeps the verbatim scan.
+    fn slack_in_use(&self) -> bool {
+        self.mode != CacheMode::AlwaysRecompute
+            && self.policy.depends_on() == PriorityDeps::TimeAndSelf
+            && self.slack.borrow().len() == self.active.len()
+    }
+
+    /// (Re)key `id` in the slack index after an own-state change
+    /// (admission, progress, restart). No-op unless a `TimeAndSelf`
+    /// policy exposes a time-invariant key for it.
+    fn slack_upsert(&self, id: TxnId) {
+        if self.mode == CacheMode::AlwaysRecompute
+            || self.policy.depends_on() != PriorityDeps::TimeAndSelf
+        {
+            return;
+        }
+        let Some(k) = self.policy.time_invariant_key(self.txn(id)) else {
+            return;
+        };
+        self.slack_key_scale
+            .set(self.slack_key_scale.get().max(k.abs()));
+        let mut slack = self.slack.borrow_mut();
+        let key = Priority(k);
+        if !slack.set_key(id, key) {
+            slack.insert(HeapEntry {
+                pri: key,
+                arrival: self.txn(id).arrival,
+                id,
+            });
+        }
+        self.heap_pushes.set(self.heap_pushes.get() + 1);
+    }
+
+    /// The fall accumulator `A(now)`: total priority fall every
+    /// runner-unsafe key has accrued since the run started. Monotone
+    /// nondecreasing; grows only while a compute burst is anchored.
+    fn fall_offset_now(&self) -> f64 {
+        let base = self.offset_base.get();
+        match self.anchor.get() {
+            Some((_, t0)) => base + self.fall_rate * self.now().since(t0).as_ms(),
+            None => base,
+        }
+    }
+
+    /// The key and half for `id`'s index entry given its cached bound
+    /// `value`: timed iff a compute burst is anchored and `id` is unsafe
+    /// w.r.t. the anchored runner (exactly the keys falling at
+    /// `fall_rate`), with the fall offset folded in so the stored key
+    /// holds still while the effective bound falls.
+    fn entry_key_for(&self, id: TxnId, value: Priority) -> (Priority, Half) {
+        if self.fall_rate > 0.0 {
+            if let Some((r, _)) = self.anchor.get() {
+                if r != id && self.accel.is_unsafe(self.txn(r), self.txn(id)) {
+                    let a = self.fall_offset_now();
+                    let key = Priority(nudge_up(value.0 + a, value.0.abs().max(a)));
+                    return (key, Half::Timed);
+                }
+            }
+        }
+        (value, Half::Free)
+    }
+
+    /// The effective upper bound a timed-half key stands for right now.
+    fn timed_effective(&self, key: Priority, a: f64) -> Priority {
+        Priority(nudge_up(key.0 - a, key.0.abs().max(a)))
+    }
+
+    /// Anchor the timed half on runner `r`'s starting compute burst.
+    /// From now until the burst ends, `r`'s effective service — and with
+    /// it the fall accumulator — accrues, and exactly the priorities
+    /// unsafe w.r.t. `r` fall at `fall_rate`. (`is_unsafe(r, ·)` cannot
+    /// turn *off* mid-burst: `r`'s sets are frozen while it computes and
+    /// another transaction's `might_access` only re-widens, so timed
+    /// membership stays sound for the whole span.)
+    ///
+    /// Migration is O(affected), not O(active): timed entries that are
+    /// not unsafe w.r.t. `r` fold back to the free half (their effective
+    /// bound is constant again), and the free entries to pull in are
+    /// enumerated through the item→transaction reverse index — any
+    /// transaction unsafe w.r.t. `r` shares an item with `r.accessed`.
+    fn anchor_timed(&mut self, r: TxnId) {
+        if self.fall_rate == 0.0 || !self.heap_in_use() {
+            return;
+        }
+        debug_assert!(self.anchor.get().is_none(), "anchoring while anchored");
+        debug_assert!(
+            self.txn(r).is_partially_executed(),
+            "compute bursts only run after a lock grant"
+        );
+        self.anchor.set(Some((r, self.now())));
+        let a = self.offset_base.get();
+        let mut movers = std::mem::take(&mut self.walk_buf);
+        movers.clear();
+        {
+            let index = self.index.borrow();
+            let rt = self.txn(r);
+            for e in index.timed.entries() {
+                if e.id == r || !self.accel.is_unsafe(rt, self.txn(e.id)) {
+                    movers.push(e.id);
+                }
+            }
+        }
+        for &x in &movers {
+            // Fold the frozen bound back to a plain one; keep the cache
+            // bit-identical to the free-half key (both stay upper
+            // bounds — the write only loosens by the fold's ULP slack).
+            let mut index = self.index.borrow_mut();
+            let key = index.timed.key_of(x).expect("enumerated from timed half");
+            index.timed.remove(x);
+            let bound = self.timed_effective(key, a);
+            let mut cache = self.pri_cache.borrow_mut();
+            let e = &mut cache[x.0 as usize];
+            debug_assert!(e.valid, "{x}: indexed transaction without cache entry");
+            e.value = bound;
+            e.stamp = self.accel.pair_stamp(x);
+            e.own = self.accel.own_version(x);
+            e.at = self.now();
+            index.free.insert(HeapEntry {
+                pri: bound,
+                arrival: self.txn(x).arrival,
+                id: x,
+            });
+            self.index_migrations.set(self.index_migrations.get() + 1);
+        }
+        movers.clear();
+        {
+            let mut sharers = self.sharer_buf.borrow_mut();
+            self.accel.sharers(&self.txn(r).accessed, &mut sharers);
+            let index = self.index.borrow();
+            let rt = self.txn(r);
+            for &x in sharers.iter() {
+                if x != r && index.free.contains(x) && self.accel.is_unsafe(rt, self.txn(x)) {
+                    movers.push(x);
+                }
+            }
+        }
+        for &x in &movers {
+            let mut index = self.index.borrow_mut();
+            let bound = index.free.key_of(x).expect("enumerated from free half");
+            index.free.remove(x);
+            let key = Priority(nudge_up(bound.0 + a, bound.0.abs().max(a)));
+            index.timed.insert(HeapEntry {
+                pri: key,
+                arrival: self.txn(x).arrival,
+                id: x,
+            });
+            self.index_migrations.set(self.index_migrations.get() + 1);
+        }
+        movers.clear();
+        self.walk_buf = movers;
+    }
+
+    /// End the anchored compute span (burst completion or preemption):
+    /// fold the span's fall into `offset_base` and release the anchor.
+    /// Timed entries stay where they are — their effective bounds simply
+    /// stop falling, which keeps them sound — and drain back to the free
+    /// half lazily at the next anchor or cache write.
+    fn freeze_timed(&self) {
+        if let Some((_, t0)) = self.anchor.get() {
+            self.offset_base
+                .set(self.offset_base.get() + self.fall_rate * self.now().since(t0).as_ms());
+            self.anchor.set(None);
+        }
     }
 
     /// Record a trace event if tracing is enabled.
@@ -476,7 +772,7 @@ impl<'p> EngineState<'p> {
     /// stamps; the `AlwaysRecompute` oracle never consults any cache.
     fn targeted_invalidation_active(&self) -> bool {
         self.mode != CacheMode::AlwaysRecompute
-            && self.policy.depends_on() == PriorityDeps::ConflictState
+            && matches!(self.policy.depends_on(), PriorityDeps::ConflictState { .. })
     }
 
     /// A lock grant grew `id`'s access sets: record it with the
@@ -529,24 +825,63 @@ impl<'p> EngineState<'p> {
     /// re-pushed every victim here — O(victims) full evaluations per
     /// clear, which dominated high-contention runs.
     ///
-    /// O(active) memoized pair tests, paid only on clears (the rare,
-    /// priority-raising event); the other active transactions keep their
-    /// cached priorities untouched, where the old global epoch flushed
-    /// every one of them.
+    /// O(sharers) memoized pair tests, paid only on clears (the rare,
+    /// priority-raising event): instead of probing every active
+    /// transaction, the walk enumerates through the item→transaction
+    /// reverse index only the transactions whose `might_access` shares
+    /// an item with `c.accessed` — a sound superset of the unsafe set,
+    /// since either direction of `is_unsafe_with(c, x)` requires such a
+    /// shared item (`written ⊆ accessed ⊆ might_access`). The other
+    /// active transactions keep their cached priorities untouched, and
+    /// the walk's cost scales with `c`'s conflicting set, not with MPL
+    /// (`clear_repair_visits` evidences this).
     fn repair_unsafe_against(&mut self, c: TxnId) {
         let raise = self.policy.conflict_clear_raise(self.txn(c), &self.view());
         let mut affected = std::mem::take(&mut self.walk_buf);
         affected.clear();
         {
             let ct = self.txn(c);
-            for &x in &self.active {
+            let mut sharers = self.sharer_buf.borrow_mut();
+            self.accel.sharers(&ct.accessed, &mut sharers);
+            self.clear_repair_clears
+                .set(self.clear_repair_clears.get() + 1);
+            self.clear_repair_visits
+                .set(self.clear_repair_visits.get() + sharers.len() as u64);
+            for &x in sharers.iter() {
                 if x != c && self.accel.is_unsafe(ct, self.txn(x)) {
                     affected.push(x);
                 }
             }
+            if self.mode == CacheMode::Verify {
+                // Oracle: the pre-reverse-index full active walk. Both
+                // enumerate ascending by id (= arrival order), so the
+                // affected lists must match exactly, order included.
+                let full: Vec<TxnId> = self
+                    .active
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != c && crate::txn::is_unsafe_with(ct, self.txn(x)))
+                    .collect();
+                assert_eq!(
+                    affected, full,
+                    "reverse-index repair walk diverged from the active-scan oracle"
+                );
+                self.verify_checks.set(self.verify_checks.get() + 1);
+            }
         }
+        let a = self.fall_offset_now();
         for &x in &affected {
             self.accel.bump_pair_stamp(x);
+            // Raise from the *tightest* bound available: a timed-half
+            // entry's effective key has been falling with the runner's
+            // service while the cached value stood still, so repairing
+            // from the cache would silently discard every fall the timed
+            // half tracked (and hand the pick loop the stale-high key
+            // back). Both are upper bounds; take the smaller.
+            let folded = match self.index.borrow().key_of(x) {
+                Some((key, Half::Timed)) => Some(self.timed_effective(key, a)),
+                _ => None,
+            };
             let bound = {
                 let mut cache = self.pri_cache.borrow_mut();
                 let e = &mut cache[x.0 as usize];
@@ -555,6 +890,11 @@ impl<'p> EngineState<'p> {
                     "{x}: active ConflictState transaction without a seeded cache entry"
                 );
                 debug_assert!(raise >= 0.0, "clear-raise bound must be nonnegative");
+                if let Some(f) = folded {
+                    if f < e.value {
+                        e.value = f;
+                    }
+                }
                 let bound = Priority(nudge_up(e.value.0 + raise, e.value.0.abs().max(raise)));
                 e.value = bound;
                 e.stamp = self.accel.pair_stamp(x);
@@ -628,11 +968,13 @@ impl<'p> EngineState<'p> {
                     && match deps {
                         PriorityDeps::Static => true,
                         PriorityDeps::TimeAndSelf => cached.at == now && cached.own == own,
-                        PriorityDeps::ConflictState => cached.stamp == stamp && cached.own == own,
+                        PriorityDeps::ConflictState { .. } => {
+                            cached.stamp == stamp && cached.own == own
+                        }
                         PriorityDeps::Volatile => unreachable!("handled above"),
                     };
                 if hit {
-                    upper_bound_hit = deps == PriorityDeps::ConflictState;
+                    upper_bound_hit = matches!(deps, PriorityDeps::ConflictState { .. });
                     self.priority_cache_hits
                         .set(self.priority_cache_hits.get() + 1);
                     cached.value
@@ -691,9 +1033,25 @@ impl<'p> EngineState<'p> {
     /// untouched; a fall rewrites the entry and demotes the index key in
     /// place — which is exactly how the pick loop retires a stale top.
     fn priority_exact(&self, id: TxnId) -> Priority {
+        self.priority_exact_impl(id, true)
+    }
+
+    /// [`Self::priority_exact`] minus the index write: for pick loops
+    /// that have lifted `id`'s entry out of the index and will reinsert
+    /// it themselves (an upsert here would create a duplicate). Cache
+    /// write, counters and `Verify` assertions are identical.
+    fn priority_exact_detached(&self, id: TxnId) -> Priority {
+        self.priority_exact_impl(id, false)
+    }
+
+    fn priority_exact_impl(&self, id: TxnId, write_index: bool) -> Priority {
         if self.mode == CacheMode::AlwaysRecompute
-            || self.policy.depends_on() != PriorityDeps::ConflictState
+            || !matches!(self.policy.depends_on(), PriorityDeps::ConflictState { .. })
         {
+            // The delegate is exact for these classes. It only touches
+            // the index on a `ConflictState` miss, so a detached caller
+            // (`Static`: hits after the arrival seed; `TimeAndSelf`/
+            // `Volatile`: no index at all) is never double-inserted.
             return self.priority_of(id);
         }
         let value = self.policy.priority(self.txn(id), &self.view());
@@ -720,7 +1078,7 @@ impl<'p> EngineState<'p> {
                 own,
                 valid: true,
             };
-            if self.heap_in_use() {
+            if write_index && self.heap_in_use() {
                 self.index_upsert(id, value);
             }
         }
@@ -740,15 +1098,32 @@ impl<'p> EngineState<'p> {
 
     /// Move `id`'s index key to `value` in place (or insert it if `id`
     /// has no entry yet) — the index half of every priority-cache write.
-    /// O(log n) sift; never creates a duplicate entry.
+    /// Recomputes which half the entry belongs in (the write may race a
+    /// runner anchor that flipped its membership) and migrates if
+    /// needed. O(log n) sift; never creates a duplicate entry.
     fn index_upsert(&self, id: TxnId, value: Priority) {
+        let (key, half) = self.entry_key_for(id, value);
         let mut index = self.index.borrow_mut();
-        if !index.set_key(id, value) {
-            index.insert(HeapEntry {
-                pri: value,
-                arrival: self.txn(id).arrival,
-                id,
-            });
+        match index.half_of(id) {
+            Some(h) if h == half => {
+                index.half(h).set_key(id, key);
+            }
+            Some(h) => {
+                index.half(h).remove(id);
+                index.half(half).insert(HeapEntry {
+                    pri: key,
+                    arrival: self.txn(id).arrival,
+                    id,
+                });
+                self.index_migrations.set(self.index_migrations.get() + 1);
+            }
+            None => {
+                index.half(half).insert(HeapEntry {
+                    pri: key,
+                    arrival: self.txn(id).arrival,
+                    id,
+                });
+            }
         }
         self.heap_pushes.set(self.heap_pushes.get() + 1);
     }
@@ -766,6 +1141,9 @@ impl<'p> EngineState<'p> {
         self.accel.register(id);
         self.pri_cache.borrow_mut().push(PriEntry::INVALID);
         self.index.borrow_mut().register();
+        self.slack.borrow_mut().register();
+        self.max_deadline_ms
+            .set(self.max_deadline_ms.get().max(deadline.as_ms()));
         if let Some(adm) = self.cfg.system.admission {
             if !self.feasible(&txn, adm) {
                 // Reject at the door: the transaction never enters the
@@ -783,12 +1161,18 @@ impl<'p> EngineState<'p> {
         self.secondary.push(false);
         self.active.push(id);
         self.ready_count += 1;
+        // Enter the reverse index under the admitted footprint (only
+        // admitted transactions are ever indexed — repairs must not
+        // touch rejected slots' unseeded caches).
+        self.accel
+            .reindex(id, &self.txns[id.0 as usize].might_access);
         // Seed the newcomer's cache entry and index key eagerly: the
         // index must hold exactly one entry per active transaction before
         // the next pick can trust its peek.
         if self.heap_in_use() {
             self.priority_exact(id);
         }
+        self.slack_upsert(id);
         self.emit(|| TraceEvent::Arrival { txn: id, deadline });
         self.update_queue_metrics();
         self.reschedule(); // tr-arrival-schedule
@@ -810,12 +1194,18 @@ impl<'p> EngineState<'p> {
             _ => {
                 // The maintained P-list *is* the set the scan above
                 // filters `active` down to, and the pair memo returns the
-                // same verdicts as `conflicts_with`.
-                let n = self
-                    .accel
-                    .plist()
+                // same verdicts as `conflicts_with`. Only sharers of the
+                // newcomer's footprint can conflict at all, so the probe
+                // set is their intersection with the P-list — same
+                // count, O(sharers ∩ P) instead of O(P) pair tests.
+                let mut sharers = self.sharer_buf.borrow_mut();
+                self.accel.sharers(&txn.might_access, &mut sharers);
+                let n = sharers
                     .iter()
-                    .filter(|&&p| self.accel.conflicts(txn, self.txn(p)))
+                    .filter(|&&p| {
+                        self.accel.plist().binary_search(&p).is_ok()
+                            && self.accel.conflicts(txn, self.txn(p))
+                    })
                     .count();
                 if self.mode == CacheMode::Verify {
                     let scanned = self
@@ -856,6 +1246,9 @@ impl<'p> EngineState<'p> {
                 }
             }
             Stage::Compute => {
+                // The anchored span ends exactly where the service it
+                // mirrors stops accruing.
+                self.freeze_timed();
                 let narrowed = {
                     let t = self.txn_mut(id);
                     t.service += burst;
@@ -876,10 +1269,13 @@ impl<'p> EngineState<'p> {
                 self.accel.bump_own(id);
                 if narrowed {
                     self.accel.note_narrowed(id);
+                    self.accel
+                        .reindex(id, &self.txns[id.0 as usize].might_access);
                     if self.heap_in_use() {
                         self.priority_exact(id);
                     }
                 }
+                self.slack_upsert(id);
                 if self.txn(id).progress == self.txn(id).total_updates() {
                     self.commit(id);
                 } else {
@@ -992,6 +1388,9 @@ impl<'p> EngineState<'p> {
             // narrowed mightaccess): leave the P-list, invalidate pairs.
             self.conflict_cleared(id);
             self.txn_mut(id).reset_for_restart();
+            self.accel
+                .reindex(id, &self.txns[id.0 as usize].might_access);
+            self.slack_upsert(id);
             self.set_state(id, TxnState::Ready);
         } else {
             self.emit(|| TraceEvent::IoFault { txn: id, retries });
@@ -1160,8 +1559,15 @@ impl<'p> EngineState<'p> {
         let now = self.now();
         let t = self.txn_mut(id);
         t.burst_start = now;
+        let stage = t.stage;
         let at = now + t.cpu_left;
         self.cpu_event = self.calendar.schedule(at, Event::CpuDone(id));
+        if stage == Stage::Compute {
+            // Only a Compute burst accrues effective service (the quantity
+            // whose growth makes runner-unsafe priorities fall); Recover
+            // bursts leave every cached priority still.
+            self.anchor_timed(id);
+        }
         Started::Scheduled
     }
 
@@ -1300,6 +1706,11 @@ impl<'p> EngineState<'p> {
                 unreachable!("abort of a {state:?} transaction")
             }
         }
+        // `reset_for_restart` (every arm above) re-widens `might_access`
+        // and zeroes progress: refresh the reverse index and the slack key.
+        self.accel
+            .reindex(victim, &self.txns[victim.0 as usize].might_access);
+        self.slack_upsert(victim);
     }
 
     fn commit(&mut self, id: TxnId) {
@@ -1333,9 +1744,11 @@ impl<'p> EngineState<'p> {
             .record_commit_in_class(class, arrival, deadline, now);
         self.running = None;
         self.active.retain(|&a| a != id);
+        self.accel.drop_index(id);
         if self.heap_in_use() {
             self.index.borrow_mut().remove(id);
         }
+        self.slack.borrow_mut().remove(id);
         self.update_queue_metrics();
         self.reschedule(); // tr-finish-schedule
     }
@@ -1418,6 +1831,9 @@ impl<'p> EngineState<'p> {
         if self.heap_in_use() {
             return self.pick_next_heap();
         }
+        if self.slack_in_use() {
+            return self.pick_next_slack();
+        }
         let th = self.best_by_priority(self.active.iter().copied())?;
         if self.txn(th).is_runnable() {
             return Some((th, false));
@@ -1440,41 +1856,37 @@ impl<'p> EngineState<'p> {
         self.best_by_priority(candidates).map(|id| (id, true))
     }
 
-    /// The index-backed pick: peek-validate-demote.
-    ///
-    /// Soundness under lazy falls: every index key is an **upper bound**
-    /// on its transaction's exact priority (falls are tolerated; the two
-    /// raising events — a partial's clear, a transaction's own
-    /// `might_access` narrowing — repair or refresh the affected keys
-    /// eagerly). So when the peeked maximum's exact recomputation
-    /// *matches* its key, it is the true argmax — every other
-    /// transaction's exact priority sits at or below its own key, which
-    /// sits at or below the peeked key; the
-    /// `(Priority, Reverse(arrival), Reverse(id))` composite key settles
-    /// ties the same way, because arrival and id never change. When the
-    /// recomputation comes out lower, its cache write already demoted the
-    /// key in place and a different transaction surfaces at the top —
-    /// each transaction demotes at most once per pick, so the loop
-    /// terminates in amortized O(log n).
+    /// The split-index pick: TH from the validated argmax over both
+    /// halves, then the IOwait-schedule fallback through the same argmax
+    /// restricted to runnable (and, when the policy asks, P-list-
+    /// compatible) transactions.
     fn pick_next_heap(&self) -> Option<(TxnId, bool)> {
-        let th = self.heap_best();
+        let th = self.split_best(|_| true);
         if self.mode == CacheMode::Verify {
             self.verify_checks.set(self.verify_checks.get() + 1);
             let oracle = self.fresh_best(|_| true);
-            assert_eq!(th, oracle, "heap TH pick diverged from the fresh scan");
+            assert_eq!(
+                th, oracle,
+                "split-index TH pick diverged from the fresh scan"
+            );
         }
-        let th = th?;
+        let Some(th) = th else {
+            debug_assert!(self.active.is_empty(), "index lost an active entry");
+            return None;
+        };
         if self.txn(th).is_runnable() {
             return Some((th, false));
         }
         // TH blocked on IO: IOwait-schedule (same short-circuit as the
         // scan path — with nothing Ready and nothing Running the filtered
-        // pop would also find nobody).
+        // argmax would also find nobody).
         if self.ready_count == 0 && self.running.is_none() {
             return None;
         }
         let restrict = self.policy.iowait_restrict();
-        let pick = self.heap_best_filtered(restrict);
+        let pick = self.split_best(|id| {
+            self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))
+        });
         if self.mode == CacheMode::Verify {
             self.verify_checks.set(self.verify_checks.get() + 1);
             let oracle = self.fresh_best(|id| {
@@ -1482,202 +1894,279 @@ impl<'p> EngineState<'p> {
             });
             assert_eq!(
                 pick, oracle,
-                "heap IOwait pick diverged from the fresh scan"
+                "split-index IOwait pick diverged from the fresh scan"
             );
         }
         pick.map(|id| (id, true))
     }
 
-    /// Peek the maximum-keyed entry and validate it: when its exact
-    /// priority confirms the key bit-for-bit it is the true argmax and
-    /// the pick is done in O(1) heap work. When the exact value comes out
-    /// lower, `priority_exact`'s cache write has already demoted the key
-    /// in place (one O(log n) sift), so the loop simply peeks again —
-    /// each transaction can be demoted at most once per pick, which
-    /// bounds the loop.
-    fn heap_best(&self) -> Option<TxnId> {
-        if self.mode != CacheMode::Verify && self.policy.depends_on() == PriorityDeps::ConflictState
-        {
-            return self.heap_best_fast();
-        }
-        loop {
-            // The index borrow must not be held across `priority_exact`,
-            // which repositions the key on a fall.
-            let Some(top) = self.index.borrow().peek() else {
-                debug_assert!(self.active.is_empty(), "index lost an active entry");
-                return None;
-            };
-            debug_assert_eq!(
-                self.pri_cache.borrow()[top.id.0 as usize].value.0.to_bits(),
-                top.pri.0.to_bits(),
-                "index key disagrees with the cache"
-            );
-            let exact = self.priority_exact(top.id);
-            if exact.0.to_bits() == top.pri.0.to_bits() {
-                self.heap_validated_picks
-                    .set(self.heap_validated_picks.get() + 1);
-                return Some(top.id);
-            }
-            debug_assert!(
-                exact < top.pri,
-                "index key was not an upper bound: {} key {} < exact {} (state {:?}, \
-                 partial {}, running {:?})",
-                top.id,
-                top.pri.0,
-                exact.0,
-                self.txn(top.id).state,
-                self.txn(top.id).is_partially_executed(),
-                self.running,
-            );
-            self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
-        }
-    }
-
-    /// The peek-validate-demote loop with the per-iteration dispatch
-    /// hoisted out: one index borrow for the whole pick, the view and
-    /// clock read once, and the demote fused to eval + cache write +
-    /// in-place sift. Semantically identical to the general loop in
-    /// [`Self::heap_best`] — the demote loop dominates pick latency in
-    /// high-contention bursts, so its constant factor is what the
-    /// `ConflictState` production path pays per stale entry.
+    /// The validated argmax over both index halves.
     ///
-    /// One deliberate shortcut: a top whose recomputed value confirms the
-    /// key bit-for-bit is returned without restamping its cache entry
-    /// (`priority_exact` would refresh `stamp`/`own` if they had moved
-    /// while the value did not). The entry stays a valid upper bound
-    /// either way; a later lookup at most re-derives the same value once.
-    fn heap_best_fast(&self) -> Option<TxnId> {
-        let now = self.now();
-        let view = self.view();
-        let mut index = self.index.borrow_mut();
-        loop {
-            let Some(top) = index.peek() else {
-                debug_assert!(self.active.is_empty(), "index lost an active entry");
-                return None;
-            };
-            debug_assert_eq!(
-                self.pri_cache.borrow()[top.id.0 as usize].value.0.to_bits(),
-                top.pri.0.to_bits(),
-                "index key disagrees with the cache"
-            );
-            let value = self.policy.priority(self.txn(top.id), &view);
-            if value.0.to_bits() == top.pri.0.to_bits() {
-                self.priority_cache_hits
-                    .set(self.priority_cache_hits.get() + 1);
-                self.heap_validated_picks
-                    .set(self.heap_validated_picks.get() + 1);
-                return Some(top.id);
-            }
-            debug_assert!(value < top.pri, "index key was not an upper bound");
-            self.priority_evals.set(self.priority_evals.get() + 1);
-            self.pri_cache.borrow_mut()[top.id.0 as usize] = PriEntry {
-                value,
-                at: now,
-                stamp: self.accel.pair_stamp(top.id),
-                own: self.accel.own_version(top.id),
-                valid: true,
-            };
-            index.demote_key(top.id, value);
-            self.heap_pushes.set(self.heap_pushes.get() + 1);
-            self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
-        }
-    }
-
-    /// As [`Self::heap_best`] restricted to runnable (and, when the
-    /// policy asks, P-list-compatible) transactions: remove unacceptable
-    /// tops into a scratch buffer until the best acceptable entry whose
-    /// exact priority confirms its key, then re-insert the parked
-    /// entries. (Parked entries need no revalidation — acceptability does
-    /// not depend on the priority, and their possibly stale-high keys
-    /// stay upper bounds when re-inserted.)
-    fn heap_best_filtered(&self, restrict: bool) -> Option<TxnId> {
-        if self.mode != CacheMode::Verify && self.policy.depends_on() == PriorityDeps::ConflictState
+    /// Every stored key is an **upper bound** on its transaction's exact
+    /// priority — a free key directly (it is bit-identical to the cached
+    /// value), a timed key through the falling effective bound
+    /// [`Self::timed_effective`]. Each round peeks the two half-maxima,
+    /// takes the larger *effective* tuple, pops it, and validates it by
+    /// exact recomputation ([`Self::priority_exact_detached`] — the entry
+    /// is out of the index, so the loop re-parks it itself under its
+    /// refreshed key and half). The moment the best validated exact tuple
+    /// beats the top effective tuple, no un-popped entry can win (its
+    /// exact sits at or below its own effective bound, which sits at or
+    /// below the top's), and the argmax is settled; the composite
+    /// `(Priority, Reverse(arrival), Reverse(id))` tuple ends in the id,
+    /// so cross-transaction ties cannot occur. Entries `accept` rejects
+    /// are parked unchanged — acceptability does not read priorities.
+    ///
+    /// Each entry pops at most once per pick, so a pick costs
+    /// O(validations · log n); `heap_stale_pops` counts the validations
+    /// that did *not* settle the pick (validations − 1).
+    fn split_best(&self, accept: impl Fn(TxnId) -> bool) -> Option<TxnId> {
+        use std::cmp::Reverse;
+        let a = self.fall_offset_now();
+        // Fast path: a free-half combined top that validates bit-exactly
+        // settles the argmax with zero heap mutation — every other
+        // entry's effective bound sits at or below the top's, and the
+        // composite tuple already broke ties. This is the steady-state
+        // common case (fresh keys, one peek + one validation per pick);
+        // a timed top never bit-confirms (its bound carries a nudge), so
+        // it takes the general loop below.
         {
-            return self.heap_best_filtered_fast(restrict);
+            let top = {
+                let index = self.index.borrow();
+                let free = index.free.peek().map(|e| (e.pri, e.arrival, e.id));
+                let timed = index
+                    .timed
+                    .peek()
+                    .map(|e| (self.timed_effective(e.pri, a), e.arrival, e.id));
+                match (free, timed) {
+                    (Some(f), None) => Some(f),
+                    (Some(f), Some(t)) => {
+                        if (f.0, Reverse(f.1), Reverse(f.2)) > (t.0, Reverse(t.1), Reverse(t.2)) {
+                            Some(f)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((eff, _, id)) = top {
+                if accept(id) {
+                    let exact = self.priority_exact_detached(id);
+                    if exact.0.to_bits() == eff.0.to_bits() {
+                        self.heap_validated_picks
+                            .set(self.heap_validated_picks.get() + 1);
+                        return Some(id);
+                    }
+                    // Stale: the cache now holds the exact value while
+                    // the key still holds the old bound — the loop below
+                    // re-pops this same top (a cache-confirmed
+                    // revalidation) and re-parks it under its exact key,
+                    // restoring the paired-writes invariant before the
+                    // pick returns.
+                }
+            }
         }
         let mut scratch = self.scratch.borrow_mut();
         debug_assert!(scratch.is_empty());
-        let mut winner = None;
-        while winner.is_none() {
-            // Short-lived index borrow: `priority_exact` below may sift.
-            let Some(top) = self.index.borrow().peek() else {
+        let mut best: Option<(Priority, SimTime, TxnId)> = None;
+        let mut validations: u64 = 0;
+        loop {
+            let top = {
+                let index = self.index.borrow();
+                let free = index.free.peek().map(|e| (e.pri, e, Half::Free));
+                let timed = index
+                    .timed
+                    .peek()
+                    .map(|e| (self.timed_effective(e.pri, a), e, Half::Timed));
+                match (free, timed) {
+                    (None, None) => None,
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (Some(f), Some(t)) => {
+                        let ft = (f.0, Reverse(f.1.arrival), Reverse(f.1.id));
+                        let tt = (t.0, Reverse(t.1.arrival), Reverse(t.1.id));
+                        Some(if ft > tt { f } else { t })
+                    }
+                }
+            };
+            let Some((eff, entry, half)) = top else {
                 break;
             };
-            let id = top.id;
-            if !(self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))) {
-                self.index.borrow_mut().remove(id);
-                scratch.push(top);
+            if let Some((bp, ba, bi)) = best {
+                if (bp, Reverse(ba), Reverse(bi)) > (eff, Reverse(entry.arrival), Reverse(entry.id))
+                {
+                    break;
+                }
+            }
+            let id = entry.id;
+            self.index.borrow_mut().half(half).remove(id);
+            if !accept(id) {
+                scratch.push((entry, half));
                 continue;
             }
-            let exact = self.priority_exact(id);
-            if exact.0.to_bits() == top.pri.0.to_bits() {
-                winner = Some(id);
-            } else {
-                debug_assert!(exact < top.pri, "index key was not an upper bound");
-                self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+            let exact = self.priority_exact_detached(id);
+            validations += 1;
+            debug_assert!(
+                exact <= eff,
+                "{id}: index key was not an upper bound ({} half, eff {} < exact {})",
+                if half == Half::Timed { "timed" } else { "free" },
+                eff.0,
+                exact.0
+            );
+            let (key, new_half) = self.entry_key_for(id, exact);
+            scratch.push((
+                HeapEntry {
+                    pri: key,
+                    arrival: entry.arrival,
+                    id,
+                },
+                new_half,
+            ));
+            self.heap_pushes.set(self.heap_pushes.get() + 1);
+            let better = match best {
+                None => true,
+                Some((bp, ba, bi)) => {
+                    (exact, Reverse(entry.arrival), Reverse(id)) > (bp, Reverse(ba), Reverse(bi))
+                }
+            };
+            if better {
+                best = Some((exact, entry.arrival, id));
             }
         }
         {
             let mut index = self.index.borrow_mut();
-            for e in scratch.drain(..) {
-                index.insert(e);
+            for (e, h) in scratch.drain(..) {
+                index.half(h).insert(e);
             }
         }
-        if winner.is_some() {
+        if best.is_some() {
             self.heap_validated_picks
                 .set(self.heap_validated_picks.get() + 1);
+            self.heap_stale_pops
+                .set(self.heap_stale_pops.get() + validations.saturating_sub(1));
         }
-        winner
+        best.map(|(_, _, id)| id)
     }
 
-    /// [`Self::heap_best_filtered`] with the same constant-factor
-    /// treatment as [`Self::heap_best_fast`] (and the same restamping
-    /// shortcut on a bit-exact confirm).
-    fn heap_best_filtered_fast(&self, restrict: bool) -> Option<TxnId> {
-        let now = self.now();
-        let view = self.view();
+    /// The slack-index pick for `TimeAndSelf` policies: every priority
+    /// advances with the clock at the same unit rate (`priority ≈
+    /// now_ms + K`, with `K` the policy's time-invariant key), so ordering the
+    /// stored keys orders the priorities at any instant. The validated-
+    /// argmax protocol of [`Self::split_best`] applies with the effective
+    /// bound `nudge_up(now_ms + K, S)` — the run-global scale `S` keeps
+    /// the bounds monotone in `K`, so the break condition stays sound
+    /// across entries.
+    fn pick_next_slack(&self) -> Option<(TxnId, bool)> {
+        let th = self.slack_best(|_| true);
+        if self.mode == CacheMode::Verify {
+            self.verify_checks.set(self.verify_checks.get() + 1);
+            let oracle = self.fresh_best(|_| true);
+            assert_eq!(
+                th, oracle,
+                "slack-index TH pick diverged from the fresh scan"
+            );
+        }
+        let Some(th) = th else {
+            debug_assert!(self.active.is_empty(), "slack index lost an active entry");
+            return None;
+        };
+        if self.txn(th).is_runnable() {
+            return Some((th, false));
+        }
+        if self.ready_count == 0 && self.running.is_none() {
+            return None;
+        }
+        let restrict = self.policy.iowait_restrict();
+        let pick = self.slack_best(|id| {
+            self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))
+        });
+        if self.mode == CacheMode::Verify {
+            self.verify_checks.set(self.verify_checks.get() + 1);
+            let oracle = self.fresh_best(|id| {
+                self.txn(id).is_runnable() && (!restrict || self.fresh_compatible(id))
+            });
+            assert_eq!(
+                pick, oracle,
+                "slack-index IOwait pick diverged from the fresh scan"
+            );
+        }
+        pick.map(|id| (id, true))
+    }
+
+    /// The scale for slack-index effective bounds: covers every magnitude
+    /// the policy's own rounding chain touches (deadlines, the clock, the
+    /// keys themselves — a `Criticality` wrapper's class bands dwarf the
+    /// rest), so 32 ulp of it dominates the few-ulp difference between
+    /// `now_ms + K` and the policy's actually-rounded priority.
+    fn slack_eff_scale(&self) -> f64 {
+        self.max_deadline_ms
+            .get()
+            .max(self.now().as_ms())
+            .max(self.slack_key_scale.get())
+            .max(1.0)
+    }
+
+    /// [`Self::split_best`]'s protocol over the slack index. Validated
+    /// entries re-park under their *unchanged* key — `K` moves only on
+    /// own-state events, never inside a pick — and validation itself is a
+    /// [`Self::priority_of`] call, which is exact (and cached at this
+    /// instant) for `TimeAndSelf` policies.
+    fn slack_best(&self, accept: impl Fn(TxnId) -> bool) -> Option<TxnId> {
+        use std::cmp::Reverse;
+        let now_ms = self.now().as_ms();
+        let scale = self.slack_eff_scale();
         let mut scratch = self.scratch.borrow_mut();
         debug_assert!(scratch.is_empty());
-        let mut index = self.index.borrow_mut();
-        let mut winner = None;
-        while winner.is_none() {
-            let Some(top) = index.peek() else {
+        let mut best: Option<(Priority, SimTime, TxnId)> = None;
+        let mut validations: u64 = 0;
+        loop {
+            let Some(entry) = self.slack.borrow().peek() else {
                 break;
             };
-            let id = top.id;
-            if !(self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))) {
-                index.remove(id);
-                scratch.push(top);
+            let eff = Priority(nudge_up(now_ms + entry.pri.0, scale));
+            if let Some((bp, ba, bi)) = best {
+                if (bp, Reverse(ba), Reverse(bi)) > (eff, Reverse(entry.arrival), Reverse(entry.id))
+                {
+                    break;
+                }
+            }
+            let id = entry.id;
+            self.slack.borrow_mut().remove(id);
+            scratch.push((entry, Half::Free));
+            if !accept(id) {
                 continue;
             }
-            let value = self.policy.priority(self.txn(id), &view);
-            if value.0.to_bits() == top.pri.0.to_bits() {
-                self.priority_cache_hits
-                    .set(self.priority_cache_hits.get() + 1);
-                winner = Some(id);
-            } else {
-                debug_assert!(value < top.pri, "index key was not an upper bound");
-                self.priority_evals.set(self.priority_evals.get() + 1);
-                self.pri_cache.borrow_mut()[id.0 as usize] = PriEntry {
-                    value,
-                    at: now,
-                    stamp: self.accel.pair_stamp(id),
-                    own: self.accel.own_version(id),
-                    valid: true,
-                };
-                index.demote_key(id, value);
-                self.heap_pushes.set(self.heap_pushes.get() + 1);
-                self.heap_stale_pops.set(self.heap_stale_pops.get() + 1);
+            let exact = self.priority_of(id);
+            validations += 1;
+            debug_assert!(
+                exact <= eff,
+                "{id}: slack key was not an upper bound (eff {} < exact {})",
+                eff.0,
+                exact.0
+            );
+            let better = match best {
+                None => true,
+                Some((bp, ba, bi)) => {
+                    (exact, Reverse(entry.arrival), Reverse(id)) > (bp, Reverse(ba), Reverse(bi))
+                }
+            };
+            if better {
+                best = Some((exact, entry.arrival, id));
             }
         }
-        for e in scratch.drain(..) {
-            index.insert(e);
+        {
+            let mut slack = self.slack.borrow_mut();
+            for (e, _) in scratch.drain(..) {
+                slack.insert(e);
+            }
         }
-        if winner.is_some() {
+        if best.is_some() {
             self.heap_validated_picks
                 .set(self.heap_validated_picks.get() + 1);
+            self.heap_stale_pops
+                .set(self.heap_stale_pops.get() + validations.saturating_sub(1));
         }
-        winner
+        best.map(|(_, _, id)| id)
     }
 
     /// The scan the `Verify` heap asserts against: fresh (memo-free)
@@ -1741,7 +2230,7 @@ impl<'p> EngineState<'p> {
                     PriorityDeps::TimeAndSelf => {
                         cached.at == now && cached.own == self.accel.own_version(id)
                     }
-                    PriorityDeps::ConflictState => {
+                    PriorityDeps::ConflictState { .. } => {
                         cached.stamp == self.accel.pair_stamp(id)
                             && cached.own == self.accel.own_version(id)
                     }
@@ -1750,7 +2239,7 @@ impl<'p> EngineState<'p> {
             if hit {
                 let fresh = self.policy.priority(self.txn(id), &view);
                 self.verify_checks.set(self.verify_checks.get() + 1);
-                if deps == PriorityDeps::ConflictState {
+                if matches!(deps, PriorityDeps::ConflictState { .. }) {
                     assert!(
                         cached.value >= fresh,
                         "{id}: surviving cache entry {} < fresh {} \
@@ -1767,6 +2256,61 @@ impl<'p> EngineState<'p> {
                         fresh.0
                     );
                 }
+            }
+        }
+        // Index-soundness oracles. Free-half keys must be bit-identical
+        // to their cache entries; every timed-half *effective* bound and
+        // every slack-index effective bound must dominate the fresh
+        // priority — exactly what the validated-argmax picks rely on.
+        if self.heap_in_use() {
+            let a = self.fall_offset_now();
+            let index = self.index.borrow();
+            for e in index.free.entries() {
+                self.verify_checks.set(self.verify_checks.get() + 1);
+                assert_eq!(
+                    e.pri.0.to_bits(),
+                    cache[e.id.0 as usize].value.0.to_bits(),
+                    "{}: free-half key and cached priority disagree",
+                    e.id
+                );
+            }
+            for e in index.timed.entries() {
+                let fresh = self.policy.priority(self.txn(e.id), &view);
+                self.verify_checks.set(self.verify_checks.get() + 1);
+                assert!(
+                    self.timed_effective(e.pri, a) >= fresh,
+                    "{}: timed-half effective bound {} < fresh {}",
+                    e.id,
+                    self.timed_effective(e.pri, a).0,
+                    fresh.0
+                );
+            }
+        }
+        if self.slack_in_use() {
+            let now_ms = now.as_ms();
+            let scale = self.slack_eff_scale();
+            let slack = self.slack.borrow();
+            for e in slack.entries() {
+                let t = self.txn(e.id);
+                let k = self
+                    .policy
+                    .time_invariant_key(t)
+                    .expect("slack-indexed policy stopped exposing keys");
+                let fresh = self.policy.priority(t, &view);
+                self.verify_checks.set(self.verify_checks.get() + 2);
+                assert_eq!(
+                    e.pri.0.to_bits(),
+                    k.to_bits(),
+                    "{}: slack key diverged from the policy's current key",
+                    e.id
+                );
+                assert!(
+                    Priority(nudge_up(now_ms + e.pri.0, scale)) >= fresh,
+                    "{}: slack effective bound {} < fresh {}",
+                    e.id,
+                    nudge_up(now_ms + e.pri.0, scale),
+                    fresh.0
+                );
             }
         }
     }
@@ -1868,6 +2412,8 @@ impl<'p> EngineState<'p> {
                 // read effective service (CCA's penalty term) see the
                 // same value, so cached entries stay bit-valid.
                 t.service += consumed;
+                // The anchored span ends with the burst it mirrors.
+                self.freeze_timed();
             }
             self.set_state(r, TxnState::Ready);
             self.metrics.add_cpu_busy(consumed);
@@ -2040,13 +2586,49 @@ impl<'p> EngineState<'p> {
             let index = self.index.borrow();
             assert_eq!(index.len(), self.active.len(), "index size diverged");
             let cache = self.pri_cache.borrow();
+            let a = self.fall_offset_now();
+            let view = self.fresh_view();
             for &id in &self.active {
-                assert!(index.contains(id), "{id}: active but not indexed");
-                let key = index.key_of(id).expect("contained above");
+                let (key, half) = index.key_of(id).expect("active but not indexed");
+                match half {
+                    Half::Free => assert_eq!(
+                        key.0.to_bits(),
+                        cache[id.0 as usize].value.0.to_bits(),
+                        "{id}: free-half key and cached priority disagree"
+                    ),
+                    Half::Timed => {
+                        // Timed keys exist only under a positive fall
+                        // rate, and their effective bound must dominate
+                        // the exact priority at all times.
+                        assert!(
+                            self.fall_rate > 0.0,
+                            "{id}: timed entry with zero fall rate"
+                        );
+                        let fresh = self.policy.priority(self.txn(id), &view);
+                        assert!(
+                            self.timed_effective(key, a) >= fresh,
+                            "{id}: timed-half effective bound {} < fresh {}",
+                            self.timed_effective(key, a).0,
+                            fresh.0
+                        );
+                    }
+                }
+            }
+        }
+        // The slack index, when it is the pick path, covers the active
+        // set exactly and every key matches the policy's current value.
+        if self.slack_in_use() {
+            let slack = self.slack.borrow();
+            for &id in &self.active {
+                let key = slack.key_of(id).expect("active but not slack-indexed");
+                let k = self
+                    .policy
+                    .time_invariant_key(self.txn(id))
+                    .expect("slack-indexed policy stopped exposing keys");
                 assert_eq!(
                     key.0.to_bits(),
-                    cache[id.0 as usize].value.0.to_bits(),
-                    "{id}: index key and cached priority disagree"
+                    k.to_bits(),
+                    "{id}: slack key diverged from the policy's current key"
                 );
             }
         }
@@ -2276,6 +2858,10 @@ fn drive(
         heap_stale_pops: st.heap_stale_pops.get(),
         heap_validated_picks: st.heap_validated_picks.get(),
         pair_invalidations: st.accel.pair_invalidations(),
+        pair_cache_evictions: st.accel.pair_cache_evictions(),
+        clear_repair_clears: st.clear_repair_clears.get(),
+        clear_repair_visits: st.clear_repair_visits.get(),
+        index_migrations: st.index_migrations.get(),
         verify_checks: st.verify_checks.get(),
         sched_wall_ns: st.sched_wall_ns.get(),
     });
@@ -2348,6 +2934,9 @@ impl<'p> PickHarness<'p> {
             st.accel.register(id);
             st.pri_cache.borrow_mut().push(PriEntry::INVALID);
             st.index.borrow_mut().register();
+            st.slack.borrow_mut().register();
+            st.max_deadline_ms
+                .set(st.max_deadline_ms.get().max(txn.deadline.as_ms()));
             let partial = txn.is_partially_executed();
             if txn.state == TxnState::Ready {
                 st.ready_count += 1;
@@ -2355,6 +2944,7 @@ impl<'p> PickHarness<'p> {
             st.txns.push(txn);
             st.secondary.push(false);
             st.active.push(id);
+            st.accel.reindex(id, &st.txns[id.0 as usize].might_access);
             if partial {
                 st.accel.note_access_growth(id, false);
             }
@@ -2364,6 +2954,9 @@ impl<'p> PickHarness<'p> {
             for i in 0..st.active.len() {
                 st.priority_exact(st.active[i]);
             }
+        }
+        for i in 0..st.active.len() {
+            st.slack_upsert(st.active[i]);
         }
         PickHarness { st }
     }
@@ -2402,6 +2995,10 @@ impl<'p> PickHarness<'p> {
             heap_stale_pops: self.st.heap_stale_pops.get(),
             heap_validated_picks: self.st.heap_validated_picks.get(),
             pair_invalidations: self.st.accel.pair_invalidations(),
+            pair_cache_evictions: self.st.accel.pair_cache_evictions(),
+            clear_repair_clears: self.st.clear_repair_clears.get(),
+            clear_repair_visits: self.st.clear_repair_visits.get(),
+            index_migrations: self.st.index_migrations.get(),
             verify_checks: self.st.verify_checks.get(),
             sched_wall_ns: self.st.sched_wall_ns.get(),
         }

@@ -49,6 +49,19 @@ pub struct SchedStats {
     /// ConflictState priorities targeted invalidation actually flushed
     /// (the global epoch flushed *all* of them on every change).
     pub pair_invalidations: u64,
+    /// Pair-cache slots overwritten by a *different* pair (direct-mapped
+    /// collision evictions — a measure of cache pressure at high MPL).
+    pub pair_cache_evictions: u64,
+    /// Conflict-clear repair walks performed (one per clear of a
+    /// partially executed transaction under targeted invalidation).
+    pub clear_repair_clears: u64,
+    /// Candidates visited by those walks. With the item→transaction
+    /// reverse index this scales with the cleared transaction's sharer
+    /// set, not with MPL.
+    pub clear_repair_visits: u64,
+    /// Entries moved between the split priority index's halves (runner
+    /// anchor changes and cross-half cache writes).
+    pub index_migrations: u64,
     /// Verify-mode divergence checks performed (cache-vs-fresh
     /// assertions that ran and passed; 0 outside `CacheMode::Verify`).
     pub verify_checks: u64,

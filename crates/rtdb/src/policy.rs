@@ -45,7 +45,7 @@ impl Ord for Priority {
 /// Declaring a *wider* dependency than the policy actually has is always
 /// safe (it only costs recomputations); declaring a narrower one breaks
 /// bit-identity and is caught by the engine's `Verify` cache mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PriorityDeps {
     /// Depends only on the transaction's immutable attributes (deadline,
     /// arrival, criticality). EDF-HP, FCFS: computed once, never again.
@@ -73,7 +73,22 @@ pub enum PriorityDeps {
     /// pick path revalidates at the top. A policy whose priority can
     /// *rise* on growth or with time must declare
     /// [`PriorityDeps::Volatile`] instead.
-    ConflictState,
+    ///
+    /// `runner_fall_rate` declares, in priority units per millisecond of
+    /// the *running* transaction's uninterrupted compute time, the exact
+    /// rate at which the priority of every transaction unsafe w.r.t. that
+    /// runner falls while the runner's effective service accrues (zero
+    /// for policies whose penalty ignores service, e.g. EDF-Wait). The
+    /// engine uses it to place runner-conflicting index keys in a
+    /// *timed* half whose keys share a global fall offset: the keys then
+    /// stay put between structural events instead of being demoted pick
+    /// by pick. Declaring the rate only affects which half a key lives
+    /// in and how its stored bound is folded — a wrong rate loses the
+    /// upper-bound property and is caught by `Verify` mode.
+    ConflictState {
+        /// Per-ms fall rate of runner-unsafe priorities (≥ 0, finite).
+        runner_fall_rate: f64,
+    },
     /// No cacheable structure declared; recompute at every use. The
     /// conservative default for policies written before this hint
     /// existed.
@@ -269,6 +284,25 @@ pub trait Policy: Sync {
     fn conflict_clear_raise(&self, cleared: &Transaction, view: &SystemView<'_>) -> f64 {
         let _ = (cleared, view);
         f64::INFINITY
+    }
+
+    /// For [`PriorityDeps::TimeAndSelf`] policies: the time-invariant
+    /// part `K` of the priority, such that
+    /// `priority(txn, now) ≈ now_ms + K(txn)` up to floating-point
+    /// rounding in the policy's own evaluation. `K` may depend on the
+    /// transaction's mutable own state (progress, restarts) but not on
+    /// the clock, so it only changes at events the engine already
+    /// observes. When a policy returns `Some`, the engine keys a
+    /// slack-ordered pick index on `K` — candidates keep their relative
+    /// order as time advances, so picks validate the top instead of
+    /// rescanning — and revalidates each pick exactly (the scan remains
+    /// the `Verify`-mode oracle). `None` (the default) keeps the scan
+    /// path. LSF's slack `-(d - now - estimate)` decomposes this way;
+    /// a time/self policy with a nonlinear clock term does not and must
+    /// return `None`.
+    fn time_invariant_key(&self, txn: &Transaction) -> Option<f64> {
+        let _ = txn;
+        None
     }
 }
 

@@ -28,6 +28,8 @@
 
 use std::cell::Cell;
 
+use rtx_preanalysis::sets::DataSet;
+
 use crate::txn::{is_unsafe_with, Transaction, TxnId};
 
 /// How the engine evaluates priorities and conflict relations.
@@ -93,12 +95,18 @@ const PAIR_CACHE_BITS: u32 = 13;
 /// nothing. `Cell` slots keep lookups `&self` without `RefCell` traffic.
 struct PairCache {
     slots: Box<[Cell<PairSlot>]>,
+    /// Times `put` displaced a live entry for a *different* pair — the
+    /// direct-mapped cache's collision/thrash signal. Refreshing a slot
+    /// that already holds the same pair (version churn) is not an
+    /// eviction.
+    evictions: Cell<u64>,
 }
 
 impl PairCache {
     fn new() -> Self {
         PairCache {
             slots: vec![Cell::new(PairSlot::EMPTY); 1 << PAIR_CACHE_BITS].into_boxed_slice(),
+            evictions: Cell::new(0),
         }
     }
 
@@ -115,11 +123,20 @@ impl PairCache {
 
     #[inline]
     fn put(&self, key: u64, versions: (u64, u64), result: bool) {
-        self.slots[Self::slot_of(key)].set(PairSlot {
+        let slot = &self.slots[Self::slot_of(key)];
+        let old = slot.get().key;
+        if old != u64::MAX && old != key {
+            self.evictions.set(self.evictions.get() + 1);
+        }
+        slot.set(PairSlot {
             key,
             versions,
             result,
         });
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -162,10 +179,21 @@ pub struct ConflictAccel {
     unsafe_pairs: PairCache,
     pair_checks: Cell<u64>,
     pair_cache_hits: Cell<u64>,
+    /// Item → admitted transactions whose `might_access` contains the
+    /// item, each list ascending by id. Because `accessed ⊆ might_access`
+    /// (decision narrowing keeps the already-taken prefix) this is a
+    /// reverse index over *every* set the pair predicates read, so any
+    /// pair with a true `conflicts_with`/`is_unsafe_with` verdict shares
+    /// at least one list.
+    item_txns: Vec<Vec<TxnId>>,
+    /// Per-transaction snapshot of the footprint currently registered in
+    /// `item_txns`, diffed on reindex so membership updates touch only
+    /// the items that changed.
+    indexed_items: Vec<DataSet>,
 }
 
 impl ConflictAccel {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, db_size: usize) -> Self {
         ConflictAccel {
             plist: Vec::new(),
             might_version: Vec::with_capacity(capacity),
@@ -177,6 +205,8 @@ impl ConflictAccel {
             unsafe_pairs: PairCache::new(),
             pair_checks: Cell::new(0),
             pair_cache_hits: Cell::new(0),
+            item_txns: vec![Vec::new(); db_size],
+            indexed_items: Vec::with_capacity(capacity),
         }
     }
 
@@ -188,6 +218,69 @@ impl ConflictAccel {
         self.access_version.push(0);
         self.own_version.push(0);
         self.pair_stamp.push(0);
+        self.indexed_items.push(DataSet::new());
+    }
+
+    /// (Re)register `id` in the item→transaction reverse index under
+    /// `footprint` (its current `might_access`). Diffs against the
+    /// previous footprint so only changed items' lists move. Only
+    /// *admitted* transactions may be indexed — the engine calls this on
+    /// admission, decision narrowing and restart re-widening, and
+    /// [`Self::drop_index`] on departure.
+    pub(crate) fn reindex(&mut self, id: TxnId, footprint: &DataSet) {
+        let slot = id.0 as usize;
+        let old = std::mem::take(&mut self.indexed_items[slot]);
+        for item in old.iter() {
+            if !footprint.contains(item) {
+                let list = &mut self.item_txns[item.0 as usize];
+                let pos = list
+                    .binary_search(&id)
+                    .expect("indexed item lists mirror the stored footprint");
+                list.remove(pos);
+            }
+        }
+        for item in footprint.iter() {
+            if !old.contains(item) {
+                let list = &mut self.item_txns[item.0 as usize];
+                if let Err(pos) = list.binary_search(&id) {
+                    list.insert(pos, id);
+                }
+            }
+        }
+        self.indexed_items[slot] = footprint.clone();
+    }
+
+    /// Remove `id` from the reverse index (commit, or any other
+    /// departure from the active set).
+    pub(crate) fn drop_index(&mut self, id: TxnId) {
+        let slot = id.0 as usize;
+        let old = std::mem::take(&mut self.indexed_items[slot]);
+        for item in old.iter() {
+            let list = &mut self.item_txns[item.0 as usize];
+            let pos = list
+                .binary_search(&id)
+                .expect("indexed item lists mirror the stored footprint");
+            list.remove(pos);
+        }
+    }
+
+    /// Collect into `out` every indexed transaction whose registered
+    /// footprint intersects `items`, ascending by id. This is a sound
+    /// superset of the transactions that can hold a true
+    /// `conflicts_with` or (either-direction) `is_unsafe_with` verdict
+    /// against a transaction whose sets are covered by `items`: both
+    /// predicates require a shared item between one side's
+    /// `accessed`/`written`/`might_access` and the other's, and every
+    /// such set is a subset of the registered `might_access`.
+    pub(crate) fn sharers(&self, items: &DataSet, out: &mut Vec<TxnId>) {
+        out.clear();
+        for item in items.iter() {
+            if let Some(list) = self.item_txns.get(item.0 as usize) {
+                out.extend_from_slice(list);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// The conflict stamp of `id` — the per-transaction replacement for
@@ -319,6 +412,12 @@ impl ConflictAccel {
     pub(crate) fn pair_invalidations(&self) -> u64 {
         self.pair_invalidations.get()
     }
+
+    /// Live entries displaced from the two direct-mapped pair caches by
+    /// colliding pairs (thrash signal; see [`PairCache`]).
+    pub(crate) fn pair_cache_evictions(&self) -> u64 {
+        self.static_pairs.evictions() + self.unsafe_pairs.evictions()
+    }
 }
 
 #[cfg(test)]
@@ -364,7 +463,7 @@ mod tests {
 
     #[test]
     fn plist_stays_sorted() {
-        let mut a = ConflictAccel::new(4);
+        let mut a = ConflictAccel::new(4, 64);
         for i in 0..4 {
             a.register(TxnId(i));
         }
@@ -379,7 +478,7 @@ mod tests {
 
     #[test]
     fn growth_of_a_partial_does_not_duplicate() {
-        let mut a = ConflictAccel::new(2);
+        let mut a = ConflictAccel::new(2, 64);
         a.register(TxnId(0));
         a.note_access_growth(TxnId(0), false);
         a.note_access_growth(TxnId(0), true);
@@ -388,7 +487,7 @@ mod tests {
 
     #[test]
     fn unsafe_cache_invalidates_on_version_bump() {
-        let mut a = ConflictAccel::new(2);
+        let mut a = ConflictAccel::new(2, 64);
         a.register(TxnId(0));
         a.register(TxnId(1));
         let mut partial = mk(0, &[1, 2]);
@@ -408,7 +507,7 @@ mod tests {
 
     #[test]
     fn static_cache_is_symmetric_and_version_gated() {
-        let mut a = ConflictAccel::new(2);
+        let mut a = ConflictAccel::new(2, 64);
         a.register(TxnId(0));
         a.register(TxnId(1));
         let mut x = mk(0, &[1, 2]);
@@ -424,7 +523,7 @@ mod tests {
 
     #[test]
     fn pair_stamps_are_per_transaction() {
-        let mut a = ConflictAccel::new(3);
+        let mut a = ConflictAccel::new(3, 64);
         for i in 0..3 {
             a.register(TxnId(i));
         }
@@ -445,5 +544,52 @@ mod tests {
         a.note_access_growth(TxnId(0), false);
         a.note_sets_cleared(TxnId(0));
         assert_eq!(a.pair_stamp(TxnId(0)), 0);
+    }
+
+    #[test]
+    fn reverse_index_tracks_footprints() {
+        let mut a = ConflictAccel::new(3, 64);
+        for i in 0..3 {
+            a.register(TxnId(i));
+        }
+        let mut out = Vec::new();
+        a.reindex(TxnId(0), &DataSet::from_items([ItemId(1), ItemId(2)]));
+        a.reindex(TxnId(1), &DataSet::from_items([ItemId(2), ItemId(3)]));
+        a.reindex(TxnId(2), &DataSet::from_items([ItemId(9)]));
+        a.sharers(&DataSet::from_items([ItemId(2)]), &mut out);
+        assert_eq!(out, vec![TxnId(0), TxnId(1)]);
+        // Narrowing away from item 2 drops that membership only.
+        a.reindex(TxnId(0), &DataSet::from_items([ItemId(1)]));
+        a.sharers(&DataSet::from_items([ItemId(2), ItemId(9)]), &mut out);
+        assert_eq!(out, vec![TxnId(1), TxnId(2)]);
+        // Departure empties all of the transaction's list memberships.
+        a.drop_index(TxnId(1));
+        a.sharers(
+            &DataSet::from_items([ItemId(1), ItemId(2), ItemId(3)]),
+            &mut out,
+        );
+        assert_eq!(out, vec![TxnId(0)]);
+        // Multi-item queries dedup across lists and stay id-ascending.
+        a.reindex(TxnId(1), &DataSet::from_items([ItemId(1), ItemId(9)]));
+        a.sharers(&DataSet::from_items([ItemId(1), ItemId(9)]), &mut out);
+        assert_eq!(out, vec![TxnId(0), TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn pair_cache_counts_evictions() {
+        let c = PairCache::new();
+        let k1 = 1u64;
+        let target = PairCache::slot_of(k1);
+        let k2 = (2u64..)
+            .find(|&k| PairCache::slot_of(k) == target)
+            .expect("direct-mapped cache has colliding keys");
+        c.put(k1, (0, 0), true);
+        assert_eq!(c.evictions(), 0);
+        // Refreshing the same pair under new versions is not an eviction.
+        c.put(k1, (1, 0), false);
+        assert_eq!(c.evictions(), 0);
+        // A different pair landing on the slot is.
+        c.put(k2, (0, 0), true);
+        assert_eq!(c.evictions(), 1);
     }
 }

@@ -417,6 +417,32 @@ fn mpl256_burst_heap_determinism() {
         assert!(inc.sched.pair_invalidations > 0, "{}", p.name());
         assert_eq!(oracle.sched.heap_pushes, 0, "{}", p.name());
     }
+
+    // LSF picks through the slack-ordered index (time-invariant keys,
+    // effective-priority validation) rather than the conflict heap; pin
+    // the same burst to the oracle scan and to rerun bit-identity. The
+    // conflict-counter assertions above don't apply — slack keys never
+    // see pair invalidations — but the index must actually serve picks.
+    let oracle = run_simulation_with_mode(&cfg, &Lsf, CacheMode::AlwaysRecompute);
+    let inc = run_simulation_with_mode(&cfg, &Lsf, CacheMode::Incremental);
+    let verified = run_simulation_with_mode(&cfg, &Lsf, CacheMode::Verify);
+    assert_eq!(
+        inc.sans_sched_stats(),
+        oracle.sans_sched_stats(),
+        "MPL-256: slack-index picks diverged from the oracle under LSF"
+    );
+    assert_eq!(
+        verified.sans_sched_stats(),
+        oracle.sans_sched_stats(),
+        "MPL-256: verify diverged under LSF"
+    );
+    let again = run_simulation_with_mode(&cfg, &Lsf, CacheMode::Incremental);
+    assert_eq!(inc, again, "LSF slack-index path must be deterministic");
+    assert!(
+        inc.sched.heap_validated_picks > 0,
+        "slack index never picked"
+    );
+    assert_eq!(oracle.sched.heap_validated_picks, 0);
 }
 
 /// Profiled runs populate the wall-clock counter without perturbing the
