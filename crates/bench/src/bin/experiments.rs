@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! experiments [--quick] [--plot] [--jobs N] [--out DIR]
-//!             [--faults] [--admission] [--bench-profile] <id>... | all | list
+//!             [--faults] [--admission] [--bench-profile]
+//!             [--serve-txns N] [--serve-scale S] <id>... | all | serve | list
 //! ```
 //!
 //! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
 //! fig5c fig5d fig5e fig5f ablate-recovery ablate-iowait ablate-policies
 //! ablate-disk-sched ext-shared-locks ext-criticality ext-branching
-//! faults faults-admission
+//! faults faults-admission serve-vt
 //!
 //! `--faults` and `--admission` are shorthands that enqueue the
 //! fault-injection robustness sweeps (`faults` and `faults-admission`
@@ -20,11 +21,21 @@
 //! experiment ids; with `--quick` it profiles only a small MPL-64 burst
 //! (the CI regression smoke) instead of the full policy × MPL sweep.
 //!
+//! `serve` is the wall-clock serving benchmark (not an experiment id —
+//! its numbers are machine-dependent, so it never joins `all`): it
+//! replays a `--serve-txns`-transaction trading-day trace (default 1M)
+//! through the serving front-end at `--serve-scale`× real time (default
+//! 600), prints sustained requests/sec and p50/p95/p99 wall latency,
+//! and writes `<out>/BENCH_serving.json` plus the repo-root headline
+//! `BENCH_serve.json`. The deterministic counterpart is the `serve-vt`
+//! experiment id, whose CSV is committed and byte-gated.
+//!
 //! Replications fan out across worker threads (`--jobs N`; default: all
 //! available hardware threads; `--jobs 1` forces serial). The merge is
 //! deterministic — output tables and CSVs are byte-identical for every
 //! jobs count. Per-experiment timing goes to stderr and, machine
-//! readable, to `<out>/timing.json`.
+//! readable, to `<out>/timing.json` — merged per experiment, so a run
+//! of one sweep never clobbers the recorded timings of the others.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,7 +49,8 @@ use rtx_rtdb::runner::{Parallelism, ReplicationOptions};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] \
-         [--faults] [--admission] [--bench-profile] <id>... | all | list"
+         [--faults] [--admission] [--bench-profile] \
+         [--serve-txns N] [--serve-scale S] <id>... | all | serve | list"
     );
     eprintln!("ids: {}", ALL_IDS.join(" "));
     ExitCode::FAILURE
@@ -53,25 +65,63 @@ struct TimingRecord {
     speedup_estimate: f64,
 }
 
-/// Render the timing records as a JSON array (hand-rolled: the workspace
-/// carries no serialization dependency).
-fn timing_json(jobs: &str, scale: Scale, records: &[TimingRecord]) -> String {
+/// One rendered timing entry: its merge key (the joined id list) and its
+/// single-line JSON object.
+fn timing_entry(r: &TimingRecord) -> (String, String) {
+    let ids: Vec<String> = r.ids.iter().map(|id| format!("\"{id}\"")).collect();
+    let key = ids.join(", ");
+    let line = format!(
+        "{{\"ids\": [{key}], \"runs\": {}, \"wall_seconds\": {:.3}, \
+         \"busy_seconds\": {:.3}, \"speedup_estimate\": {:.2}}}",
+        r.runs, r.wall_seconds, r.busy_seconds, r.speedup_estimate,
+    );
+    (key, line)
+}
+
+/// The merge key of an entry line previously written by
+/// [`timing_json`], if the line is one (`{"ids": [...], ...}`).
+fn timing_entry_key(line: &str) -> Option<String> {
+    let rest = line.trim().strip_prefix("{\"ids\": [")?;
+    Some(rest.split(']').next()?.to_string())
+}
+
+/// Render `timing.json`, merging this run's records into `existing`
+/// (the file's previous contents, if any). Entries are keyed by their id
+/// list: re-run sweeps replace their old timing, sweeps not in this run
+/// keep theirs — a lone `experiments fig4a` no longer clobbers the
+/// timings of the other 20 sweeps. `jobs`/`scale` describe the latest
+/// run (hand-rolled JSON: the workspace carries no serialization
+/// dependency).
+fn timing_json(
+    existing: Option<&str>,
+    jobs: &str,
+    scale: Scale,
+    records: &[TimingRecord],
+) -> String {
+    // Preserved entries, in original order.
+    let mut entries: Vec<(String, String)> = existing
+        .into_iter()
+        .flat_map(str::lines)
+        .filter_map(|l| {
+            let key = timing_entry_key(l)?;
+            let line = l.trim().trim_end_matches(',').to_string();
+            Some((key, line))
+        })
+        .collect();
+    for r in records {
+        let (key, line) = timing_entry(r);
+        match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = line,
+            None => entries.push((key, line)),
+        }
+    }
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"jobs\": \"{jobs}\",\n"));
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     out.push_str("  \"experiments\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let ids: Vec<String> = r.ids.iter().map(|id| format!("\"{id}\"")).collect();
-        out.push_str(&format!(
-            "    {{\"ids\": [{}], \"runs\": {}, \"wall_seconds\": {:.3}, \
-             \"busy_seconds\": {:.3}, \"speedup_estimate\": {:.2}}}{}\n",
-            ids.join(", "),
-            r.runs,
-            r.wall_seconds,
-            r.busy_seconds,
-            r.speedup_estimate,
-            if i + 1 < records.len() { "," } else { "" },
-        ));
+    for (i, (_, line)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("    {line}{comma}\n"));
     }
     out.push_str("  ]\n}\n");
     out
@@ -83,6 +133,7 @@ fn main() -> ExitCode {
     let mut plot = false;
     let mut parallelism = Parallelism::Auto;
     let mut bench_profile = false;
+    let mut serve_bench = rtx_bench::experiments::serve::WallBench::default();
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -93,6 +144,14 @@ fn main() -> ExitCode {
             "--faults" => ids.push("faults".to_string()),
             "--admission" => ids.push("faults-admission".to_string()),
             "--bench-profile" => bench_profile = true,
+            "--serve-txns" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => serve_bench.txns = n,
+                _ => return usage(),
+            },
+            "--serve-scale" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => serve_bench.sim_scale = s,
+                _ => return usage(),
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return usage(),
@@ -115,13 +174,41 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() && !bench_profile {
+    // `serve` is a benchmark mode, not an experiment id (its output is
+    // machine-dependent and never joins `all`).
+    let serve_requested = ids.iter().any(|id| id == "serve");
+    ids.retain(|id| id != "serve");
+    if ids.is_empty() && !bench_profile && !serve_requested {
         return usage();
     }
     for id in &ids {
         if id != "all" && !ALL_IDS.contains(&id.as_str()) {
             eprintln!("unknown experiment id: {id}");
             return usage();
+        }
+    }
+
+    if serve_requested {
+        let (full, headline) = rtx_bench::experiments::serve::wall_bench(&serve_bench);
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("failed to create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let full_path = out_dir.join("BENCH_serving.json");
+        if let Err(e) = std::fs::write(&full_path, full) {
+            eprintln!("failed to write {}: {e}", full_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve bench -> {}", full_path.display());
+        // Headline at the repo root, next to BENCH_sched.json.
+        let headline_path = PathBuf::from("BENCH_serve.json");
+        if let Err(e) = std::fs::write(&headline_path, headline) {
+            eprintln!("failed to write {}: {e}", headline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve headline -> {}", headline_path.display());
+        if ids.is_empty() && !bench_profile {
+            return ExitCode::SUCCESS;
         }
     }
 
@@ -205,7 +292,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let timing_path = out_dir.join("timing.json");
-    if let Err(e) = std::fs::write(&timing_path, timing_json(&jobs_label, scale, &timings)) {
+    let existing = std::fs::read_to_string(&timing_path).ok();
+    if let Err(e) = std::fs::write(
+        &timing_path,
+        timing_json(existing.as_deref(), &jobs_label, scale, &timings),
+    ) {
         eprintln!("failed to write {}: {e}", timing_path.display());
         return ExitCode::FAILURE;
     }
@@ -215,4 +306,67 @@ fn main() -> ExitCode {
         started.elapsed().as_secs_f64(),
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ids: &[&'static str], wall: f64) -> TimingRecord {
+        TimingRecord {
+            ids: ids.to_vec(),
+            runs: 10,
+            wall_seconds: wall,
+            busy_seconds: wall * 2.0,
+            speedup_estimate: 2.0,
+        }
+    }
+
+    #[test]
+    fn timing_merge_preserves_other_experiments() {
+        // First run: two sweeps.
+        let first = timing_json(
+            None,
+            "auto",
+            Scale::Full,
+            &[
+                rec(&["fig4a", "fig4b", "fig4c"], 10.0),
+                rec(&["fig4f"], 5.0),
+            ],
+        );
+        assert!(first.contains("\"fig4f\""));
+        // Second run re-times only fig4f: the fig4a group must survive,
+        // fig4f's entry must be replaced, and a new sweep appends.
+        let second = timing_json(
+            Some(&first),
+            "1",
+            Scale::Quick,
+            &[rec(&["fig4f"], 7.0), rec(&["serve-vt"], 3.0)],
+        );
+        assert!(
+            second.contains("\"fig4a\", \"fig4b\", \"fig4c\""),
+            "{second}"
+        );
+        assert!(second.contains("\"wall_seconds\": 7.000"), "{second}");
+        assert!(!second.contains("\"wall_seconds\": 5.000"), "{second}");
+        assert!(second.contains("\"serve-vt\""), "{second}");
+        assert!(second.contains("\"jobs\": \"1\""), "latest run labels win");
+        assert_eq!(
+            second.matches("{\"ids\":").count(),
+            3,
+            "one entry per distinct id group:\n{second}"
+        );
+    }
+
+    #[test]
+    fn timing_merge_tolerates_garbage_existing_file() {
+        let out = timing_json(
+            Some("not json at all"),
+            "auto",
+            Scale::Full,
+            &[rec(&["table1"], 1.0)],
+        );
+        assert!(out.contains("\"table1\""));
+        assert!(out.starts_with("{\n"));
+    }
 }

@@ -26,6 +26,7 @@ pub mod ablate;
 pub mod disk;
 pub mod faults;
 pub mod mm;
+pub mod serve;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: &[&str] = &[
@@ -52,6 +53,7 @@ pub const ALL_IDS: &[&str] = &[
     "ext-branching",
     "faults",
     "faults-admission",
+    "serve-vt",
 ];
 
 /// The output of one experiment group: its tables plus timing.
@@ -115,6 +117,7 @@ pub fn run_with(id: &str, scale: Scale, opts: &ReplicationOptions) -> Option<Vec
         "ext-branching" => Some(vec![ablate::branching_workload(scale, opts)]),
         "faults" => Some(vec![faults::severity_sweep(scale, opts)]),
         "faults-admission" => Some(vec![faults::admission_sweep(scale, opts)]),
+        "serve-vt" => Some(vec![serve::vt_sweep(scale, opts)]),
         _ => None,
     }
 }
@@ -189,6 +192,7 @@ pub fn run_group_with(
     group(&["faults-admission"], &|o| {
         vec![faults::admission_sweep(scale, o)]
     });
+    group(&["serve-vt"], &|o| vec![serve::vt_sweep(scale, o)]);
 }
 
 /// Collect all tables of the requested ids, serially (convenience over

@@ -1,0 +1,254 @@
+//! Serving-layer experiments: the deterministic virtual-time sweep
+//! (`serve-vt`) and the wall-clock trading-day benchmark behind
+//! `experiments -- serve`.
+//!
+//! The two are deliberately separate:
+//!
+//! * **`serve-vt`** replays the same trading-day traces through the
+//!   serving front-end under the virtual clock. It is bit-deterministic
+//!   (the serving loop's event order is pinned to the batch
+//!   simulator's), so its CSV is committed and byte-gated like every
+//!   other experiment.
+//! * **`serve`** replays a millions-of-transactions trace against real
+//!   time. Its requests/sec and latency numbers depend on the machine,
+//!   so it writes `BENCH_serve.json` (benchmarked, never byte-gated)
+//!   instead of a committed CSV.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtx_core::{Cca, EdfHp, Lsf};
+use rtx_rtdb::runner::ReplicationOptions;
+use rtx_rtdb::{AdmissionConfig, Policy, SimConfig};
+use rtx_serve::{ServeConfig, ServeReport, Server, TraceSpec};
+use rtx_sim::SimTime;
+
+use crate::table::Table;
+use crate::Scale;
+
+/// The engine configuration all serving experiments run on: the
+/// main-memory resource model over the trace generator's 10 000-record
+/// instrument table, with lenient feasibility admission at the door.
+fn serve_cfg() -> SimConfig {
+    let mut cfg = SimConfig::mm_base();
+    cfg.workload.db_size = 10_000;
+    cfg.system.abort_cost_ms = 2.0;
+    cfg.system.admission = Some(AdmissionConfig::lenient());
+    cfg
+}
+
+/// A trace whose *average* arrival rate is `rate_tps`: the trading-day
+/// preset with the day compressed so `txns` arrivals span it.
+fn trace_at_rate(txns: usize, rate_tps: f64, seed: u64) -> TraceSpec {
+    let mut spec = TraceSpec::trading_day(txns, seed);
+    spec.day_secs = txns as f64 / rate_tps;
+    spec
+}
+
+/// Replay `spec` through a virtual-clock server under `policy`.
+fn replay_virtual(spec: TraceSpec, policy: Arc<dyn Policy + Send + Sync>) -> ServeReport {
+    let server = Server::start(ServeConfig::virtual_mode(), Arc::new(serve_cfg()), policy)
+        .expect("serve config is valid");
+    for req in spec.stream() {
+        server.submit(req).expect("server open");
+    }
+    server.shutdown()
+}
+
+/// The `serve-vt` sweep: policies × average load over the same per-load
+/// trading-day traces, reporting outcome counts and latency quantiles.
+/// Deterministic; joins `all` and the committed-CSV byte gate.
+pub fn vt_sweep(scale: Scale, _opts: &ReplicationOptions) -> Table {
+    let (txns, rates): (usize, &[f64]) = match scale {
+        Scale::Quick => (2_000, &[40.0, 80.0]),
+        Scale::Full => (20_000, &[20.0, 40.0, 60.0, 80.0]),
+    };
+    let policies: [(&str, Arc<dyn Policy + Send + Sync>); 3] = [
+        ("EDF-HP", Arc::new(EdfHp)),
+        ("CCA", Arc::new(Cca::base())),
+        ("LSF", Arc::new(Lsf)),
+    ];
+    let mut t = Table::new(
+        "serve-vt",
+        &[
+            "rate_tps",
+            "policy",
+            "committed",
+            "rejected",
+            "miss_percent",
+            "mean_ms",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "restarts_per_txn",
+        ],
+    );
+    for &rate in rates {
+        let spec = trace_at_rate(txns, rate, 0);
+        for (name, policy) in &policies {
+            let report = replay_virtual(spec.clone(), Arc::clone(policy));
+            let s = &report.summary;
+            let m = &report.metrics;
+            t.push_row(vec![
+                format!("{rate:.0}"),
+                (*name).to_string(),
+                s.committed.to_string(),
+                s.rejected.to_string(),
+                format!("{:.3}", s.miss_percent),
+                format!("{:.3}", m.mean_ms),
+                format!("{:.3}", m.p50_ms),
+                format!("{:.3}", m.p95_ms),
+                format!("{:.3}", m.p99_ms),
+                format!("{:.3}", s.restarts_per_txn),
+            ]);
+        }
+    }
+    t
+}
+
+/// Knobs for the wall-clock serving benchmark.
+#[derive(Debug, Clone)]
+pub struct WallBench {
+    /// Trace length (transactions).
+    pub txns: usize,
+    /// Sim microseconds per wall microsecond: how much faster than real
+    /// time the trading day is replayed.
+    pub sim_scale: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for WallBench {
+    /// The acceptance configuration: a 1M-transaction trading day
+    /// replayed 600× faster than real time (a 6.5-hour day in ~39 s of
+    /// pacing floor).
+    fn default() -> Self {
+        WallBench {
+            txns: 1_000_000,
+            sim_scale: 600.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Run the wall-clock benchmark under CCA: an open-loop submitter paces
+/// the trace against real time (falling back to back-pressure when the
+/// engine lags), a monitor thread streams metrics snapshots to stderr,
+/// and the headline JSON is returned as `(full, headline)` — the full
+/// report for `results/BENCH_serving.json`, the headline for the
+/// repo-root `BENCH_serve.json`.
+pub fn wall_bench(opts: &WallBench) -> (String, String) {
+    let spec = TraceSpec::trading_day(opts.txns, opts.seed);
+    let sim_scale = opts.sim_scale;
+    let mut serve = ServeConfig::wall(sim_scale);
+    serve.queue_capacity = 8192;
+    let server = Server::start(serve, Arc::new(serve_cfg()), Arc::new(Cca::base()))
+        .expect("serve config is valid");
+
+    let started = Instant::now();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Live observability: stream a metrics snapshot every ~2 s while
+        // the trace is being served.
+        scope.spawn(|| {
+            let mut ticks = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                ticks += 1;
+                if ticks.is_multiple_of(20) && !stop.load(Ordering::Relaxed) {
+                    eprintln!("{}", server.metrics().to_json());
+                }
+            }
+        });
+        // Open-loop pacing: sleep until each request's scaled arrival
+        // instant, then submit (blocking submit = back-pressure when the
+        // engine can't keep up).
+        for req in spec.stream() {
+            let target =
+                Duration::from_secs_f64(req.arrival.since(SimTime::ZERO).as_secs() / sim_scale);
+            let elapsed = started.elapsed();
+            if target > elapsed + Duration::from_millis(1) {
+                std::thread::sleep(target - elapsed);
+            }
+            server.submit(req).expect("server open");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let report = server.shutdown();
+    let wall = started.elapsed().as_secs_f64();
+
+    let s = &report.summary;
+    let m = &report.metrics;
+    let req_per_sec = (s.committed + s.rejected) as f64 / wall;
+    println!(
+        "serve: {} txns in {:.1}s wall — {:.0} req/s sustained ({}x sim time)",
+        opts.txns, wall, req_per_sec, sim_scale
+    );
+    println!(
+        "       latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms (wall)",
+        m.p50_ms, m.p95_ms, m.p99_ms, m.max_ms
+    );
+    println!(
+        "       miss {:.3}%  rejected {}  restarts/txn {:.3}",
+        s.miss_percent, s.rejected, s.restarts_per_txn
+    );
+
+    let headline = format!(
+        "{{\n  \"benchmark\": \"serve-trading-day\",\n  \"policy\": \"CCA\",\n  \
+         \"txns\": {},\n  \"sim_scale\": {:.1},\n  \"wall_seconds\": {:.3},\n  \
+         \"requests_per_sec\": {:.1},\n  \"p50_ms\": {:.4},\n  \"p95_ms\": {:.4},\n  \
+         \"p99_ms\": {:.4},\n  \"miss_percent\": {:.4}\n}}\n",
+        opts.txns, sim_scale, wall, req_per_sec, m.p50_ms, m.p95_ms, m.p99_ms, s.miss_percent
+    );
+    let full = format!(
+        "{{\n  \"benchmark\": \"serve-trading-day\",\n  \"policy\": \"CCA\",\n  \
+         \"txns\": {},\n  \"sim_scale\": {:.1},\n  \"seed\": {},\n  \
+         \"wall_seconds\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \
+         \"committed\": {},\n  \"rejected\": {},\n  \"missed_percent\": {:.4},\n  \
+         \"restarts_per_txn\": {:.4},\n  \"final_metrics\": {}\n}}\n",
+        opts.txns,
+        sim_scale,
+        opts.seed,
+        wall,
+        req_per_sec,
+        s.committed,
+        s.rejected,
+        s.miss_percent,
+        s.restarts_per_txn,
+        m.to_json()
+    );
+    (full, headline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_sweep_quick_is_deterministic() {
+        let a = vt_sweep(Scale::Quick, &ReplicationOptions::serial());
+        let b = vt_sweep(Scale::Quick, &ReplicationOptions::serial());
+        assert_eq!(
+            a.to_csv(),
+            b.to_csv(),
+            "virtual serving must replay identically"
+        );
+        assert_eq!(a.rows().len(), 2 * 3, "2 rates x 3 policies");
+    }
+
+    #[test]
+    fn wall_bench_smoke() {
+        // A tiny trace at a high sim scale: finishes in well under a
+        // second while exercising the full pacing + shutdown path.
+        let (full, headline) = wall_bench(&WallBench {
+            txns: 500,
+            sim_scale: 50_000.0,
+            seed: 1,
+        });
+        for key in ["requests_per_sec", "p99_ms", "wall_seconds"] {
+            assert!(headline.contains(key), "missing {key}");
+            assert!(full.contains(key), "missing {key}");
+        }
+    }
+}

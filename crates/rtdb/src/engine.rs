@@ -23,7 +23,7 @@
 //!   transfer completes (§5).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use rtx_sim::calendar::{Calendar, EventHandle};
 use rtx_sim::fault::FaultInjector;
@@ -367,6 +367,11 @@ struct EngineState<'p> {
     /// Optional decision log (None in normal runs — zero overhead beyond
     /// the branch).
     trace: Option<Trace>,
+    /// Optional terminal-outcome sink (None in batch runs — the serving
+    /// front-end enables it to observe per-transaction completions
+    /// without touching the metrics pipeline). Purely observational: it
+    /// never influences scheduling, RNG draws or metrics.
+    completions: Option<Vec<Completion>>,
     /// Fault injector, present iff the config's [`rtx_sim::fault::FaultPlan`]
     /// can inject anything. `None` takes the exact pre-fault code path and
     /// consumes no randomness.
@@ -501,6 +506,7 @@ impl<'p> EngineState<'p> {
             metrics: MetricsCollector::new(),
             secondary: Vec::with_capacity(cfg.run.num_transactions),
             trace: None,
+            completions: None,
             faults,
             active_io_failed: false,
             mode: CacheMode::Incremental,
@@ -1149,10 +1155,21 @@ impl<'p> EngineState<'p> {
                 // Reject at the door: the transaction never enters the
                 // active set, acquires no locks and consumes no resources.
                 txn.state = TxnState::Rejected;
+                let (arrival, restarts) = (txn.arrival, txn.restarts);
                 self.txns.push(txn);
                 self.secondary.push(false);
                 self.metrics.record_rejection();
                 self.emit(|| TraceEvent::Rejected { txn: id, deadline });
+                if let Some(sink) = &mut self.completions {
+                    sink.push(Completion {
+                        id,
+                        arrival,
+                        deadline,
+                        finish: arrival,
+                        restarts,
+                        kind: CompletionKind::Rejected,
+                    });
+                }
                 return;
             }
         }
@@ -1742,6 +1759,19 @@ impl<'p> EngineState<'p> {
         });
         self.metrics
             .record_commit_in_class(class, arrival, deadline, now);
+        let restarts = self.txn(id).restarts;
+        if let Some(sink) = &mut self.completions {
+            sink.push(Completion {
+                id,
+                arrival,
+                deadline,
+                finish: now,
+                restarts,
+                kind: CompletionKind::Committed {
+                    missed: now.signed_ms_since(deadline) > 0.0,
+                },
+            });
+        }
         self.running = None;
         self.active.retain(|&a| a != id);
         self.accel.drop_index(id);
@@ -2842,30 +2872,270 @@ fn drive(
         inspect(st);
     }
 
-    let end = st.now();
-    let disk_busy = st
-        .disk
-        .as_ref()
-        .map(|d| d.busy_until(end))
-        .unwrap_or(SimDuration::ZERO);
-    st.metrics.set_sched_stats(SchedStats {
-        pick_next_calls: st.pick_next_calls.get(),
-        priority_evals: st.priority_evals.get(),
-        priority_cache_hits: st.priority_cache_hits.get(),
-        pair_checks: st.accel.pair_checks(),
-        pair_cache_hits: st.accel.pair_cache_hits(),
-        heap_pushes: st.heap_pushes.get(),
-        heap_stale_pops: st.heap_stale_pops.get(),
-        heap_validated_picks: st.heap_validated_picks.get(),
-        pair_invalidations: st.accel.pair_invalidations(),
-        pair_cache_evictions: st.accel.pair_cache_evictions(),
-        clear_repair_clears: st.clear_repair_clears.get(),
-        clear_repair_visits: st.clear_repair_visits.get(),
-        index_migrations: st.index_migrations.get(),
-        verify_checks: st.verify_checks.get(),
-        sched_wall_ns: st.sched_wall_ns.get(),
-    });
-    Ok(st.metrics.finish(end, disk_busy))
+    Ok(st.finish_summary())
+}
+
+impl EngineState<'_> {
+    /// Finalize the run: install the scheduler-overhead tallies and fold
+    /// the metrics into a [`RunSummary`] at the current simulation time.
+    /// Shared by the batch `drive` loop and [`StepEngine::finish`].
+    fn finish_summary(&mut self) -> RunSummary {
+        let end = self.now();
+        let disk_busy = self
+            .disk
+            .as_ref()
+            .map(|d| d.busy_until(end))
+            .unwrap_or(SimDuration::ZERO);
+        self.metrics.set_sched_stats(SchedStats {
+            pick_next_calls: self.pick_next_calls.get(),
+            priority_evals: self.priority_evals.get(),
+            priority_cache_hits: self.priority_cache_hits.get(),
+            pair_checks: self.accel.pair_checks(),
+            pair_cache_hits: self.accel.pair_cache_hits(),
+            heap_pushes: self.heap_pushes.get(),
+            heap_stale_pops: self.heap_stale_pops.get(),
+            heap_validated_picks: self.heap_validated_picks.get(),
+            pair_invalidations: self.accel.pair_invalidations(),
+            pair_cache_evictions: self.accel.pair_cache_evictions(),
+            clear_repair_clears: self.clear_repair_clears.get(),
+            clear_repair_visits: self.clear_repair_visits.get(),
+            index_migrations: self.index_migrations.get(),
+            verify_checks: self.verify_checks.get(),
+            sched_wall_ns: self.sched_wall_ns.get(),
+        });
+        self.metrics.finish(end, disk_busy)
+    }
+}
+
+/// How a transaction left the system, as reported through
+/// [`StepEngine::drain_completions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Ran to commit. `missed` is true iff it committed after its
+    /// deadline (the deadline is soft — late transactions still commit).
+    Committed {
+        /// Commit happened strictly after the deadline.
+        missed: bool,
+    },
+    /// Rejected at the door by admission control; never executed.
+    Rejected,
+}
+
+/// One terminal transaction outcome, observed by the serving layer.
+///
+/// All times are simulation times; a wall-clock front-end converts them
+/// to real time through its [`rtx_sim::clock::Clock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The transaction.
+    pub id: TxnId,
+    /// Its arrival (= submission) time.
+    pub arrival: SimTime,
+    /// Its absolute deadline.
+    pub deadline: SimTime,
+    /// When it terminated (commit time; for rejections, the arrival
+    /// instant — rejection is immediate).
+    pub finish: SimTime,
+    /// How many times it was aborted and restarted before terminating.
+    pub restarts: u32,
+    /// Commit-vs-reject, and whether the deadline was met.
+    pub kind: CompletionKind,
+}
+
+impl Completion {
+    /// Response time (finish − arrival) as a sim-time span.
+    pub fn response(&self) -> SimDuration {
+        self.finish.since(self.arrival)
+    }
+}
+
+/// An incrementally driven engine: the same event machinery as
+/// [`run_simulation`], exposed one event at a time so a serving loop can
+/// interleave event processing with externally submitted arrivals and
+/// pace both against a wall clock.
+///
+/// The stepping discipline reproduces the batch loop **exactly**: at
+/// most one `Arrival` event is in the calendar at a time, and the next
+/// queued arrival is scheduled at the moment the previous one fires —
+/// the same point in the event-sequence order at which the batch loop
+/// pulls its `TxnSource`. Feeding a recorded trace through a
+/// `StepEngine` therefore replays the identical event sequence (and
+/// produces a bit-identical [`RunSummary`]) as
+/// [`run_simulation_from`] over the same transactions; the serving
+/// bit-identity test in `tests/serving.rs` pins this.
+///
+/// Unlike the batch entry points, a `StepEngine` has no preset
+/// transaction budget and no watchdog: the caller decides when to stop
+/// submitting and when to [`StepEngine::finish`].
+pub struct StepEngine<'p> {
+    st: EngineState<'p>,
+    /// Submitted transactions not yet scheduled into the calendar (the
+    /// batch loop's "source", materialized).
+    queue: VecDeque<Transaction>,
+    /// True while an `Arrival` event sits in the calendar.
+    arrival_pending: bool,
+    /// Total transactions ever submitted.
+    submitted: u64,
+    /// Arrival stamp of the last submission (stamps are non-decreasing).
+    last_arrival: SimTime,
+}
+
+impl<'p> StepEngine<'p> {
+    /// A fresh engine under `cfg` and `policy` (incremental cache mode).
+    ///
+    /// `cfg.run.num_transactions` is only a capacity hint here; the run
+    /// ends when the caller stops, not when a budget is reached.
+    ///
+    /// # Errors
+    /// Returns the configuration's validation error, if any.
+    pub fn new(cfg: &'p SimConfig, policy: &'p dyn Policy) -> Result<Self, RunError> {
+        Self::with_mode(cfg, policy, CacheMode::Incremental)
+    }
+
+    /// As [`StepEngine::new`] under an explicit [`CacheMode`].
+    ///
+    /// # Errors
+    /// Returns the configuration's validation error, if any.
+    pub fn with_mode(
+        cfg: &'p SimConfig,
+        policy: &'p dyn Policy,
+        mode: CacheMode,
+    ) -> Result<Self, RunError> {
+        cfg.validate()?;
+        let mut st = EngineState::new(cfg, policy);
+        st.mode = mode;
+        st.completions = Some(Vec::new());
+        Ok(StepEngine {
+            st,
+            queue: VecDeque::new(),
+            arrival_pending: false,
+            submitted: 0,
+            last_arrival: SimTime::ZERO,
+        })
+    }
+
+    /// Current simulation time (the firing time of the last processed
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.st.now()
+    }
+
+    /// The dense id the next submitted transaction must carry.
+    pub fn next_txn_id(&self) -> TxnId {
+        TxnId(self.submitted as u32)
+    }
+
+    /// Submit a transaction. Ids must be dense in submission order
+    /// ([`StepEngine::next_txn_id`]) and arrival stamps non-decreasing
+    /// and not in the engine's past — a wall-clock front-end stamps
+    /// submissions with `max(clock now, engine now, last stamp)`, which
+    /// satisfies both by construction.
+    ///
+    /// # Panics
+    /// Panics if the id is not the next dense id or the arrival stamp
+    /// regresses.
+    pub fn submit(&mut self, txn: Transaction) {
+        assert_eq!(txn.id, self.next_txn_id(), "transaction ids must be dense");
+        assert!(
+            txn.arrival >= self.last_arrival,
+            "arrival stamps must be non-decreasing"
+        );
+        assert!(
+            txn.arrival >= self.st.now(),
+            "arrival stamp {} is in the engine's past (now {})",
+            txn.arrival,
+            self.st.now()
+        );
+        self.last_arrival = txn.arrival;
+        self.submitted += 1;
+        self.queue.push_back(txn);
+        self.pump_arrival();
+    }
+
+    /// Schedule the next queued arrival if none is pending — the
+    /// stepping analogue of the batch loop pulling its source.
+    fn pump_arrival(&mut self) {
+        if !self.arrival_pending {
+            if let Some(next) = self.queue.pop_front() {
+                self.st
+                    .calendar
+                    .schedule(next.arrival, Event::Arrival(Box::new(next)));
+                self.arrival_pending = true;
+            }
+        }
+    }
+
+    /// The firing time of the next pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.st.calendar.peek_time()
+    }
+
+    /// Submitted arrivals still buffered *behind* the one pending in the
+    /// calendar. A deterministic (virtual-clock) serving loop steps only
+    /// while this is ≥ 1 or the stream is closed: it guarantees that when
+    /// the pending arrival fires, its successor is scheduled at the same
+    /// point in event-sequence order as the batch loop would have — the
+    /// invariant behind bit-identical replay.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Process one event. Returns `false` iff there was nothing to do —
+    /// no pending events and no stuck transactions. (When the calendar
+    /// drains while admitted transactions remain blocked, the engine
+    /// breaks the lock-wait cycle exactly as the batch loop does and
+    /// returns `true`.)
+    pub fn step(&mut self) -> bool {
+        let fired = match self.st.calendar.pop() {
+            Some(f) => f,
+            None => {
+                if self.st.active.is_empty() {
+                    return false;
+                }
+                // Wedged lock-wait cycle (possible under LSF, never
+                // under CCA — Theorem 1): same resolution as `drive`.
+                self.st.resolve_deadlock();
+                return true;
+            }
+        };
+        match fired.payload {
+            Event::Arrival(txn) => {
+                self.arrival_pending = false;
+                self.pump_arrival();
+                self.st.on_arrival(*txn);
+            }
+            Event::CpuDone(id) => self.st.on_cpu_done(id),
+            Event::IoDone(id) => self.st.on_io_done(id),
+            Event::IoRetry(id, token) => self.st.on_io_retry(id, token),
+        }
+        true
+    }
+
+    /// Take the completions recorded since the last drain, in
+    /// termination order.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.st
+            .completions
+            .replace(Vec::new())
+            .expect("StepEngine always installs a completion sink")
+    }
+
+    /// Terminated transactions so far (committed + rejected).
+    pub fn terminated(&self) -> u64 {
+        self.st.metrics.committed() + self.st.metrics.rejected()
+    }
+
+    /// Submitted transactions that have not yet reached a terminal
+    /// state (includes ones still queued behind a pending arrival).
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.terminated()
+    }
+
+    /// Finalize: fold the metrics into a [`RunSummary`] at the current
+    /// simulation time, exactly as the batch loop does at end of run.
+    pub fn finish(mut self) -> RunSummary {
+        self.st.finish_summary()
+    }
 }
 
 /// Run with full state validation after every event (slow; tests only).

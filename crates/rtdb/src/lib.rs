@@ -69,7 +69,7 @@ pub use disk::DiskDiscipline;
 pub use engine::{
     run_simulation, run_simulation_checked, run_simulation_from, run_simulation_from_mode,
     run_simulation_profiled, run_simulation_profiled_with_mode, run_simulation_traced,
-    run_simulation_validated, run_simulation_with_mode,
+    run_simulation_validated, run_simulation_with_mode, Completion, CompletionKind, StepEngine,
 };
 pub use error::{ConfigError, RunError};
 pub use metrics::{RunSummary, SchedStats};

@@ -1,0 +1,60 @@
+//! `rtx-serve` — an in-process serving front-end for the rtx engine.
+//!
+//! The batch crates answer "what would this policy have done over a
+//! fixed workload?"; this crate answers "what does it do while requests
+//! keep arriving?". It wraps the engine's incremental stepping API
+//! ([`rtx_rtdb::StepEngine`]) in:
+//!
+//! * [`server`] — a [`Server`] accepting [`TxnRequest`]s from concurrent
+//!   client threads through a bounded queue, scheduling with any
+//!   [`rtx_rtdb::Policy`], applying admission control at the front door,
+//!   and resolving each submission's [`Ticket`] with its outcome;
+//! * [`metrics`] — live windowed observability: streaming miss-ratio,
+//!   throughput and p50/p95/p99 latency, exported as JSON;
+//! * [`trace`] — the deterministic trading-day workload generator
+//!   (diurnal load, open/close bursts, hot-key skew) scaled to millions
+//!   of transactions.
+//!
+//! Two clock regimes, one code path: **virtual** serving replays a trace
+//! bit-identically to the batch simulator; **wall-clock** serving paces
+//! the same events against scaled real time. See `docs/SERVING.md` for
+//! the walkthrough and [`server`] for the semantics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rtx_core::Cca;
+//! use rtx_rtdb::SimConfig;
+//! use rtx_serve::{ServeConfig, Server, TraceSpec};
+//!
+//! let mut cfg = SimConfig::mm_base();
+//! cfg.workload.db_size = 10_000;
+//!
+//! let server = Server::start(
+//!     ServeConfig::virtual_mode(),
+//!     Arc::new(cfg),
+//!     Arc::new(Cca::base()),
+//! )
+//! .unwrap();
+//!
+//! for req in TraceSpec::trading_day(100, 42).stream() {
+//!     server.submit(req).unwrap();
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.summary.committed + report.summary.rejected, 100);
+//! assert!(report.metrics.p99_ms >= report.metrics.p50_ms);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod request;
+pub mod server;
+pub mod trace;
+
+pub use metrics::{LiveMetrics, MetricsSnapshot, WindowSnapshot};
+pub use request::{Outcome, TxnRequest};
+pub use server::{ClockMode, ServeConfig, ServeReport, Server, SubmitError, Ticket};
+pub use trace::{TraceSpec, TradingDayTrace};

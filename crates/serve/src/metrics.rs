@@ -1,0 +1,317 @@
+//! Live serving metrics: streaming miss-ratio, throughput and latency
+//! percentiles, sampled per window and exportable as JSON.
+//!
+//! The engine thread owns a [`LiveMetrics`] and publishes an immutable
+//! [`MetricsSnapshot`] after every completed window (and at shutdown);
+//! clients read the latest snapshot through
+//! [`crate::Server::metrics`] without touching the hot path.
+//!
+//! All latency figures are *wall* milliseconds under the server's clock —
+//! for virtual serving the clock is transparent, so they equal the
+//! simulated response times.
+//!
+//! # Examples
+//!
+//! Snapshots render as self-contained JSON:
+//!
+//! ```
+//! use rtx_serve::metrics::LiveMetrics;
+//!
+//! let mut m = LiveMetrics::new(1.0); // 1-second windows
+//! m.on_submit();
+//! m.on_commit(4.2, false, 0.3); // 4.2 ms response, met deadline
+//! let snap = m.snapshot(0.5, 0);
+//! assert_eq!(snap.committed, 1);
+//! assert!(snap.to_json().contains("\"p99_ms\""));
+//! ```
+
+use rtx_sim::Histogram;
+
+/// Tallies for one scope (cumulative or a single window).
+#[derive(Debug, Clone, Default)]
+struct Tally {
+    submitted: u64,
+    committed: u64,
+    rejected: u64,
+    missed: u64,
+}
+
+/// Streaming metrics accumulator for the serving loop.
+///
+/// Latencies go into two [`Histogram`]s (cumulative and per-window);
+/// quantiles are bucketed to 1% relative error, counts are exact.
+#[derive(Debug, Clone)]
+pub struct LiveMetrics {
+    window_secs: f64,
+    total: Tally,
+    total_hist: Histogram,
+    win: Tally,
+    win_hist: Histogram,
+    win_index: u64,
+    win_started: f64,
+    last_window: Option<WindowSnapshot>,
+}
+
+impl LiveMetrics {
+    /// A fresh accumulator sampling `window_secs`-long windows (wall
+    /// seconds under the server's clock).
+    ///
+    /// # Panics
+    /// Panics unless `window_secs` is positive.
+    pub fn new(window_secs: f64) -> Self {
+        assert!(window_secs > 0.0, "window must be positive");
+        LiveMetrics {
+            window_secs,
+            total: Tally::default(),
+            total_hist: Histogram::for_latency_ms(),
+            win: Tally::default(),
+            win_hist: Histogram::for_latency_ms(),
+            win_index: 0,
+            win_started: 0.0,
+            last_window: None,
+        }
+    }
+
+    /// Record a submission entering the queue.
+    pub fn on_submit(&mut self) {
+        self.total.submitted += 1;
+        self.win.submitted += 1;
+    }
+
+    /// Record a commit with its response time (wall ms) and whether the
+    /// deadline was missed; `elapsed_secs` drives window rolling.
+    pub fn on_commit(&mut self, response_wall_ms: f64, missed: bool, elapsed_secs: f64) {
+        self.total.committed += 1;
+        self.win.committed += 1;
+        if missed {
+            self.total.missed += 1;
+            self.win.missed += 1;
+        }
+        self.total_hist.record(response_wall_ms);
+        self.win_hist.record(response_wall_ms);
+        self.maybe_roll(elapsed_secs);
+    }
+
+    /// Record an admission-control rejection.
+    pub fn on_reject(&mut self, elapsed_secs: f64) {
+        self.total.rejected += 1;
+        self.win.rejected += 1;
+        self.maybe_roll(elapsed_secs);
+    }
+
+    /// Close the current window if `elapsed_secs` has passed its end.
+    /// Returns `true` when a window was closed (a good moment for the
+    /// server to publish a fresh snapshot).
+    pub fn maybe_roll(&mut self, elapsed_secs: f64) -> bool {
+        if elapsed_secs - self.win_started < self.window_secs {
+            return false;
+        }
+        let span = (elapsed_secs - self.win_started).max(1e-9);
+        self.last_window = Some(WindowSnapshot {
+            index: self.win_index,
+            throughput_tps: (self.win.committed + self.win.rejected) as f64 / span,
+            miss_percent: percent(self.win.missed, self.win.committed),
+            p50_ms: self.win_hist.quantile(0.50),
+            p95_ms: self.win_hist.quantile(0.95),
+            p99_ms: self.win_hist.quantile(0.99),
+        });
+        self.win = Tally::default();
+        self.win_hist = Histogram::for_latency_ms();
+        self.win_index += 1;
+        self.win_started = elapsed_secs;
+        true
+    }
+
+    /// An immutable snapshot of everything seen so far. `in_flight` is
+    /// supplied by the server (the accumulator cannot derive it: queued
+    /// submissions have been counted but not resolved).
+    pub fn snapshot(&self, elapsed_secs: f64, in_flight: u64) -> MetricsSnapshot {
+        let done = self.total.committed + self.total.rejected;
+        MetricsSnapshot {
+            elapsed_secs,
+            submitted: self.total.submitted,
+            committed: self.total.committed,
+            rejected: self.total.rejected,
+            missed: self.total.missed,
+            in_flight,
+            throughput_tps: if elapsed_secs > 0.0 {
+                done as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            miss_percent: percent(self.total.missed, self.total.committed),
+            mean_ms: self.total_hist.mean(),
+            p50_ms: self.total_hist.quantile(0.50),
+            p95_ms: self.total_hist.quantile(0.95),
+            p99_ms: self.total_hist.quantile(0.99),
+            max_ms: self.total_hist.max(),
+            window: self.last_window.clone(),
+        }
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// One completed sampling window, as published to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// 0-based window ordinal.
+    pub index: u64,
+    /// Terminations (commits + rejections) per wall second within the
+    /// window.
+    pub throughput_tps: f64,
+    /// Deadline misses as a percentage of the window's commits.
+    pub miss_percent: f64,
+    /// Median response, wall ms.
+    pub p50_ms: f64,
+    /// 95th-percentile response, wall ms.
+    pub p95_ms: f64,
+    /// 99th-percentile response, wall ms.
+    pub p99_ms: f64,
+}
+
+/// Cumulative serving metrics at one instant, plus the last completed
+/// window. Everything a dashboard needs; see `docs/SERVING.md` for the
+/// field reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall seconds since the server started (virtual serving: sim
+    /// seconds, since the clock is transparent there).
+    pub elapsed_secs: f64,
+    /// Requests that entered the submission queue.
+    pub submitted: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions rejected by admission control.
+    pub rejected: u64,
+    /// Commits that happened after their deadline.
+    pub missed: u64,
+    /// Submitted but not yet terminated.
+    pub in_flight: u64,
+    /// Terminations per wall second since start.
+    pub throughput_tps: f64,
+    /// `missed / committed`, as a percentage.
+    pub miss_percent: f64,
+    /// Mean response, wall ms (exact).
+    pub mean_ms: f64,
+    /// Median response, wall ms (±1% bucketing).
+    pub p50_ms: f64,
+    /// 95th-percentile response, wall ms (±1% bucketing).
+    pub p95_ms: f64,
+    /// 99th-percentile response, wall ms (±1% bucketing).
+    pub p99_ms: f64,
+    /// Largest response seen, wall ms (exact).
+    pub max_ms: f64,
+    /// The last completed sampling window, if any.
+    pub window: Option<WindowSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Render as a self-contained JSON object (no external dependencies;
+    /// all numbers finite).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!("\"elapsed_secs\":{:.3},", self.elapsed_secs));
+        s.push_str(&format!("\"submitted\":{},", self.submitted));
+        s.push_str(&format!("\"committed\":{},", self.committed));
+        s.push_str(&format!("\"rejected\":{},", self.rejected));
+        s.push_str(&format!("\"missed\":{},", self.missed));
+        s.push_str(&format!("\"in_flight\":{},", self.in_flight));
+        s.push_str(&format!("\"throughput_tps\":{:.3},", self.throughput_tps));
+        s.push_str(&format!("\"miss_percent\":{:.4},", self.miss_percent));
+        s.push_str(&format!("\"mean_ms\":{:.4},", self.mean_ms));
+        s.push_str(&format!("\"p50_ms\":{:.4},", self.p50_ms));
+        s.push_str(&format!("\"p95_ms\":{:.4},", self.p95_ms));
+        s.push_str(&format!("\"p99_ms\":{:.4},", self.p99_ms));
+        s.push_str(&format!("\"max_ms\":{:.4},", self.max_ms));
+        match &self.window {
+            Some(w) => s.push_str(&format!(
+                "\"window\":{{\"index\":{},\"throughput_tps\":{:.3},\"miss_percent\":{:.4},\
+                 \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}",
+                w.index, w.throughput_tps, w.miss_percent, w.p50_ms, w.p95_ms, w.p99_ms
+            )),
+            None => s.push_str("\"window\":null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_roll_and_totals_accumulate() {
+        let mut m = LiveMetrics::new(1.0);
+        for i in 0..10 {
+            m.on_submit();
+            m.on_commit(1.0 + i as f64, i % 2 == 0, 0.5);
+        }
+        assert!(m.last_window.is_none(), "first window still open");
+        assert!(m.maybe_roll(1.2), "window closes once elapsed passes it");
+        let w = m.last_window.clone().unwrap();
+        assert_eq!(w.index, 0);
+        assert!((w.throughput_tps - 10.0 / 1.2).abs() < 1e-9);
+        assert!((w.miss_percent - 50.0).abs() < 1e-9);
+
+        m.on_submit();
+        m.on_commit(100.0, false, 1.5);
+        let snap = m.snapshot(1.5, 0);
+        assert_eq!(snap.submitted, 11);
+        assert_eq!(snap.committed, 11);
+        assert_eq!(snap.missed, 5);
+        assert_eq!(snap.window.as_ref().unwrap().index, 0, "window 1 open");
+        assert!(snap.max_ms >= 100.0);
+    }
+
+    #[test]
+    fn rejections_counted_separately() {
+        let mut m = LiveMetrics::new(10.0);
+        m.on_submit();
+        m.on_reject(0.1);
+        let s = m.snapshot(0.1, 0);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.committed, 0);
+        assert_eq!(s.miss_percent, 0.0, "no commits, no miss ratio");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut m = LiveMetrics::new(0.5);
+        m.on_submit();
+        m.on_commit(2.0, true, 0.6);
+        m.maybe_roll(0.7);
+        let json = m.snapshot(0.7, 3).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "elapsed_secs",
+            "submitted",
+            "committed",
+            "rejected",
+            "missed",
+            "in_flight",
+            "throughput_tps",
+            "miss_percent",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+            "window",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
+        assert!(json.contains("\"in_flight\":3"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

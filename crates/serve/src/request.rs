@@ -1,0 +1,107 @@
+//! Client-facing transaction requests and terminal outcomes.
+
+use rtx_preanalysis::{DataSet, ItemId, TypeId};
+use rtx_rtdb::{Completion, CompletionKind, Stage, Transaction, TxnId, TxnState};
+use rtx_sim::{SimDuration, SimTime};
+
+/// What a client asks the server to run: the transaction's shape, not
+/// its engine-internal state.
+///
+/// The server turns a request into a full [`Transaction`] at submission
+/// time, assigning the dense id and the arrival stamp (wall-clock mode
+/// stamps "now"; virtual mode honours [`TxnRequest::arrival`]). The
+/// deadline follows the paper's assignment:
+/// `deadline = arrival + resource_time × (1 + slack)`.
+#[derive(Debug, Clone)]
+pub struct TxnRequest {
+    /// Transaction type (indexes the pre-analysis tables; free-form for
+    /// ad-hoc workloads).
+    pub ty: TypeId,
+    /// The records this transaction updates (write-locks, in order).
+    pub items: Vec<ItemId>,
+    /// CPU time per record update.
+    pub update_time: SimDuration,
+    /// Slack factor for the deadline assignment.
+    pub slack: f64,
+    /// Requested arrival stamp. Virtual-clock serving uses it verbatim
+    /// (it is the replayed trace's arrival time); wall-clock serving
+    /// ignores it and stamps real time.
+    pub arrival: SimTime,
+}
+
+impl TxnRequest {
+    /// Total CPU demand: one update burst per item.
+    pub fn resource_time(&self) -> SimDuration {
+        self.update_time * self.items.len() as u64
+    }
+
+    /// The absolute deadline this request would get if it arrived at
+    /// `arrival`.
+    pub fn deadline_from(&self, arrival: SimTime) -> SimTime {
+        arrival + self.resource_time().scale(1.0 + self.slack)
+    }
+
+    /// Materialize the engine-side [`Transaction`], exactly as the batch
+    /// workload generator would build it. The serving bit-identity test
+    /// leans on this: replaying a trace through the server and through
+    /// [`rtx_rtdb::run_simulation_from`] constructs identical values.
+    pub fn into_transaction(self, id: TxnId, arrival: SimTime) -> Transaction {
+        let deadline = self.deadline_from(arrival);
+        let resource_time = self.resource_time();
+        Transaction {
+            id,
+            ty: self.ty,
+            arrival,
+            deadline,
+            resource_time,
+            might_access: self.items.iter().copied().collect(),
+            items: self.items,
+            io_pattern: vec![],
+            modes: Vec::new(),
+            update_time: self.update_time,
+            state: TxnState::Ready,
+            progress: 0,
+            stage: Stage::Lock,
+            cpu_left: SimDuration::ZERO,
+            burst_start: SimTime::ZERO,
+            accessed: DataSet::new(),
+            written: DataSet::new(),
+            service: SimDuration::ZERO,
+            restarts: 0,
+            waiting_for: None,
+            decision: None,
+            criticality: 0,
+            doomed: false,
+            doomed_at: SimTime::ZERO,
+            io_retries: 0,
+            retry_token: 0,
+            finish: None,
+        }
+    }
+}
+
+/// The terminal outcome a [`crate::Ticket`] resolves to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// The engine-side completion record (sim-time stamps).
+    pub completion: Completion,
+    /// Response time converted to wall milliseconds under the server's
+    /// clock (identical to the sim response for virtual serving).
+    pub response_wall_ms: f64,
+}
+
+impl Outcome {
+    /// True iff the transaction committed (was not rejected at
+    /// admission).
+    pub fn accepted(&self) -> bool {
+        matches!(self.completion.kind, CompletionKind::Committed { .. })
+    }
+
+    /// True iff it committed past its deadline.
+    pub fn missed(&self) -> bool {
+        matches!(
+            self.completion.kind,
+            CompletionKind::Committed { missed: true }
+        )
+    }
+}

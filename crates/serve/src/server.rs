@@ -1,0 +1,515 @@
+//! The in-process transaction server: concurrent submitters, a bounded
+//! queue, one engine thread.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client threads ──submit()──▶ bounded queue ──▶ engine thread
+//!       ▲                                          │  StepEngine
+//!       └────────── Ticket::wait() ◀── outcomes ◀──┘  + LiveMetrics
+//! ```
+//!
+//! A [`Server`] owns one engine thread that drives a
+//! [`rtx_rtdb::StepEngine`] — the exact event machinery of the batch
+//! simulator, stepped incrementally. Any number of client threads submit
+//! [`TxnRequest`]s through a bounded queue; each submission returns a
+//! [`Ticket`] that resolves to the transaction's terminal [`Outcome`]
+//! (committed, with deadline met or missed, or rejected by admission
+//! control — the same front-door feasibility test batch runs use).
+//!
+//! # Clock modes
+//!
+//! * **Virtual** ([`ClockMode::Virtual`]): deterministic replay. Arrival
+//!   stamps come from the requests; the engine processes an arrival only
+//!   once its successor is queued (or the stream is closed), which pins
+//!   the event-sequence order to the batch simulator's — same trace in,
+//!   bit-identical [`RunSummary`] out.
+//! * **Wall** ([`ClockMode::Wall`]): live serving. Arrivals are stamped
+//!   with scaled real time, events fire only once the wall clock reaches
+//!   them, and latency percentiles are reported in real milliseconds.
+//!   Throughput and timing are machine-dependent — benchmarked, never
+//!   byte-gated.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rtx_rtdb::{CompletionKind, Policy, RunError, RunSummary, SimConfig, StepEngine};
+use rtx_sim::{Clock, SimTime};
+
+use crate::metrics::{LiveMetrics, MetricsSnapshot};
+use crate::request::{Outcome, TxnRequest};
+
+/// Which time regime the server runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Deterministic replay: request arrival stamps are honoured
+    /// verbatim and the run is bit-identical to the batch simulator.
+    Virtual,
+    /// Live serving against real time, scaled: `scale` sim microseconds
+    /// pass per wall microsecond (`1.0` = real time).
+    Wall {
+        /// Sim microseconds per wall microsecond (`> 0`).
+        scale: f64,
+    },
+}
+
+/// Serving-layer knobs (the engine's own knobs live in [`SimConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Time regime.
+    pub clock: ClockMode,
+    /// Bounded submission-queue capacity; [`Server::submit`] blocks when
+    /// it is full (back-pressure), [`Server::try_submit`] returns the
+    /// request back.
+    pub queue_capacity: usize,
+    /// Metrics sampling-window length in wall seconds (sim seconds for
+    /// virtual serving).
+    pub window_secs: f64,
+    /// Wall-mode intake throttle: the engine stops draining the
+    /// submission queue while it already holds this many unterminated
+    /// transactions, so a sustained overload fills the bounded queue and
+    /// blocks submitters (real back-pressure) instead of piling an
+    /// unbounded active set into the scheduler. Arrivals held at the
+    /// door are stamped when they actually enter. Virtual serving
+    /// ignores it — the deterministic replay gate already paces intake.
+    pub max_in_engine: usize,
+}
+
+impl ServeConfig {
+    /// Deterministic virtual-clock serving; 1-second windows, 1024-deep
+    /// queue.
+    pub fn virtual_mode() -> Self {
+        ServeConfig {
+            clock: ClockMode::Virtual,
+            queue_capacity: 1024,
+            window_secs: 1.0,
+            max_in_engine: usize::MAX,
+        }
+    }
+
+    /// Wall-clock serving at `scale` sim microseconds per wall
+    /// microsecond; 1-second windows, 1024-deep queue, engine population
+    /// capped at 1024.
+    pub fn wall(scale: f64) -> Self {
+        ServeConfig {
+            clock: ClockMode::Wall { scale },
+            queue_capacity: 1024,
+            window_secs: 1.0,
+            max_in_engine: 1024,
+        }
+    }
+}
+
+/// Why a submission was not accepted into the queue.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity (only [`Server::try_submit`] reports
+    /// this; [`Server::submit`] blocks instead). The request is handed
+    /// back.
+    Full(TxnRequest),
+    /// The server is shutting down; no further submissions are accepted.
+    /// The request is handed back.
+    Closed(TxnRequest),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "submission queue full"),
+            SubmitError::Closed(_) => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A handle to one submitted request; resolves to its terminal
+/// [`Outcome`] when the engine commits or rejects the transaction.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the transaction terminates and return its outcome.
+    pub fn wait(&self) -> Outcome {
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+        slot.unwrap()
+    }
+
+    /// The outcome, if the transaction has already terminated.
+    pub fn try_get(&self) -> Option<Outcome> {
+        *self.state.slot.lock().unwrap()
+    }
+}
+
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<(TxnRequest, Arc<TicketState>)>,
+    closed: bool,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    /// Signalled on submit/close; the engine thread waits here when idle.
+    work_cv: Condvar,
+    /// Signalled when the engine drains the queue; blocked submitters
+    /// wait here.
+    space_cv: Condvar,
+    capacity: usize,
+    latest: Mutex<MetricsSnapshot>,
+}
+
+/// Everything a finished serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The engine's batch-style summary — for virtual replay, bit-equal
+    /// to what [`rtx_rtdb::run_simulation_from`] returns on the same
+    /// trace.
+    pub summary: RunSummary,
+    /// The final cumulative metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// An in-process transaction server. See the [module docs](self) for the
+/// architecture and clock-mode semantics.
+pub struct Server {
+    shared: Arc<Shared>,
+    engine: Option<JoinHandle<(RunSummary, MetricsSnapshot)>>,
+}
+
+impl Server {
+    /// Start a server: spawns the engine thread and returns immediately.
+    ///
+    /// The engine runs `policy` over the resource model in `cfg` (with
+    /// `cfg.system.admission` applied at the front door, when set);
+    /// `cfg.run.num_transactions` is ignored — the run ends at
+    /// [`Server::shutdown`].
+    ///
+    /// # Errors
+    /// Returns `cfg`'s validation error, if any, without spawning.
+    pub fn start(
+        serve: ServeConfig,
+        cfg: Arc<SimConfig>,
+        policy: Arc<dyn Policy + Send + Sync>,
+    ) -> Result<Server, RunError> {
+        cfg.validate().map_err(RunError::from)?;
+        assert!(serve.queue_capacity > 0, "queue capacity must be positive");
+        assert!(serve.max_in_engine > 0, "engine cap must be positive");
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity: serve.queue_capacity,
+            latest: Mutex::new(LiveMetrics::new(serve.window_secs).snapshot(0.0, 0)),
+        });
+        let engine = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rtx-serve-engine".into())
+                .spawn(move || engine_main(shared, cfg, policy, serve))
+                .expect("spawn engine thread")
+        };
+        Ok(Server {
+            shared,
+            engine: Some(engine),
+        })
+    }
+
+    /// Submit a request, blocking while the queue is full
+    /// (back-pressure). Returns a [`Ticket`] that resolves when the
+    /// transaction terminates.
+    ///
+    /// # Errors
+    /// [`SubmitError::Closed`] once shutdown has begun (the request is
+    /// handed back; it was not enqueued).
+    ///
+    /// # Examples
+    ///
+    /// Serve a two-transaction trace deterministically and wait for the
+    /// outcomes:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use rtx_core::Cca;
+    /// use rtx_preanalysis::{ItemId, TypeId};
+    /// use rtx_rtdb::SimConfig;
+    /// use rtx_serve::{ServeConfig, Server, TxnRequest};
+    /// use rtx_sim::{SimDuration, SimTime};
+    ///
+    /// let server = Server::start(
+    ///     ServeConfig::virtual_mode(),
+    ///     Arc::new(SimConfig::mm_base()),
+    ///     Arc::new(Cca::base()),
+    /// )
+    /// .unwrap();
+    ///
+    /// let tickets: Vec<_> = (0..2)
+    ///     .map(|i| {
+    ///         server
+    ///             .submit(TxnRequest {
+    ///                 ty: TypeId(0),
+    ///                 items: vec![ItemId(i), ItemId(i + 10)],
+    ///                 update_time: SimDuration::from_ms(2.0),
+    ///                 slack: 2.0,
+    ///                 arrival: SimTime::from_ms(10.0 * f64::from(i)),
+    ///             })
+    ///             .unwrap()
+    ///     })
+    ///     .collect();
+    ///
+    /// let report = server.shutdown();
+    /// assert!(tickets.iter().all(|t| t.wait().accepted()));
+    /// assert_eq!(report.summary.committed, 2);
+    /// ```
+    pub fn submit(&self, req: TxnRequest) -> Result<Ticket, SubmitError> {
+        let mut q = self.shared.q.lock().unwrap();
+        while !q.closed && q.pending.len() >= self.shared.capacity {
+            q = self.shared.space_cv.wait(q).unwrap();
+        }
+        self.enqueue(q, req)
+    }
+
+    /// Submit without blocking.
+    ///
+    /// # Errors
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] once shutdown has begun; either way the
+    /// request is handed back unenqueued.
+    pub fn try_submit(&self, req: TxnRequest) -> Result<Ticket, SubmitError> {
+        let q = self.shared.q.lock().unwrap();
+        if !q.closed && q.pending.len() >= self.shared.capacity {
+            return Err(SubmitError::Full(req));
+        }
+        self.enqueue(q, req)
+    }
+
+    fn enqueue(
+        &self,
+        mut q: std::sync::MutexGuard<'_, QueueState>,
+        req: TxnRequest,
+    ) -> Result<Ticket, SubmitError> {
+        if q.closed {
+            return Err(SubmitError::Closed(req));
+        }
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        q.pending.push_back((req, Arc::clone(&state)));
+        drop(q);
+        self.shared.work_cv.notify_all();
+        Ok(Ticket { state })
+    }
+
+    /// The latest published metrics snapshot (refreshed by the engine
+    /// thread as it works; cheap to call from any thread).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.latest.lock().unwrap().clone()
+    }
+
+    /// Graceful shutdown: close the queue to new submissions, let the
+    /// engine drain every queued and in-flight transaction to a terminal
+    /// state (flat-out — the drain does not wait for the wall clock),
+    /// and return the final report. All outstanding [`Ticket`]s are
+    /// resolved before this returns.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.close();
+        let (summary, metrics) = self
+            .engine
+            .take()
+            .expect("engine joined once")
+            .join()
+            .expect("engine thread panicked");
+        ServeReport { summary, metrics }
+    }
+
+    fn close(&self) {
+        let mut q = self.shared.q.lock().unwrap();
+        q.closed = true;
+        drop(q);
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+    }
+}
+
+impl Drop for Server {
+    /// Dropping without [`Server::shutdown`] still drains gracefully
+    /// (the report is discarded).
+    fn drop(&mut self) {
+        if let Some(h) = self.engine.take() {
+            self.close();
+            let _ = h.join();
+        }
+    }
+}
+
+/// Seconds elapsed under the serving clock: real seconds for wall mode,
+/// simulated seconds for virtual mode.
+fn elapsed_secs(clock: &Clock, now: SimTime) -> f64 {
+    if clock.is_virtual() {
+        now.since(SimTime::ZERO).as_secs()
+    } else {
+        clock.elapsed_wall_secs()
+    }
+}
+
+/// Max calendar events processed per outer-loop turn, so queue draining,
+/// ticket resolution and metrics publication stay responsive under load.
+const EVENT_BURST: u32 = 4096;
+
+fn engine_main(
+    shared: Arc<Shared>,
+    cfg: Arc<SimConfig>,
+    policy: Arc<dyn Policy + Send + Sync>,
+    serve: ServeConfig,
+) -> (RunSummary, MetricsSnapshot) {
+    let clock = match serve.clock {
+        ClockMode::Virtual => Clock::virtual_clock(),
+        ClockMode::Wall { scale } => Clock::wall(scale),
+    };
+    let mut eng = StepEngine::new(&cfg, &*policy).expect("config validated in Server::start");
+    let mut tickets: HashMap<u32, Arc<TicketState>> = HashMap::new();
+    let mut metrics = LiveMetrics::new(serve.window_secs);
+    let mut last_arrival = SimTime::ZERO;
+
+    loop {
+        // 1. Drain the submission queue into the engine, stamping
+        //    arrivals. Virtual mode honours the requested stamps (the
+        //    non-decreasing clamp is a no-op on a well-formed trace);
+        //    wall mode stamps scaled real time and throttles intake to
+        //    `max_in_engine` unterminated transactions — the overflow
+        //    stays in the bounded queue, where it blocks submitters.
+        let room = if clock.is_virtual() {
+            usize::MAX
+        } else {
+            serve.max_in_engine.saturating_sub(eng.in_flight() as usize)
+        };
+        let (batch, closed, throttled) = {
+            let mut q = shared.q.lock().unwrap();
+            let take = q.pending.len().min(room);
+            let batch: Vec<_> = q.pending.drain(..take).collect();
+            (batch, q.closed, !q.pending.is_empty())
+        };
+        if !batch.is_empty() {
+            shared.space_cv.notify_all();
+        }
+        for (req, state) in batch {
+            let id = eng.next_txn_id();
+            let arrival = if clock.is_virtual() {
+                req.arrival.max(eng.now()).max(last_arrival)
+            } else {
+                clock.now(eng.now()).max(last_arrival)
+            };
+            last_arrival = arrival;
+            tickets.insert(id.0, state);
+            metrics.on_submit();
+            eng.submit(req.into_transaction(id, arrival));
+        }
+
+        // 2. Process due events. The virtual-mode gate (successor queued
+        //    or stream closed) is what makes replay bit-identical — see
+        //    StepEngine::queued.
+        let mut processed = 0u32;
+        while processed < EVENT_BURST {
+            if clock.is_virtual() && eng.queued() == 0 && !closed {
+                break;
+            }
+            match eng.next_event_time() {
+                // Once the stream is closed we drain flat-out: waiting for
+                // the wall clock would only delay shutdown.
+                Some(t) if closed || clock.due(t) => {
+                    eng.step();
+                    processed += 1;
+                }
+                Some(_) => break, // wall clock hasn't caught up yet
+                None => {
+                    // Calendar empty: either wedged lock-waiters (step
+                    // resolves, as the batch loop would) or nothing at
+                    // all to do.
+                    if !eng.step() {
+                        break;
+                    }
+                    processed += 1;
+                }
+            }
+        }
+
+        // 3. Resolve tickets and feed the live metrics.
+        let now = eng.now();
+        let elapsed = elapsed_secs(&clock, now);
+        for c in eng.drain_completions() {
+            let wall_ms = clock.to_wall_ms(c.response());
+            match c.kind {
+                CompletionKind::Committed { missed } => metrics.on_commit(wall_ms, missed, elapsed),
+                CompletionKind::Rejected => metrics.on_reject(elapsed),
+            }
+            if let Some(state) = tickets.remove(&c.id.0) {
+                *state.slot.lock().unwrap() = Some(Outcome {
+                    completion: c,
+                    response_wall_ms: wall_ms,
+                });
+                state.cv.notify_all();
+            }
+        }
+        metrics.maybe_roll(elapsed);
+        *shared.latest.lock().unwrap() = metrics.snapshot(elapsed, eng.in_flight());
+
+        // 4. Done? (Queue emptiness is re-checked under the lock in the
+        //    wait below; anything enqueued before `closed` was set is
+        //    still drained first.)
+        if closed && eng.in_flight() == 0 {
+            let q = shared.q.lock().unwrap();
+            if q.pending.is_empty() {
+                break;
+            }
+            continue;
+        }
+
+        // 5. Idle? Wait for submissions / close / the wall clock. A
+        //    throttled intake also waits here: the pending requests it
+        //    left queued cannot enter until an event terminates
+        //    something, so only the clock can make progress.
+        if processed == 0 {
+            let wait = eng.next_event_time().and_then(|t| clock.wall_wait(t));
+            let q = shared.q.lock().unwrap();
+            if (q.pending.is_empty() || throttled) && !q.closed {
+                match wait {
+                    // Wall clock: sleep until the next event is due (capped
+                    // so queue wake-ups are never missed for long).
+                    Some(d) if d > Duration::ZERO => {
+                        let cap = d.min(Duration::from_millis(100));
+                        let _ = shared.work_cv.wait_timeout(q, cap).unwrap();
+                    }
+                    // Due now (raced the clock) — loop again.
+                    Some(_) => {}
+                    // Virtual clock (or empty calendar): only new work or
+                    // close can unblock us.
+                    None => {
+                        drop(shared.work_cv.wait(q).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    let final_snapshot = {
+        let now = eng.now();
+        metrics.snapshot(elapsed_secs(&clock, now), 0)
+    };
+    *shared.latest.lock().unwrap() = final_snapshot.clone();
+    (eng.finish(), final_snapshot)
+}

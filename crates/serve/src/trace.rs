@@ -1,0 +1,338 @@
+//! The trading-day trace generator: `examples/trading_day.rs` scaled to
+//! millions of transactions.
+//!
+//! Produces a deterministic, *streaming* sequence of [`TxnRequest`]s (a
+//! million-transaction trace never materializes as a `Vec`) with the
+//! stylized facts of an exchange's day:
+//!
+//! * **diurnal load** — a nonhomogeneous Poisson arrival process whose
+//!   rate opens at a multiple of baseline (the opening auction), sags
+//!   through a midday lull, and ramps back up into the close, generated
+//!   by thinning;
+//! * **hot-key skew** — a fraction of transactions touch only a small
+//!   hot set of instruments, concentrating data contention;
+//! * **class mix** — the example's three classes (quote updates, order
+//!   matches, portfolio rebalances) with their update counts, CPU
+//!   demands and slack ranges.
+//!
+//! Determinism: every random decision draws from an independently
+//! labelled [`StreamSeeder`] stream, so a `(spec, seed)` pair names one
+//! exact trace on every platform — the property the serving bit-identity
+//! test and the committed `serve-vt` sweep rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtx_serve::trace::TraceSpec;
+//!
+//! let spec = TraceSpec::trading_day(1000, 7);
+//! let a: Vec<_> = spec.clone().stream().map(|r| r.arrival).collect();
+//! let b: Vec<_> = spec.stream().map(|r| r.arrival).collect();
+//! assert_eq!(a, b, "same spec + seed, same trace");
+//! assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals non-decreasing");
+//! ```
+
+use rtx_preanalysis::{ItemId, TypeId};
+use rtx_sim::dist::{bernoulli, exponential, sample_distinct, uniform_range, uniform_unit};
+use rtx_sim::rng::{StreamSeeder, Xoshiro256};
+use rtx_sim::{SimDuration, SimTime};
+
+use crate::request::TxnRequest;
+
+/// One transaction class of the trading mix.
+struct Class {
+    updates: usize,
+    update_ms: f64,
+    slack: (f64, f64),
+    share: f64,
+}
+
+/// The example's mix: 60% quotes / 30% matches / 10% rebalances.
+const CLASSES: [Class; 3] = [
+    Class {
+        updates: 2,
+        update_ms: 1.0,
+        slack: (0.5, 2.0),
+        share: 0.6,
+    }, // quote update
+    Class {
+        updates: 8,
+        update_ms: 2.0,
+        slack: (1.0, 4.0),
+        share: 0.3,
+    }, // order match
+    Class {
+        updates: 25,
+        update_ms: 4.0,
+        slack: (3.0, 10.0),
+        share: 0.1,
+    }, // portfolio rebalance
+];
+
+/// Load multiplier at the open (and, mirrored, at the close).
+const BURST_MULT: f64 = 4.0;
+/// Fraction of the day the open/close bursts each span (30 min of 6.5 h).
+const BURST_FRAC: f64 = 30.0 / 390.0;
+/// Load multiplier at the bottom of the midday lull.
+const LULL_MULT: f64 = 0.6;
+
+/// Parameters naming one deterministic trading-day trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Total transactions to emit.
+    pub txns: usize,
+    /// Instrument-table size (records).
+    pub db_size: u64,
+    /// Size of the hot set (records `0..hot_keys`).
+    pub hot_keys: u64,
+    /// Probability a transaction touches only hot keys.
+    pub hot_prob: f64,
+    /// Simulated length of the trading day, seconds (shapes the diurnal
+    /// profile; arrivals continue at baseline past it if `txns` haven't
+    /// been exhausted).
+    pub day_secs: f64,
+    /// Master seed; independent labelled streams are derived from it.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// The standard preset: a 6.5-hour trading day over a 10 000-record
+    /// instrument table with a 100-record hot set touched by 25% of
+    /// transactions, calibrated so roughly `txns` arrivals span the day.
+    pub fn trading_day(txns: usize, seed: u64) -> Self {
+        TraceSpec {
+            txns,
+            db_size: 10_000,
+            hot_keys: 100,
+            hot_prob: 0.25,
+            day_secs: 6.5 * 3600.0,
+            seed,
+        }
+    }
+
+    /// The baseline (midday, multiplier-1) arrival rate implied by
+    /// fitting `txns` arrivals into the day under the diurnal profile.
+    pub fn base_rate_tps(&self) -> f64 {
+        // Trapezoid-integrate the profile once; deterministic.
+        let steps = 10_000;
+        let mut area = 0.0;
+        for i in 0..steps {
+            let a = profile(i as f64 / steps as f64);
+            let b = profile((i + 1) as f64 / steps as f64);
+            area += 0.5 * (a + b) / steps as f64;
+        }
+        self.txns as f64 / (self.day_secs * area)
+    }
+
+    /// The streaming request iterator for this spec.
+    ///
+    /// # Panics
+    /// Panics if the spec is degenerate (no transactions, a day of zero
+    /// length, a hot set at least as large as the table, or a cold set
+    /// too small for the largest transaction class).
+    pub fn stream(self) -> TradingDayTrace {
+        assert!(self.txns > 0, "empty trace");
+        assert!(self.day_secs > 0.0, "day must have positive length");
+        assert!(
+            self.hot_keys < self.db_size,
+            "hot set must leave cold records"
+        );
+        let largest = CLASSES.iter().map(|c| c.updates).max().unwrap() as u64;
+        assert!(
+            self.hot_keys >= largest && self.db_size - self.hot_keys >= largest,
+            "both key ranges must fit the largest class ({largest} updates)"
+        );
+        let seeder = StreamSeeder::new(self.seed);
+        let base_rate = self.base_rate_tps();
+        TradingDayTrace {
+            arr: seeder.stream("serve-arrivals"),
+            accept: seeder.stream("serve-thinning"),
+            class: seeder.stream("serve-class"),
+            items: seeder.stream("serve-items"),
+            slack: seeder.stream("serve-slack"),
+            hot: seeder.stream("serve-hot"),
+            clock: SimTime::ZERO,
+            emitted: 0,
+            base_rate,
+            spec: self,
+        }
+    }
+}
+
+/// Diurnal load multiplier at day-fraction `f` (clamped to `[0, 1]`):
+/// linear open burst decay, midday lull, close ramp.
+fn profile(f: f64) -> f64 {
+    let f = f.clamp(0.0, 1.0);
+    if f < BURST_FRAC {
+        // Opening auction: BURST_MULT decaying linearly to baseline.
+        BURST_MULT + (1.0 - BURST_MULT) * (f / BURST_FRAC)
+    } else if f > 1.0 - BURST_FRAC {
+        // Closing auction: baseline ramping up to BURST_MULT.
+        1.0 + (BURST_MULT - 1.0) * ((f - (1.0 - BURST_FRAC)) / BURST_FRAC)
+    } else if (0.35..=0.65).contains(&f) {
+        // Midday lull: triangular dip to LULL_MULT at mid-day.
+        let d = 1.0 - (f - 0.5).abs() / 0.15;
+        1.0 + (LULL_MULT - 1.0) * d
+    } else {
+        1.0
+    }
+}
+
+/// The streaming iterator over a [`TraceSpec`]'s requests.
+pub struct TradingDayTrace {
+    spec: TraceSpec,
+    arr: Xoshiro256,
+    accept: Xoshiro256,
+    class: Xoshiro256,
+    items: Xoshiro256,
+    slack: Xoshiro256,
+    hot: Xoshiro256,
+    clock: SimTime,
+    emitted: usize,
+    base_rate: f64,
+}
+
+impl TradingDayTrace {
+    /// Transactions emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+impl Iterator for TradingDayTrace {
+    type Item = TxnRequest;
+
+    fn next(&mut self) -> Option<TxnRequest> {
+        if self.emitted >= self.spec.txns {
+            return None;
+        }
+        // Nonhomogeneous Poisson by thinning: candidates at the peak
+        // rate, accepted with probability profile/peak.
+        loop {
+            let dt = exponential(&mut self.arr, 1.0 / (self.base_rate * BURST_MULT));
+            self.clock += SimDuration::from_secs(dt);
+            let f = self.clock.since(SimTime::ZERO).as_secs() / self.spec.day_secs;
+            if uniform_unit(&mut self.accept) * BURST_MULT <= profile(f) {
+                break;
+            }
+        }
+        // Class by share.
+        let u = uniform_unit(&mut self.class);
+        let mut acc = 0.0;
+        let mut ty = 0usize;
+        for (i, c) in CLASSES.iter().enumerate() {
+            acc += c.share;
+            if u < acc {
+                ty = i;
+                break;
+            }
+        }
+        let cls = &CLASSES[ty];
+        // Hot transactions draw all items from the hot set; cold ones
+        // from the disjoint cold range.
+        let (lo, n) = if bernoulli(&mut self.hot, self.spec.hot_prob) {
+            (0, self.spec.hot_keys)
+        } else {
+            (self.spec.hot_keys, self.spec.db_size - self.spec.hot_keys)
+        };
+        let items: Vec<ItemId> = sample_distinct(&mut self.items, n, cls.updates)
+            .into_iter()
+            .map(|x| ItemId((lo + x) as u32))
+            .collect();
+        self.emitted += 1;
+        Some(TxnRequest {
+            ty: TypeId(ty as u32),
+            items,
+            update_time: SimDuration::from_ms(cls.update_ms),
+            slack: uniform_range(&mut self.slack, cls.slack.0, cls.slack.1),
+            arrival: self.clock,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.txns - self.emitted;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_n_monotone_arrivals() {
+        let trace: Vec<_> = TraceSpec::trading_day(500, 1).stream().collect();
+        assert_eq!(trace.len(), 500);
+        for w in trace.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a: Vec<_> = TraceSpec::trading_day(200, 3)
+            .stream()
+            .map(|r| (r.arrival, r.items.clone(), r.slack))
+            .collect();
+        let b: Vec<_> = TraceSpec::trading_day(200, 3)
+            .stream()
+            .map(|r| (r.arrival, r.items.clone(), r.slack))
+            .collect();
+        let c: Vec<_> = TraceSpec::trading_day(200, 4)
+            .stream()
+            .map(|r| (r.arrival, r.items.clone(), r.slack))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn open_is_busier_than_midday() {
+        // Arrival density in the first day-tenth should clearly beat the
+        // middle tenth: the open runs at up to 4x, midday dips to 0.6x.
+        let spec = TraceSpec::trading_day(20_000, 9);
+        let day = spec.day_secs;
+        let mut first = 0;
+        let mut mid = 0;
+        for r in spec.stream() {
+            let f = r.arrival.since(SimTime::ZERO).as_secs() / day;
+            if f < 0.1 {
+                first += 1;
+            } else if (0.45..0.55).contains(&f) {
+                mid += 1;
+            }
+        }
+        assert!(
+            first as f64 > 1.5 * mid as f64,
+            "open {first} vs midday {mid}"
+        );
+    }
+
+    #[test]
+    fn hot_cold_key_ranges_respected() {
+        let spec = TraceSpec::trading_day(2_000, 5);
+        let hot_keys = spec.hot_keys as u32;
+        let db = spec.db_size as u32;
+        let mut saw_hot = false;
+        let mut saw_cold = false;
+        for r in spec.stream() {
+            let hot = r.items.iter().all(|i| i.0 < hot_keys);
+            let cold = r.items.iter().all(|i| i.0 >= hot_keys && i.0 < db);
+            assert!(hot || cold, "a txn mixes ranges: {:?}", r.items);
+            saw_hot |= hot;
+            saw_cold |= cold;
+        }
+        assert!(saw_hot && saw_cold);
+    }
+
+    #[test]
+    fn class_mix_roughly_honoured() {
+        let mut counts = [0usize; 3];
+        for r in TraceSpec::trading_day(10_000, 2).stream() {
+            counts[r.ty.0 as usize] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let quote_share = counts[0] as f64 / 10_000.0;
+        assert!((quote_share - 0.6).abs() < 0.05, "quotes {quote_share}");
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`time`] — integer-microsecond simulation clock types;
 //! * [`calendar`] — the future event list with O(log n) schedule/cancel and
 //!   deterministic FIFO ordering of simultaneous events;
+//! * [`clock`] — virtual vs wall-clock time sources, so a serving loop can
+//!   pace the same event machinery against real time;
 //! * [`rng`] — self-contained xoshiro256++ generators with labelled,
 //!   independently derivable streams per simulation component;
 //! * [`dist`] — the exact variate families the workload model needs
@@ -47,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calendar;
+pub mod clock;
 pub mod dist;
 pub mod fault;
 pub mod hist;
@@ -55,6 +58,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventHandle, Fired};
+pub use clock::Clock;
 pub use fault::{Attempt, Brownout, FaultInjector, FaultPlan};
 pub use hist::Histogram;
 pub use rng::{StreamSeeder, Xoshiro256};

@@ -7,14 +7,16 @@
 //! FCFS baselines, and the discrete-event RTDB simulator the paper's
 //! evaluation ran on.
 //!
-//! This umbrella crate re-exports the four underlying crates:
+//! This umbrella crate re-exports the five underlying crates:
 //!
 //! * [`sim`] (`rtx-sim`) — deterministic discrete-event kernel;
 //! * [`preanalysis`] (`rtx-preanalysis`) — transaction trees, decision
 //!   points, conflict & safety relations;
 //! * [`rtdb`] (`rtx-rtdb`) — workload generation, locks, CPU & disk
 //!   models, the execution engine and metrics;
-//! * [`policies`] (`rtx-core`) — CCA and the baselines.
+//! * [`policies`] (`rtx-core`) — CCA and the baselines;
+//! * [`serve`] (`rtx-serve`) — the wall-clock serving front-end with
+//!   live miss-ratio/latency metrics (see `docs/SERVING.md`).
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use rtx_core as policies;
 pub use rtx_preanalysis as preanalysis;
 pub use rtx_rtdb as rtdb;
+pub use rtx_serve as serve;
 pub use rtx_sim as sim;
 
 /// The most commonly used items in one import.
