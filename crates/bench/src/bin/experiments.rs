@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--plot] [--jobs N] [--out DIR]
 //!             [--faults] [--admission] [--bench-profile]
-//!             [--serve-txns N] [--serve-scale S] <id>... | all | serve | list
+//!             [--serve-txns N] [--serve-scale S] <id>... | all | serve | chaos-smoke | list
 //! ```
 //!
 //! Ids: table1 fig4a fig4b fig4c fig4d fig4e fig4f fig5a table2 fig5b
@@ -30,6 +30,14 @@
 //! `BENCH_serve.json`. The deterministic counterpart is the `serve-vt`
 //! experiment id, whose CSV is committed and byte-gated.
 //!
+//! `chaos-smoke` is the wall-clock chaos smoke (also a benchmark mode,
+//! also excluded from `all`): overload pacing, deadline shedding,
+//! adaptive admission, disk + CPU fault injection and an injected
+//! engine panic in one short run, asserting the supervision guarantees
+//! (no hung tickets, every submission accounted, the crash recorded)
+//! and writing `<out>/BENCH_chaos.json`. Its deterministic counterparts
+//! are the `chaos` and `chaos-crash` experiment ids.
+//!
 //! Replications fan out across worker threads (`--jobs N`; default: all
 //! available hardware threads; `--jobs 1` forces serial). The merge is
 //! deterministic — output tables and CSVs are byte-identical for every
@@ -50,7 +58,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--quick] [--plot] [--jobs N] [--out DIR] \
          [--faults] [--admission] [--bench-profile] \
-         [--serve-txns N] [--serve-scale S] <id>... | all | serve | list"
+         [--serve-txns N] [--serve-scale S] <id>... | all | serve | chaos-smoke | list"
     );
     eprintln!("ids: {}", ALL_IDS.join(" "));
     ExitCode::FAILURE
@@ -174,11 +182,13 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    // `serve` is a benchmark mode, not an experiment id (its output is
-    // machine-dependent and never joins `all`).
+    // `serve` and `chaos-smoke` are benchmark modes, not experiment ids
+    // (their output is machine-dependent and never joins `all`).
     let serve_requested = ids.iter().any(|id| id == "serve");
     ids.retain(|id| id != "serve");
-    if ids.is_empty() && !bench_profile && !serve_requested {
+    let chaos_requested = ids.iter().any(|id| id == "chaos-smoke");
+    ids.retain(|id| id != "chaos-smoke");
+    if ids.is_empty() && !bench_profile && !serve_requested && !chaos_requested {
         return usage();
     }
     for id in &ids {
@@ -207,6 +217,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("serve headline -> {}", headline_path.display());
+        if ids.is_empty() && !bench_profile && !chaos_requested {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if chaos_requested {
+        let json = rtx_bench::experiments::chaos::wall_chaos(
+            &rtx_bench::experiments::chaos::WallChaos::default(),
+        );
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("failed to create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = out_dir.join("BENCH_chaos.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("chaos smoke -> {}", path.display());
         if ids.is_empty() && !bench_profile {
             return ExitCode::SUCCESS;
         }

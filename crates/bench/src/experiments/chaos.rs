@@ -1,0 +1,406 @@
+//! Chaos experiments: graceful degradation when overload, disk faults,
+//! CPU faults and engine crashes all land at once (extension).
+//!
+//! Two deterministic tables join the committed-CSV byte gate:
+//!
+//! * **`chaos`** replays IO-bearing trading-day traces through the
+//!   virtual-clock serving front-end at escalating load under a combined
+//!   disk + CPU fault plan, comparing *static* admission against the
+//!   *adaptive* miss-ratio controller. The windowed miss columns (mean
+//!   and worst window over the run) are the headline: under overload the
+//!   adaptive controller trades rejections for a bounded miss ratio,
+//!   while the static door lets the miss ratio run away.
+//! * **`chaos-crash`** injects an engine panic at a pinned
+//!   event-sequence position and records what the supervisor guarantees:
+//!   every submitted ticket resolves (`hung` is asserted zero before the
+//!   row is emitted), the crash is counted, and the restarted engine
+//!   finishes the trace. Only chunk-independent quantities appear in the
+//!   row — the committed/poisoned split around a crash depends on how
+//!   drain batches raced the panic, so it is reported nowhere.
+//!
+//! The wall-clock counterpart (`experiments -- chaos`) is
+//! [`wall_chaos`]: a machine-dependent smoke of the same failure modes
+//! against real time, written to `BENCH_chaos.json` and never byte-gated
+//! — the same split as `serve-vt` vs `serve`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtx_core::Cca;
+use rtx_rtdb::runner::ReplicationOptions;
+use rtx_rtdb::{AdmissionConfig, SimConfig};
+use rtx_serve::{Outcome, ServeConfig, ServeReport, Server, Ticket, TraceSpec};
+use rtx_sim::fault::CpuFaultPlan;
+
+use crate::table::Table;
+use crate::Scale;
+
+/// How long a ticket may take to resolve before the harness declares it
+/// hung. Generous: resolution is driven by the engine thread, not the
+/// wall clock, so anything near this bound is a supervision bug.
+const HANG_BUDGET: Duration = Duration::from_secs(60);
+
+/// The engine configuration the chaos sweeps run on: the disk-resident
+/// resource model re-pointed at the trace generator's 10 000-record
+/// table with a fast disk, plus a combined disk + CPU fault plan
+/// (moderate transient errors and latency spikes on the disk, stalls and
+/// slowdowns on the CPU).
+fn chaos_cfg(admission: AdmissionConfig) -> SimConfig {
+    let mut cfg = SimConfig::disk_base();
+    cfg.workload.db_size = 10_000;
+    cfg.system.abort_cost_ms = 2.0;
+    cfg.system
+        .disk
+        .as_mut()
+        .expect("disk_base has a disk")
+        .access_time_ms = 5.0;
+    cfg.system.admission = Some(admission);
+    cfg.system.faults = super::faults::plan_at(0.25);
+    cfg.system.faults.cpu = Some(CpuFaultPlan {
+        stall_prob: 0.04,
+        slow_prob: 0.08,
+        slow_factor: 2.0,
+        retry_budget: 2,
+        backoff_base_ms: 2.0,
+        backoff_cap_ms: 16.0,
+        brownout: None,
+    });
+    cfg
+}
+
+/// An IO-bearing trading-day trace at an average `rate_tps`: half the
+/// updates carry a disk access.
+fn chaos_trace(txns: usize, rate_tps: f64, seed: u64) -> TraceSpec {
+    let mut spec = TraceSpec::trading_day(txns, seed);
+    spec.day_secs = txns as f64 / rate_tps;
+    spec.io_prob = 0.5;
+    spec
+}
+
+/// Replay `spec` through a virtual-clock server under CCA with the given
+/// serving knobs.
+fn replay(spec: TraceSpec, admission: AdmissionConfig, serve: ServeConfig) -> ServeReport {
+    let server = Server::start(serve, Arc::new(chaos_cfg(admission)), Arc::new(Cca::base()))
+        .expect("chaos config is valid");
+    for req in spec.stream() {
+        server.submit(req).expect("server open");
+    }
+    server.shutdown()
+}
+
+/// The windowed miss percentage the adaptive controller steers toward;
+/// windows at or below it count as meeting the SLO.
+const WINDOW_SLO_MISS_PERCENT: f64 = 5.0;
+
+/// Mean windowed miss percentage and the percentage of windows meeting
+/// the [`WINDOW_SLO_MISS_PERCENT`] SLO over a run. (The worst window is
+/// useless as a column: one thin window with a single missing commit
+/// saturates it at 100% for every mode.)
+fn windowed_miss(report: &ServeReport) -> (f64, f64) {
+    let windows = &report.windows;
+    if windows.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = windows.iter().map(|w| w.miss_percent).sum::<f64>() / windows.len() as f64;
+    let ok = windows
+        .iter()
+        .filter(|w| w.miss_percent <= WINDOW_SLO_MISS_PERCENT)
+        .count();
+    (mean, 100.0 * ok as f64 / windows.len() as f64)
+}
+
+/// `chaos`: static vs adaptive admission across an overload sweep under
+/// combined disk + CPU faults, reporting the cumulative outcome split
+/// and the windowed miss-ratio profile.
+pub fn overload_sweep(scale: Scale, _opts: &ReplicationOptions) -> Table {
+    let (txns, rates): (usize, &[f64]) = match scale {
+        Scale::Quick => (1_500, &[30.0, 90.0]),
+        Scale::Full => (6_000, &[30.0, 60.0, 90.0]),
+    };
+    let modes: [(&str, AdmissionConfig); 2] = [
+        ("static", AdmissionConfig::lenient()),
+        ("adaptive", AdmissionConfig::adaptive()),
+    ];
+    let mut t = Table::new(
+        "chaos",
+        &[
+            "rate_tps",
+            "admission",
+            "committed",
+            "rejected",
+            "miss_percent",
+            "win_miss_mean",
+            "win_slo_pct",
+            "p99_ms",
+        ],
+    );
+    for &rate in rates {
+        for (name, admission) in &modes {
+            let report = replay(
+                chaos_trace(txns, rate, 0),
+                *admission,
+                ServeConfig::virtual_mode(),
+            );
+            let s = &report.summary;
+            let (win_mean, win_slo) = windowed_miss(&report);
+            t.push_row(vec![
+                format!("{rate:.0}"),
+                (*name).to_string(),
+                s.committed.to_string(),
+                s.rejected.to_string(),
+                format!("{:.3}", s.miss_percent),
+                format!("{win_mean:.3}"),
+                format!("{win_slo:.3}"),
+                format!("{:.3}", report.metrics.p99_ms),
+            ]);
+        }
+    }
+    t
+}
+
+/// Wait out every ticket and count how many resolved, finished
+/// (committed or rejected), were poisoned — and how many hung past
+/// [`HANG_BUDGET`] (a supervision bug).
+fn tally(tickets: &[Ticket]) -> (u64, u64, u64, u64) {
+    let (mut resolved, mut finished, mut poisoned, mut hung) = (0u64, 0u64, 0u64, 0u64);
+    for t in tickets {
+        match t.wait_timeout(HANG_BUDGET) {
+            Some(Outcome::Poisoned) => {
+                resolved += 1;
+                poisoned += 1;
+            }
+            Some(_) => {
+                resolved += 1;
+                finished += 1;
+            }
+            None => hung += 1,
+        }
+    }
+    (resolved, finished, poisoned, hung)
+}
+
+/// `chaos-crash`: panic the engine at a pinned arrival count and record
+/// the supervision contract. The committed/poisoned split around a crash
+/// depends on drain batching (a thread-timing artifact), so the row
+/// carries only chunk-independent quantities; the split itself is
+/// asserted to *tally* (`resolved = submitted`, `hung = 0`) rather than
+/// reported.
+pub fn crash_supervision(scale: Scale, _opts: &ReplicationOptions) -> Table {
+    let txns = match scale {
+        Scale::Quick => 600,
+        Scale::Full => 2_000,
+    };
+    let panic_at = (txns / 4) as u64;
+    let mut serve = ServeConfig::virtual_mode();
+    serve.panic_at_arrival = Some(panic_at);
+    serve.max_restarts = 1;
+
+    let server = Server::start(
+        serve,
+        Arc::new(chaos_cfg(AdmissionConfig::lenient())),
+        Arc::new(Cca::base()),
+    )
+    .expect("chaos config is valid");
+    let tickets: Vec<Ticket> = chaos_trace(txns, 60.0, 0)
+        .stream()
+        .map(|req| {
+            server
+                .submit(req)
+                .expect("restart budget keeps the server open")
+        })
+        .collect();
+    let report = server.shutdown();
+    let (resolved, finished, poisoned, hung) = tally(&tickets);
+
+    assert_eq!(hung, 0, "a ticket hung past the supervision guarantee");
+    assert_eq!(resolved, txns as u64, "every submission must resolve");
+    assert_eq!(finished + poisoned, resolved);
+    assert!(poisoned > 0, "the crash must have held work in flight");
+    assert_eq!(
+        poisoned, report.metrics.poisoned,
+        "ticket/metrics poison tally"
+    );
+
+    let mut t = Table::new(
+        "chaos-crash",
+        &[
+            "txns",
+            "panic_at_arrival",
+            "max_restarts",
+            "submitted",
+            "resolved",
+            "hung",
+            "crashes",
+        ],
+    );
+    t.push_row(vec![
+        txns.to_string(),
+        panic_at.to_string(),
+        "1".to_string(),
+        txns.to_string(),
+        resolved.to_string(),
+        hung.to_string(),
+        report.crashes.to_string(),
+    ]);
+    t
+}
+
+/// Knobs for the wall-clock chaos smoke.
+#[derive(Debug, Clone)]
+pub struct WallChaos {
+    /// Trace length (transactions).
+    pub txns: usize,
+    /// Sim microseconds per wall microsecond.
+    pub sim_scale: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for WallChaos {
+    /// A short, hostile run: enough transactions to cross the injected
+    /// panic and several metric windows in ~10 s of wall time. The scale
+    /// is kept moderate on purpose — at aggressive scales a microsecond
+    /// of wall jitter is simulated milliseconds, and the shedder
+    /// (correctly) drops the whole trace before the panic point is
+    /// reached.
+    fn default() -> Self {
+        WallChaos {
+            txns: 20_000,
+            sim_scale: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The wall-clock chaos smoke behind `experiments -- chaos`: a
+/// trading-day trace paced at double the sweep's overload rate against
+/// real time with shedding, adaptive admission, combined faults and an
+/// injected engine panic (restart budget 1) all enabled. Returns the
+/// `BENCH_chaos.json` body; panics if any supervision guarantee breaks
+/// (a hung ticket, an unaccounted submission, a missing crash).
+pub fn wall_chaos(opts: &WallChaos) -> String {
+    let mut spec = chaos_trace(opts.txns, 180.0, opts.seed);
+    spec.seed = opts.seed;
+    let sim_scale = opts.sim_scale;
+    let mut serve = ServeConfig::wall(sim_scale);
+    serve.queue_capacity = 4096;
+    serve.shed_infeasible = true;
+    // Early enough that the engine reliably reaches it before sustained
+    // queueing diverts the tail of the trace to the shedder (shed
+    // requests never become engine arrivals).
+    serve.panic_at_arrival = Some((opts.txns / 10) as u64);
+    serve.max_restarts = 1;
+    let server = Server::start(
+        serve,
+        Arc::new(chaos_cfg(AdmissionConfig::adaptive())),
+        Arc::new(Cca::base()),
+    )
+    .expect("chaos config is valid");
+
+    let started = std::time::Instant::now();
+    for req in spec.stream() {
+        let target = Duration::from_secs_f64(
+            req.arrival.since(rtx_sim::SimTime::ZERO).as_secs() / sim_scale,
+        );
+        let elapsed = started.elapsed();
+        if target > elapsed + Duration::from_millis(1) {
+            std::thread::sleep(target - elapsed);
+        }
+        // Under a terminal crash submit would start failing Closed; the
+        // restart budget covers the one injected panic, so any error
+        // here is a real bug.
+        server.submit(req).expect("server open");
+    }
+    // Tickets are deliberately dropped above: the hang check rides on
+    // shutdown itself, which resolves everything before returning.
+    let report = server.shutdown();
+    let wall = started.elapsed().as_secs_f64();
+
+    let m = &report.metrics;
+    let accounted = m.committed + m.rejected + m.shed + m.poisoned;
+    assert_eq!(report.crashes, 1, "the injected panic must be recorded");
+    assert_eq!(
+        accounted, m.submitted,
+        "every submission must reach exactly one terminal outcome"
+    );
+    assert!(m.committed > 0, "the restarted engine must make progress");
+    let (win_mean, win_slo) = windowed_miss(&report);
+
+    println!(
+        "chaos: {} txns in {:.1}s wall — committed {} rejected {} shed {} poisoned {} (crashes {})",
+        opts.txns, wall, m.committed, m.rejected, m.shed, m.poisoned, report.crashes
+    );
+    println!(
+        "       miss {:.3}%  windowed miss mean {:.3}% (SLO windows {:.1}%)  p99 {:.3} ms",
+        m.miss_percent, win_mean, win_slo, m.p99_ms
+    );
+
+    format!(
+        "{{\n  \"benchmark\": \"chaos-smoke\",\n  \"policy\": \"CCA\",\n  \
+         \"txns\": {},\n  \"sim_scale\": {:.1},\n  \"seed\": {},\n  \
+         \"wall_seconds\": {:.3},\n  \"crashes\": {},\n  \"hung_tickets\": 0,\n  \
+         \"committed\": {},\n  \"rejected\": {},\n  \"shed\": {},\n  \
+         \"poisoned\": {},\n  \"miss_percent\": {:.4},\n  \
+         \"win_miss_mean\": {:.4},\n  \"win_slo_pct\": {:.4},\n  \
+         \"p99_ms\": {:.4}\n}}\n",
+        opts.txns,
+        sim_scale,
+        opts.seed,
+        wall,
+        report.crashes,
+        m.committed,
+        m.rejected,
+        m.shed,
+        m.poisoned,
+        m.miss_percent,
+        win_mean,
+        win_slo,
+        m.p99_ms
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_sweep_quick_is_deterministic() {
+        let a = overload_sweep(Scale::Quick, &ReplicationOptions::serial());
+        let b = overload_sweep(Scale::Quick, &ReplicationOptions::serial());
+        assert_eq!(a.to_csv(), b.to_csv(), "chaos replay must be bit-stable");
+        assert_eq!(a.rows().len(), 2 * 2, "2 rates x 2 admission modes");
+    }
+
+    #[test]
+    fn adaptive_admission_bounds_windowed_misses_under_overload() {
+        let t = overload_sweep(Scale::Quick, &ReplicationOptions::serial());
+        // The last two rows are the overload rate: static first,
+        // adaptive second.
+        let rows = t.rows();
+        let stat: f64 = rows[rows.len() - 2][5].parse().unwrap();
+        let adap: f64 = rows[rows.len() - 1][5].parse().unwrap();
+        assert!(
+            adap < stat,
+            "adaptive mean windowed miss {adap}% must undercut static {stat}%"
+        );
+    }
+
+    #[test]
+    fn crash_supervision_quick_is_deterministic() {
+        let a = crash_supervision(Scale::Quick, &ReplicationOptions::serial());
+        let b = crash_supervision(Scale::Quick, &ReplicationOptions::serial());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn wall_chaos_smoke() {
+        let json = wall_chaos(&WallChaos {
+            txns: 2_000,
+            sim_scale: 10.0,
+            seed: 1,
+        });
+        for key in ["\"crashes\": 1", "\"hung_tickets\": 0", "win_slo_pct"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

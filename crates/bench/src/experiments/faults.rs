@@ -40,6 +40,7 @@ pub(crate) fn plan_at(severity: f64) -> FaultPlan {
         backoff_base_ms: 5.0,
         backoff_cap_ms: 40.0,
         brownout: None,
+        cpu: None,
     };
     if severity >= 0.5 {
         plan.brownout = Some(Brownout {
@@ -112,7 +113,7 @@ pub fn admission_sweep(scale: Scale, opts: &ReplicationOptions) -> Table {
         cfg.run.arrival_rate_tps = rate;
         cfg.system.admission = None;
         let off = run_replications_with(&cfg, &Cca::base(), reps, opts);
-        cfg.system.admission = Some(AdmissionConfig { safety_factor: 2.0 });
+        cfg.system.admission = Some(AdmissionConfig::Static { safety_factor: 2.0 });
         let on = run_replications_with(&cfg, &Cca::base(), reps, opts);
         t.push_numeric_row(&[
             rate,

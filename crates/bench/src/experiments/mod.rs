@@ -23,6 +23,7 @@ use crate::table::Table;
 use crate::Scale;
 
 pub mod ablate;
+pub mod chaos;
 pub mod disk;
 pub mod faults;
 pub mod mm;
@@ -54,6 +55,8 @@ pub const ALL_IDS: &[&str] = &[
     "faults",
     "faults-admission",
     "serve-vt",
+    "chaos",
+    "chaos-crash",
 ];
 
 /// The output of one experiment group: its tables plus timing.
@@ -118,6 +121,8 @@ pub fn run_with(id: &str, scale: Scale, opts: &ReplicationOptions) -> Option<Vec
         "faults" => Some(vec![faults::severity_sweep(scale, opts)]),
         "faults-admission" => Some(vec![faults::admission_sweep(scale, opts)]),
         "serve-vt" => Some(vec![serve::vt_sweep(scale, opts)]),
+        "chaos" => Some(vec![chaos::overload_sweep(scale, opts)]),
+        "chaos-crash" => Some(vec![chaos::crash_supervision(scale, opts)]),
         _ => None,
     }
 }
@@ -193,6 +198,10 @@ pub fn run_group_with(
         vec![faults::admission_sweep(scale, o)]
     });
     group(&["serve-vt"], &|o| vec![serve::vt_sweep(scale, o)]);
+    group(&["chaos"], &|o| vec![chaos::overload_sweep(scale, o)]);
+    group(&["chaos-crash"], &|o| {
+        vec![chaos::crash_supervision(scale, o)]
+    });
 }
 
 /// Collect all tables of the requested ids, serially (convenience over

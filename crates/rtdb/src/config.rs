@@ -93,33 +93,145 @@ impl WorkloadConfig {
 ///
 /// On arrival the engine estimates whether the transaction can possibly
 /// finish by its deadline: estimated execution time plus the current
-/// penalty of conflict, inflated by `safety_factor`, must fit within the
+/// penalty of conflict, inflated by a safety factor, must fit within the
 /// deadline. Transactions that fail the test are **rejected** — a distinct
 /// outcome class from *missed* (ran, finished late or was discarded at its
 /// deadline) — so the miss ratio decomposes into missed/aborted/rejected.
+///
+/// The safety factor is either pinned for the whole run (`Static`) or
+/// driven by a windowed miss-ratio feedback controller (`Adaptive`).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AdmissionConfig {
-    /// Multiplier applied to the execution + conflict-penalty estimate
-    /// (`1.0` = admit exactly when the raw estimate fits; larger values
-    /// reject earlier).
-    pub safety_factor: f64,
+pub enum AdmissionConfig {
+    /// One safety factor for the whole run — the original admission test.
+    Static {
+        /// Multiplier applied to the execution + conflict-penalty
+        /// estimate (`1.0` = admit exactly when the raw estimate fits;
+        /// larger values reject earlier).
+        safety_factor: f64,
+    },
+    /// Miss-ratio feedback: the factor starts at
+    /// [`AdaptiveAdmission::base_factor`] and moves with the observed
+    /// windowed miss percentage.
+    Adaptive(AdaptiveAdmission),
 }
 
-impl AdmissionConfig {
-    /// Admission with no safety margin.
-    pub fn lenient() -> Self {
-        AdmissionConfig { safety_factor: 1.0 }
+/// Parameters of the miss-ratio feedback admission controller.
+///
+/// The engine tallies commits and deadline misses over fixed windows of
+/// simulated time. When a window closes with miss% above
+/// `target_miss_percent`, the safety factor is multiplied by `tighten`
+/// (rejecting earlier); when it closes below `hysteresis ×
+/// target_miss_percent`, the factor is multiplied by `relax` (letting
+/// load back in). The factor is clamped to `[base_factor, max_factor]`,
+/// and the hysteresis band between the two thresholds keeps the
+/// controller from oscillating on every window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveAdmission {
+    /// Starting (and minimum) safety factor.
+    pub base_factor: f64,
+    /// Ceiling on the safety factor (`≥ base_factor`).
+    pub max_factor: f64,
+    /// Windowed miss percentage the controller steers toward (`> 0`).
+    pub target_miss_percent: f64,
+    /// Controller window length in simulated milliseconds (`> 0`).
+    pub window_ms: f64,
+    /// Multiplier applied when a window misses above target (`> 1`).
+    pub tighten: f64,
+    /// Multiplier applied when a window misses below the hysteresis
+    /// threshold (`0 < relax < 1`).
+    pub relax: f64,
+    /// Fraction of the target below which the controller relaxes
+    /// (`0 ≤ hysteresis ≤ 1`); windows between `hysteresis × target` and
+    /// `target` leave the factor unchanged.
+    pub hysteresis: f64,
+}
+
+impl AdaptiveAdmission {
+    /// A reasonable starting point: no margin at rest, up to 8× under
+    /// sustained misses, steering toward 5% windowed misses over 1-second
+    /// windows.
+    pub fn default_controller() -> Self {
+        AdaptiveAdmission {
+            base_factor: 1.0,
+            max_factor: 8.0,
+            target_miss_percent: 5.0,
+            window_ms: 1000.0,
+            tighten: 1.5,
+            relax: 0.9,
+            hysteresis: 0.5,
+        }
     }
 
     /// Validate parameter sanity.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if !self.safety_factor.is_finite() || self.safety_factor <= 0.0 {
-            return Err(ConfigError::BadAdmission(format!(
-                "safety_factor {} must be positive and finite",
-                self.safety_factor
-            )));
+        let bad = |msg: String| Err(ConfigError::BadAdmission(msg));
+        if !self.base_factor.is_finite() || self.base_factor <= 0.0 {
+            return bad(format!(
+                "base_factor {} must be positive and finite",
+                self.base_factor
+            ));
+        }
+        if !self.max_factor.is_finite() || self.max_factor < self.base_factor {
+            return bad(format!(
+                "max_factor {} must be ≥ base_factor {}",
+                self.max_factor, self.base_factor
+            ));
+        }
+        if !self.target_miss_percent.is_finite() || self.target_miss_percent <= 0.0 {
+            return bad(format!(
+                "target_miss_percent {} must be positive",
+                self.target_miss_percent
+            ));
+        }
+        if !self.window_ms.is_finite() || self.window_ms <= 0.0 {
+            return bad(format!("window_ms {} must be positive", self.window_ms));
+        }
+        if !self.tighten.is_finite() || self.tighten <= 1.0 {
+            return bad(format!("tighten {} must be > 1", self.tighten));
+        }
+        if !self.relax.is_finite() || self.relax <= 0.0 || self.relax >= 1.0 {
+            return bad(format!("relax {} must be in (0,1)", self.relax));
+        }
+        if !self.hysteresis.is_finite() || !(0.0..=1.0).contains(&self.hysteresis) {
+            return bad(format!("hysteresis {} must be in [0,1]", self.hysteresis));
         }
         Ok(())
+    }
+}
+
+impl AdmissionConfig {
+    /// Static admission with no safety margin.
+    pub fn lenient() -> Self {
+        AdmissionConfig::Static { safety_factor: 1.0 }
+    }
+
+    /// Adaptive admission with the default controller parameters.
+    pub fn adaptive() -> Self {
+        AdmissionConfig::Adaptive(AdaptiveAdmission::default_controller())
+    }
+
+    /// The safety factor the run starts with (static factor, or the
+    /// adaptive controller's base).
+    pub fn initial_factor(&self) -> f64 {
+        match self {
+            AdmissionConfig::Static { safety_factor } => *safety_factor,
+            AdmissionConfig::Adaptive(a) => a.base_factor,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            AdmissionConfig::Static { safety_factor } => {
+                if !safety_factor.is_finite() || *safety_factor <= 0.0 {
+                    return Err(ConfigError::BadAdmission(format!(
+                        "safety_factor {safety_factor} must be positive and finite"
+                    )));
+                }
+                Ok(())
+            }
+            AdmissionConfig::Adaptive(a) => a.validate(),
+        }
     }
 }
 
@@ -371,7 +483,7 @@ impl SimConfig {
             .faults
             .validate()
             .map_err(ConfigError::BadFaultPlan)?;
-        if !self.system.faults.is_none() && self.system.disk.is_none() {
+        if !self.system.faults.disk_is_none() && self.system.disk.is_none() {
             return Err(ConfigError::FaultsWithoutDisk);
         }
         if let Some(a) = &self.system.admission {
@@ -536,10 +648,35 @@ mod tests {
 
         // Admission and watchdog parameters are validated too.
         let mut cfg = SimConfig::mm_base();
-        cfg.system.admission = Some(AdmissionConfig { safety_factor: 0.0 });
+        cfg.system.admission = Some(AdmissionConfig::Static { safety_factor: 0.0 });
         assert!(matches!(cfg.validate(), Err(ConfigError::BadAdmission(_))));
         cfg.system.admission = Some(AdmissionConfig::lenient());
         cfg.validate().unwrap();
+
+        // A CPU fault section is valid without a disk (it faults the
+        // processor, not the disk) but its parameters are still checked.
+        let mut cfg = SimConfig::mm_base();
+        cfg.system.faults.cpu = Some(rtx_sim::fault::CpuFaultPlan {
+            stall_prob: 0.1,
+            slow_prob: 0.0,
+            slow_factor: 2.0,
+            retry_budget: 2,
+            backoff_base_ms: 1.0,
+            backoff_cap_ms: 4.0,
+            brownout: None,
+        });
+        cfg.validate().unwrap();
+        cfg.system.faults.cpu.as_mut().unwrap().stall_prob = 1.5;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFaultPlan(_))));
+
+        // Adaptive admission parameters are validated.
+        let mut cfg = SimConfig::mm_base();
+        cfg.system.admission = Some(AdmissionConfig::adaptive());
+        cfg.validate().unwrap();
+        let mut bad = AdaptiveAdmission::default_controller();
+        bad.relax = 1.5;
+        cfg.system.admission = Some(AdmissionConfig::Adaptive(bad));
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadAdmission(_))));
 
         let mut cfg = SimConfig::mm_base();
         cfg.run.watchdog = Some(WatchdogConfig {

@@ -26,7 +26,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 
 use rtx_sim::calendar::{Calendar, EventHandle};
-use rtx_sim::fault::FaultInjector;
+use rtx_sim::fault::{CpuFaultInjector, FaultInjector};
 use rtx_sim::rng::StreamSeeder;
 use rtx_sim::time::{SimDuration, SimTime};
 
@@ -54,6 +54,9 @@ enum Event {
     /// token guards against the transaction having been aborted and
     /// restarted while this event was in flight.
     IoRetry(TxnId, u64),
+    /// A transaction's CPU-stall backoff expired: re-queue the stalled
+    /// compute burst. Token-guarded like [`Event::IoRetry`].
+    CpuRetry(TxnId, u64),
 }
 
 enum Started {
@@ -372,13 +375,32 @@ struct EngineState<'p> {
     /// without touching the metrics pipeline). Purely observational: it
     /// never influences scheduling, RNG draws or metrics.
     completions: Option<Vec<Completion>>,
-    /// Fault injector, present iff the config's [`rtx_sim::fault::FaultPlan`]
-    /// can inject anything. `None` takes the exact pre-fault code path and
-    /// consumes no randomness.
+    /// Disk fault injector, present iff the config's
+    /// [`rtx_sim::fault::FaultPlan`] disk section can inject anything.
+    /// `None` takes the exact pre-fault code path and consumes no
+    /// randomness.
     faults: Option<FaultInjector>,
     /// Whether the disk's *active* transfer was drawn to fail. Taken (and
     /// reset) when the transfer completes.
     active_io_failed: bool,
+    /// CPU fault injector, present iff the plan's CPU section can inject
+    /// anything. Draws from its own `"cpu-faults"` stream, so disk and
+    /// CPU injection never perturb each other.
+    cpu_faults: Option<CpuFaultInjector>,
+    /// Whether the *current* compute burst was drawn to stall. Taken
+    /// when the burst completes; voided by preemption (the verdict
+    /// belonged to the full burst, and the resumed burst draws afresh).
+    active_cpu_failed: bool,
+    /// The admission safety factor currently in force. Pinned for
+    /// [`AdmissionConfig::Static`]; moved by the windowed miss-ratio
+    /// feedback controller for [`AdmissionConfig::Adaptive`].
+    admission_factor: f64,
+    /// Start of the adaptive controller's current tally window.
+    adm_window_started: SimTime,
+    /// Commits tallied in the current controller window.
+    adm_win_committed: u64,
+    /// Deadline misses tallied in the current controller window.
+    adm_win_missed: u64,
     /// How priorities and conflict relations are evaluated (incremental
     /// caches, always-recompute oracle, or verify-both).
     mode: CacheMode,
@@ -478,16 +500,21 @@ pub fn nudge_up(v: f64, scale: f64) -> f64 {
 
 impl<'p> EngineState<'p> {
     fn new(cfg: &'p SimConfig, policy: &'p dyn Policy) -> Self {
-        let faults = if cfg.system.faults.is_none() {
+        // The injectors' streams derive from the same master seed as the
+        // workload streams but are labelled independently, so enabling
+        // faults never perturbs the workload draws (and disk and CPU
+        // injection never perturb each other).
+        let seeder = StreamSeeder::new(cfg.run.seed);
+        let faults = if cfg.system.faults.disk_is_none() {
             None
         } else {
-            // The injector's stream derives from the same master seed as
-            // the workload streams but is labelled independently, so
-            // enabling faults never perturbs the workload draws.
-            Some(FaultInjector::new(
-                cfg.system.faults.clone(),
-                &StreamSeeder::new(cfg.run.seed),
-            ))
+            Some(FaultInjector::new(cfg.system.faults.clone(), &seeder))
+        };
+        let cpu_faults = if cfg.system.faults.cpu_is_none() {
+            None
+        } else {
+            let plan = cfg.system.faults.cpu.clone().expect("cpu_is_none checked");
+            Some(CpuFaultInjector::new(plan, &seeder))
         };
         EngineState {
             cfg,
@@ -509,6 +536,16 @@ impl<'p> EngineState<'p> {
             completions: None,
             faults,
             active_io_failed: false,
+            cpu_faults,
+            active_cpu_failed: false,
+            admission_factor: cfg
+                .system
+                .admission
+                .map(|a| a.initial_factor())
+                .unwrap_or(1.0),
+            adm_window_started: SimTime::ZERO,
+            adm_win_committed: 0,
+            adm_win_missed: 0,
             mode: CacheMode::Incremental,
             profile: false,
             accel: ConflictAccel::new(cfg.run.num_transactions, cfg.workload.db_size as usize),
@@ -1150,8 +1187,9 @@ impl<'p> EngineState<'p> {
         self.slack.borrow_mut().register();
         self.max_deadline_ms
             .set(self.max_deadline_ms.get().max(deadline.as_ms()));
-        if let Some(adm) = self.cfg.system.admission {
-            if !self.feasible(&txn, adm) {
+        if self.cfg.system.admission.is_some() {
+            self.adm_maybe_roll();
+            if !self.feasible(&txn) {
                 // Reject at the door: the transaction never enters the
                 // active set, acquires no locks and consumes no resources.
                 txn.state = TxnState::Rejected;
@@ -1195,12 +1233,53 @@ impl<'p> EngineState<'p> {
         self.reschedule(); // tr-arrival-schedule
     }
 
+    /// Advance the adaptive admission controller to the current
+    /// simulation time: close every elapsed tally window, adjusting the
+    /// safety factor per window verdict. A no-op under static admission.
+    ///
+    /// Hooked at deterministic event points only (arrival and commit),
+    /// so the factor trajectory is a pure function of the event sequence
+    /// — virtual-clock serving replays it bit-identically.
+    fn adm_maybe_roll(&mut self) {
+        let Some(AdmissionConfig::Adaptive(a)) = self.cfg.system.admission else {
+            return;
+        };
+        let window = SimDuration::from_ms(a.window_ms);
+        let now = self.now();
+        while now.since(self.adm_window_started) >= window {
+            let miss_percent = if self.adm_win_committed == 0 {
+                0.0
+            } else {
+                100.0 * self.adm_win_missed as f64 / self.adm_win_committed as f64
+            };
+            if miss_percent > a.target_miss_percent {
+                self.admission_factor = (self.admission_factor * a.tighten).min(a.max_factor);
+            } else if miss_percent < a.hysteresis * a.target_miss_percent {
+                self.admission_factor = (self.admission_factor * a.relax).max(a.base_factor);
+            }
+            self.adm_win_committed = 0;
+            self.adm_win_missed = 0;
+            self.adm_window_started += window;
+            if self.admission_factor == a.base_factor {
+                // Every remaining catch-up window is empty (its tallies
+                // were just consumed), and an empty window at the base
+                // factor is a fixed point: fast-forward over the idle gap
+                // instead of looping one window at a time.
+                while now.since(self.adm_window_started) >= window {
+                    self.adm_window_started += window;
+                }
+            }
+        }
+    }
+
     /// The admission feasibility test: can `txn` possibly finish by its
     /// deadline? The estimate charges its isolated resource time plus one
     /// abort cost per partially-executed transaction it conflicts with —
     /// the penalty of conflict it would have to pay (or inflict) to run —
-    /// inflated by the configured safety factor.
-    fn feasible(&self, txn: &Transaction, adm: AdmissionConfig) -> bool {
+    /// inflated by the safety factor currently in force
+    /// (`admission_factor`: the configured static factor, or wherever the
+    /// adaptive controller has steered it).
+    fn feasible(&self, txn: &Transaction) -> bool {
         let conflicts = match self.mode {
             CacheMode::AlwaysRecompute => self
                 .active
@@ -1238,7 +1317,7 @@ impl<'p> EngineState<'p> {
             }
         } as u64;
         let penalty = self.cfg.system.abort_cost() * conflicts;
-        let demand = (txn.resource_time + penalty).scale(adm.safety_factor);
+        let demand = (txn.resource_time + penalty).scale(self.admission_factor);
         self.now() + demand <= txn.deadline
     }
 
@@ -1266,10 +1345,35 @@ impl<'p> EngineState<'p> {
                 // The anchored span ends exactly where the service it
                 // mirrors stops accruing.
                 self.freeze_timed();
+                if std::mem::take(&mut self.active_cpu_failed) {
+                    // Injected transient CPU stall: the burst ran its full
+                    // (possibly inflated) length and its result is
+                    // discarded. The effective service still banks — the
+                    // timed index accrued it continuously while the burst
+                    // ran, and cached priority keys must stay upper
+                    // bounds — but no progress is made; the work is
+                    // counted wasted instead, and the update's burst will
+                    // be re-run from scratch (or the transaction
+                    // restarted) by the stall handler.
+                    {
+                        let t = self.txn_mut(id);
+                        t.service += burst;
+                        t.cpu_left = SimDuration::ZERO;
+                    }
+                    self.metrics.add_wasted_cpu(burst);
+                    self.accel.bump_own(id);
+                    self.slack_upsert(id);
+                    self.running = None;
+                    self.handle_cpu_stall(id);
+                    self.update_queue_metrics();
+                    self.reschedule();
+                    return;
+                }
                 let narrowed = {
                     let t = self.txn_mut(id);
                     t.service += burst;
                     t.cpu_left = SimDuration::ZERO;
+                    t.io_retries = 0;
                     t.progress += 1;
                     // Branching workloads: the decision point executes with
                     // its update, narrowing the analytic mightaccess.
@@ -1423,6 +1527,74 @@ impl<'p> EngineState<'p> {
         }
     }
 
+    /// The just-finished Compute burst of `id` carried an injected CPU
+    /// stall verdict: its work was discarded. Within the retry budget:
+    /// arm an exponential backoff and re-run the full burst when it
+    /// expires. Budget exhausted: abort-and-restart like an HP victim
+    /// (locks released, waiters woken, restart counted).
+    ///
+    /// Mirrors [`Self::handle_io_failure`]. The retry counter and
+    /// staleness token (`io_retries` / `retry_token`) and the backoff
+    /// state ([`TxnState::IoBackoff`]) are shared with the disk path —
+    /// an update retries either its transfer or its burst, never both at
+    /// once, and `abort`'s backoff arm covers both identically.
+    fn handle_cpu_stall(&mut self, id: TxnId) {
+        let plan = self
+            .cpu_faults
+            .as_ref()
+            .expect("injected stall without an injector")
+            .plan()
+            .clone();
+        let retries = self.txn(id).io_retries;
+        if retries >= plan.retry_budget {
+            self.metrics.record_cpu_exhausted_abort();
+            let held = self.locks.held_by(id);
+            let released = self.locks.release_all(id);
+            debug_assert!(released > 0, "a Compute-stage transaction holds its lock");
+            self.wake_waiters(&held);
+            let was_secondary = self.secondary[id.0 as usize];
+            self.metrics.record_restart(was_secondary);
+            self.secondary[id.0 as usize] = false;
+            // The restart clears the access sets (and re-widens a
+            // narrowed mightaccess): leave the P-list, invalidate pairs.
+            self.conflict_cleared(id);
+            self.txn_mut(id).reset_for_restart();
+            self.accel
+                .reindex(id, &self.txns[id.0 as usize].might_access);
+            self.slack_upsert(id);
+            self.set_state(id, TxnState::Ready);
+        } else {
+            let backoff = plan.backoff_after(retries);
+            self.metrics.record_cpu_retry(backoff);
+            let at = self.now() + backoff;
+            self.set_state(id, TxnState::IoBackoff);
+            let t = self.txn_mut(id);
+            t.io_retries += 1;
+            t.retry_token += 1;
+            // Re-arm the nominal burst; the retry draws a fresh attempt
+            // (and a fresh inflation) when it is next placed on the CPU.
+            t.cpu_left = t.update_time;
+            let token = t.retry_token;
+            self.calendar.schedule(at, Event::CpuRetry(id, token));
+        }
+    }
+
+    /// A CPU-stall backoff expired: make the transaction ready so the
+    /// scheduler can re-place its burst, unless the event is stale (the
+    /// transaction was aborted while the retry was in flight — the
+    /// abort's backoff arm already reset it and bumped the token).
+    fn on_cpu_retry(&mut self, id: TxnId, token: u64) {
+        {
+            let t = self.txn(id);
+            if t.state != TxnState::IoBackoff || t.retry_token != token {
+                return;
+            }
+        }
+        self.set_state(id, TxnState::Ready);
+        self.update_queue_metrics();
+        self.reschedule();
+    }
+
     /// A backoff expired: re-queue the failed transfer, unless the event
     /// is stale (the transaction was aborted — and possibly already
     /// progressed elsewhere — while the retry was in flight).
@@ -1574,9 +1746,31 @@ impl<'p> EngineState<'p> {
 
     fn schedule_burst(&mut self, id: TxnId) -> Started {
         let now = self.now();
+        let stage = self.txn(id).stage;
+        // Every placement of a Compute burst on the CPU is one attempt
+        // against the CPU fault plan: a slowdown inflates the burst
+        // in-place (so service accounting, busy time and preemption math
+        // all see the inflated figure), a stall marks the burst doomed —
+        // it runs to its end and is then discovered wasted in
+        // `on_cpu_done`, mirroring how a failed transfer occupies the
+        // disk. A burst resumed after preemption draws a fresh attempt;
+        // slowdowns can compound across resumptions.
+        if stage == Stage::Compute {
+            if let Some(inj) = &mut self.cpu_faults {
+                let nominal = self.txns[id.0 as usize].cpu_left;
+                let a = inj.attempt(now, nominal);
+                if a.failed {
+                    self.metrics.record_cpu_stall();
+                }
+                if a.spiked {
+                    self.metrics.record_cpu_slowdown();
+                }
+                self.txns[id.0 as usize].cpu_left = a.service;
+                self.active_cpu_failed = a.failed;
+            }
+        }
         let t = self.txn_mut(id);
         t.burst_start = now;
-        let stage = t.stage;
         let at = now + t.cpu_left;
         self.cpu_event = self.calendar.schedule(at, Event::CpuDone(id));
         if stage == Stage::Compute {
@@ -1759,6 +1953,13 @@ impl<'p> EngineState<'p> {
         });
         self.metrics
             .record_commit_in_class(class, arrival, deadline, now);
+        if self.cfg.system.admission.is_some() {
+            self.adm_win_committed += 1;
+            if now.signed_ms_since(deadline) > 0.0 {
+                self.adm_win_missed += 1;
+            }
+            self.adm_maybe_roll();
+        }
         let restarts = self.txn(id).restarts;
         if let Some(sink) = &mut self.completions {
             sink.push(Completion {
@@ -2447,6 +2648,9 @@ impl<'p> EngineState<'p> {
             }
             self.set_state(r, TxnState::Ready);
             self.metrics.add_cpu_busy(consumed);
+            // A pending stall verdict belonged to the burst as placed;
+            // the resumed remainder draws its own attempt.
+            self.active_cpu_failed = false;
         }
     }
 
@@ -2868,6 +3072,7 @@ fn drive(
             Event::CpuDone(id) => st.on_cpu_done(id),
             Event::IoDone(id) => st.on_io_done(id),
             Event::IoRetry(id, token) => st.on_io_retry(id, token),
+            Event::CpuRetry(id, token) => st.on_cpu_retry(id, token),
         }
         inspect(st);
     }
@@ -2976,6 +3181,10 @@ pub struct StepEngine<'p> {
     arrival_pending: bool,
     /// Total transactions ever submitted.
     submitted: u64,
+    /// Total `Arrival` events processed (≤ `submitted`). A deterministic
+    /// position in the event sequence: fault-injection harnesses key
+    /// "crash after the Nth arrival" off this counter.
+    fired: u64,
     /// Arrival stamp of the last submission (stamps are non-decreasing).
     last_arrival: SimTime,
 }
@@ -3010,6 +3219,7 @@ impl<'p> StepEngine<'p> {
             queue: VecDeque::new(),
             arrival_pending: false,
             submitted: 0,
+            fired: 0,
             last_arrival: SimTime::ZERO,
         })
     }
@@ -3080,6 +3290,14 @@ impl<'p> StepEngine<'p> {
         self.queue.len()
     }
 
+    /// Total `Arrival` events processed so far. Deterministic across
+    /// replays of the same submission sequence (unlike drain timing), so
+    /// a chaos harness can cut the engine at "the Nth arrival" and land
+    /// at the same event-sequence position every run.
+    pub fn arrivals_fired(&self) -> u64 {
+        self.fired
+    }
+
     /// Process one event. Returns `false` iff there was nothing to do —
     /// no pending events and no stuck transactions. (When the calendar
     /// drains while admitted transactions remain blocked, the engine
@@ -3101,12 +3319,14 @@ impl<'p> StepEngine<'p> {
         match fired.payload {
             Event::Arrival(txn) => {
                 self.arrival_pending = false;
+                self.fired += 1;
                 self.pump_arrival();
                 self.st.on_arrival(*txn);
             }
             Event::CpuDone(id) => self.st.on_cpu_done(id),
             Event::IoDone(id) => self.st.on_io_done(id),
             Event::IoRetry(id, token) => self.st.on_io_retry(id, token),
+            Event::CpuRetry(id, token) => self.st.on_cpu_retry(id, token),
         }
         true
     }

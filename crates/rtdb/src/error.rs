@@ -65,6 +65,10 @@ pub enum ConfigError {
     BadAdmission(String),
     /// The watchdog limits are malformed (reason inside).
     BadWatchdog(String),
+    /// The serving-layer configuration is malformed (reason inside).
+    /// Produced by `rtx_serve::Server::start`, not by
+    /// [`crate::config::SimConfig::validate`].
+    BadServe(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -97,6 +101,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
             ConfigError::BadAdmission(why) => write!(f, "invalid admission control: {why}"),
             ConfigError::BadWatchdog(why) => write!(f, "invalid watchdog: {why}"),
+            ConfigError::BadServe(why) => write!(f, "invalid serve config: {why}"),
         }
     }
 }

@@ -63,7 +63,8 @@ pub mod txn;
 pub mod workload;
 
 pub use config::{
-    AdmissionConfig, DiskConfig, RunConfig, SimConfig, SystemConfig, WatchdogConfig, WorkloadConfig,
+    AdaptiveAdmission, AdmissionConfig, DiskConfig, RunConfig, SimConfig, SystemConfig,
+    WatchdogConfig, WorkloadConfig,
 };
 pub use disk::DiskDiscipline;
 pub use engine::{

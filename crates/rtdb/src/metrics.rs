@@ -97,6 +97,12 @@ pub struct MetricsCollector {
     io_exhausted_aborts: u64,
     total_backoff: SimDuration,
     wasted_disk_hold: SimDuration,
+    injected_cpu_stalls: u64,
+    cpu_slowdowns: u64,
+    cpu_retries: u64,
+    cpu_exhausted_aborts: u64,
+    cpu_backoff: SimDuration,
+    wasted_cpu: SimDuration,
     sched: SchedStats,
 }
 
@@ -127,6 +133,12 @@ impl MetricsCollector {
             io_exhausted_aborts: 0,
             total_backoff: SimDuration::ZERO,
             wasted_disk_hold: SimDuration::ZERO,
+            injected_cpu_stalls: 0,
+            cpu_slowdowns: 0,
+            cpu_retries: 0,
+            cpu_exhausted_aborts: 0,
+            cpu_backoff: SimDuration::ZERO,
+            wasted_cpu: SimDuration::ZERO,
             sched: SchedStats::default(),
         }
     }
@@ -242,6 +254,36 @@ impl MetricsCollector {
         self.wasted_disk_hold += d;
     }
 
+    /// Record an injected CPU stall (the burst occupied the CPU and then
+    /// failed to make progress).
+    pub fn record_cpu_stall(&mut self) {
+        self.injected_cpu_stalls += 1;
+    }
+
+    /// Record an injected CPU slowdown on a compute burst.
+    pub fn record_cpu_slowdown(&mut self) {
+        self.cpu_slowdowns += 1;
+    }
+
+    /// Record a retry of a stalled compute burst and the backoff delay
+    /// spent before it.
+    pub fn record_cpu_retry(&mut self, backoff: SimDuration) {
+        self.cpu_retries += 1;
+        self.cpu_backoff += backoff;
+    }
+
+    /// Record an abort-and-restart forced by an exhausted CPU retry
+    /// budget.
+    pub fn record_cpu_exhausted_abort(&mut self) {
+        self.cpu_exhausted_aborts += 1;
+    }
+
+    /// Record CPU time wasted by a stalled burst (it ran to completion
+    /// but produced no progress).
+    pub fn add_wasted_cpu(&mut self, d: SimDuration) {
+        self.wasted_cpu += d;
+    }
+
     /// Install the scheduler-overhead counters (the engine sets these once
     /// at the end of the run, from its internal tallies).
     pub fn set_sched_stats(&mut self, sched: SchedStats) {
@@ -317,6 +359,12 @@ impl MetricsCollector {
             io_exhausted_aborts: self.io_exhausted_aborts,
             total_backoff_ms: self.total_backoff.as_ms(),
             wasted_disk_hold_ms: self.wasted_disk_hold.as_ms(),
+            injected_cpu_stalls: self.injected_cpu_stalls,
+            cpu_slowdowns: self.cpu_slowdowns,
+            cpu_retries: self.cpu_retries,
+            cpu_exhausted_aborts: self.cpu_exhausted_aborts,
+            cpu_backoff_ms: self.cpu_backoff.as_ms(),
+            wasted_cpu_ms: self.wasted_cpu.as_ms(),
             sched: self.sched,
         }
     }
@@ -400,6 +448,18 @@ pub struct RunSummary {
     /// Disk-hold time wasted by doomed transactions (aborted mid-transfer
     /// while the transfer ran on), ms.
     pub wasted_disk_hold_ms: f64,
+    /// Injected CPU stalls (0 without a CPU fault plan).
+    pub injected_cpu_stalls: u64,
+    /// Injected CPU slowdowns on compute bursts.
+    pub cpu_slowdowns: u64,
+    /// Compute-burst retries after injected stalls.
+    pub cpu_retries: u64,
+    /// Aborts forced by an exhausted CPU retry budget.
+    pub cpu_exhausted_aborts: u64,
+    /// Total exponential-backoff delay spent before CPU retries, ms.
+    pub cpu_backoff_ms: f64,
+    /// CPU time wasted by stalled bursts (ran fully, no progress), ms.
+    pub wasted_cpu_ms: f64,
     /// Scheduler-overhead counters (priority evaluations, cache hits,
     /// pair checks, profiled `pick_next` wall time).
     pub sched: SchedStats,
@@ -520,6 +580,26 @@ mod tests {
         assert!((s.wasted_disk_hold_ms - 12.5).abs() < 1e-9);
         assert_eq!(s.rejected, 1);
         assert!((s.rejected_percent - 25.0).abs() < 1e-9, "1 of 4 outcomes");
+    }
+
+    #[test]
+    fn cpu_fault_accounting() {
+        let mut m = MetricsCollector::new();
+        m.record_cpu_stall();
+        m.record_cpu_stall();
+        m.record_cpu_slowdown();
+        m.record_cpu_retry(SimDuration::from_ms(1.0));
+        m.record_cpu_retry(SimDuration::from_ms(2.0));
+        m.record_cpu_exhausted_abort();
+        m.add_wasted_cpu(SimDuration::from_ms(8.0));
+        m.record_commit(ms(0.0), ms(10.0), ms(5.0));
+        let s = m.finish(ms(100.0), SimDuration::ZERO);
+        assert_eq!(s.injected_cpu_stalls, 2);
+        assert_eq!(s.cpu_slowdowns, 1);
+        assert_eq!(s.cpu_retries, 2);
+        assert_eq!(s.cpu_exhausted_aborts, 1);
+        assert!((s.cpu_backoff_ms - 3.0).abs() < 1e-9);
+        assert!((s.wasted_cpu_ms - 8.0).abs() < 1e-9);
     }
 
     #[test]

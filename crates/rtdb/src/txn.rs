@@ -150,13 +150,15 @@ pub struct Transaction {
     /// When `doomed` was set: from here until the transfer releases the
     /// disk, the hold time is wasted and attributed to metrics.
     pub doomed_at: SimTime,
-    /// Consecutive injected-fault retries of the *current* disk transfer.
-    /// Reset on a successful transfer and on restart.
+    /// Consecutive injected-fault retries of the *current* update's
+    /// transfer or compute burst (an update retries one or the other,
+    /// never both at once). Reset when the attempt succeeds and on
+    /// restart.
     pub io_retries: u32,
-    /// Monotonic token identifying the latest backoff this transaction
-    /// armed; a retry event carrying a stale token is ignored (the
-    /// transaction was aborted and restarted while the event was in
-    /// flight).
+    /// Monotonic token identifying the latest backoff (disk or CPU) this
+    /// transaction armed; a retry event carrying a stale token is
+    /// ignored (the transaction was aborted and restarted while the
+    /// event was in flight).
     pub retry_token: u64,
     /// Commit time, once committed.
     pub finish: Option<SimTime>,

@@ -34,6 +34,7 @@ struct Tally {
     committed: u64,
     rejected: u64,
     missed: u64,
+    shed: u64,
 }
 
 /// Streaming metrics accumulator for the serving loop.
@@ -45,11 +46,18 @@ pub struct LiveMetrics {
     window_secs: f64,
     total: Tally,
     total_hist: Histogram,
+    /// Requests lost to engine crashes (cumulative only; a crash is not
+    /// attributable to a window).
+    poisoned: u64,
     win: Tally,
     win_hist: Histogram,
     win_index: u64,
     win_started: f64,
     last_window: Option<WindowSnapshot>,
+    /// Every completed window, in order. Small (a few dozen bytes per
+    /// window), but unbounded: a server rolling 1-second windows grows
+    /// this by ~5 MB per day of uptime.
+    history: Vec<WindowSnapshot>,
 }
 
 impl LiveMetrics {
@@ -64,11 +72,13 @@ impl LiveMetrics {
             window_secs,
             total: Tally::default(),
             total_hist: Histogram::for_latency_ms(),
+            poisoned: 0,
             win: Tally::default(),
             win_hist: Histogram::for_latency_ms(),
             win_index: 0,
             win_started: 0.0,
             last_window: None,
+            history: Vec::new(),
         }
     }
 
@@ -99,6 +109,20 @@ impl LiveMetrics {
         self.maybe_roll(elapsed_secs);
     }
 
+    /// Record a request dropped by deadline-aware load shedding at
+    /// dequeue.
+    pub fn on_shed(&mut self, elapsed_secs: f64) {
+        self.total.shed += 1;
+        self.win.shed += 1;
+        self.maybe_roll(elapsed_secs);
+    }
+
+    /// Record `n` requests lost to an engine crash (their tickets were
+    /// resolved to a poisoned outcome by the supervisor).
+    pub fn on_poisoned(&mut self, n: u64) {
+        self.poisoned += n;
+    }
+
     /// Close the current window if `elapsed_secs` has passed its end.
     /// Returns `true` when a window was closed (a good moment for the
     /// server to publish a fresh snapshot).
@@ -107,14 +131,16 @@ impl LiveMetrics {
             return false;
         }
         let span = (elapsed_secs - self.win_started).max(1e-9);
-        self.last_window = Some(WindowSnapshot {
+        let snap = WindowSnapshot {
             index: self.win_index,
-            throughput_tps: (self.win.committed + self.win.rejected) as f64 / span,
+            throughput_tps: (self.win.committed + self.win.rejected + self.win.shed) as f64 / span,
             miss_percent: percent(self.win.missed, self.win.committed),
             p50_ms: self.win_hist.quantile(0.50),
             p95_ms: self.win_hist.quantile(0.95),
             p99_ms: self.win_hist.quantile(0.99),
-        });
+        };
+        self.history.push(snap.clone());
+        self.last_window = Some(snap);
         self.win = Tally::default();
         self.win_hist = Histogram::for_latency_ms();
         self.win_index += 1;
@@ -126,13 +152,15 @@ impl LiveMetrics {
     /// supplied by the server (the accumulator cannot derive it: queued
     /// submissions have been counted but not resolved).
     pub fn snapshot(&self, elapsed_secs: f64, in_flight: u64) -> MetricsSnapshot {
-        let done = self.total.committed + self.total.rejected;
+        let done = self.total.committed + self.total.rejected + self.total.shed;
         MetricsSnapshot {
             elapsed_secs,
             submitted: self.total.submitted,
             committed: self.total.committed,
             rejected: self.total.rejected,
             missed: self.total.missed,
+            shed: self.total.shed,
+            poisoned: self.poisoned,
             in_flight,
             throughput_tps: if elapsed_secs > 0.0 {
                 done as f64 / elapsed_secs
@@ -147,6 +175,14 @@ impl LiveMetrics {
             max_ms: self.total_hist.max(),
             window: self.last_window.clone(),
         }
+    }
+
+    /// Every completed window so far, in order. The chaos harness reads
+    /// this to compare *windowed* miss ratios across admission policies;
+    /// for virtual serving the roll points (and therefore this history)
+    /// are deterministic.
+    pub fn windows(&self) -> &[WindowSnapshot] {
+        &self.history
     }
 }
 
@@ -192,6 +228,11 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Commits that happened after their deadline.
     pub missed: u64,
+    /// Requests dropped by deadline-aware load shedding at dequeue.
+    pub shed: u64,
+    /// Requests lost to engine crashes (their tickets resolved to
+    /// [`crate::Outcome::Poisoned`]).
+    pub poisoned: u64,
     /// Submitted but not yet terminated.
     pub in_flight: u64,
     /// Terminations per wall second since start.
@@ -223,6 +264,8 @@ impl MetricsSnapshot {
         s.push_str(&format!("\"committed\":{},", self.committed));
         s.push_str(&format!("\"rejected\":{},", self.rejected));
         s.push_str(&format!("\"missed\":{},", self.missed));
+        s.push_str(&format!("\"shed\":{},", self.shed));
+        s.push_str(&format!("\"poisoned\":{},", self.poisoned));
         s.push_str(&format!("\"in_flight\":{},", self.in_flight));
         s.push_str(&format!("\"throughput_tps\":{:.3},", self.throughput_tps));
         s.push_str(&format!("\"miss_percent\":{:.4},", self.miss_percent));
@@ -284,6 +327,50 @@ mod tests {
     }
 
     #[test]
+    fn sheds_and_poisons_counted() {
+        let mut m = LiveMetrics::new(1.0);
+        m.on_submit();
+        m.on_submit();
+        m.on_shed(0.1);
+        m.on_poisoned(1);
+        let s = m.snapshot(0.2, 0);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.poisoned, 1);
+        assert_eq!(s.committed, 0);
+        assert!(m.maybe_roll(1.5), "sheds keep the window live");
+        let w = m.last_window.clone().unwrap();
+        assert!(w.throughput_tps > 0.0, "a shed is a termination");
+    }
+
+    #[test]
+    fn idle_gap_spanning_windows_rolls_once_with_diluted_throughput() {
+        // A roll after a multi-window idle gap closes ONE window spanning
+        // the whole gap (windows are event-driven, not timer-driven):
+        // the span in the denominator dilutes the throughput, and the
+        // next window starts at the roll point, not on the original
+        // 1-second grid.
+        let mut m = LiveMetrics::new(1.0);
+        m.on_submit();
+        m.on_commit(2.0, false, 0.5);
+        assert!(m.maybe_roll(5.0), "gap closes the open window");
+        let w = m.last_window.clone().unwrap();
+        assert_eq!(w.index, 0);
+        assert!((w.throughput_tps - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.windows().len(), 1, "one window for the whole gap");
+
+        // The following window starts at 5.0: activity at 5.5 does not
+        // roll, activity at 6.1 does.
+        m.on_commit(2.0, true, 5.5);
+        assert_eq!(m.windows().len(), 1);
+        m.on_commit(2.0, false, 6.1);
+        assert_eq!(m.windows().len(), 2);
+        let w = m.last_window.clone().unwrap();
+        assert_eq!(w.index, 1);
+        assert!((w.miss_percent - 50.0).abs() < 1e-9);
+        assert_eq!(m.windows()[1], w, "history records every closed window");
+    }
+
+    #[test]
     fn json_is_well_formed() {
         let mut m = LiveMetrics::new(0.5);
         m.on_submit();
@@ -297,6 +384,8 @@ mod tests {
             "committed",
             "rejected",
             "missed",
+            "shed",
+            "poisoned",
             "in_flight",
             "throughput_tps",
             "miss_percent",

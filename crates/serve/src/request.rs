@@ -25,12 +25,24 @@ pub struct TxnRequest {
     pub slack: f64,
     /// Requested arrival stamp. Virtual-clock serving uses it verbatim
     /// (it is the replayed trace's arrival time); wall-clock serving
-    /// ignores it and stamps real time.
+    /// stamps real time instead and treats this as the *intended*
+    /// arrival — the anchor for the shedding check when
+    /// [`crate::ServeConfig::shed_infeasible`] is on.
     pub arrival: SimTime,
+    /// Which updates perform a disk access before their CPU burst,
+    /// index-aligned with [`TxnRequest::items`]. A shorter pattern means
+    /// "no IO" for the remaining updates; empty is the pure main-memory
+    /// request. Any `true` entry requires the engine configuration to
+    /// have a disk ([`rtx_rtdb::SimConfig::system`]`.disk`), exactly as
+    /// a batch disk-resident workload would.
+    pub io_pattern: Vec<bool>,
 }
 
 impl TxnRequest {
-    /// Total CPU demand: one update burst per item.
+    /// Total CPU demand: one update burst per item. (Disk time from
+    /// [`TxnRequest::io_pattern`] is *not* included — the request does
+    /// not know the disk's access time; IO-bearing requests should
+    /// carry correspondingly generous slack.)
     pub fn resource_time(&self) -> SimDuration {
         self.update_time * self.items.len() as u64
     }
@@ -56,7 +68,7 @@ impl TxnRequest {
             resource_time,
             might_access: self.items.iter().copied().collect(),
             items: self.items,
-            io_pattern: vec![],
+            io_pattern: self.io_pattern,
             modes: Vec::new(),
             update_time: self.update_time,
             state: TxnState::Ready,
@@ -82,26 +94,91 @@ impl TxnRequest {
 
 /// The terminal outcome a [`crate::Ticket`] resolves to.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Outcome {
-    /// The engine-side completion record (sim-time stamps).
-    pub completion: Completion,
-    /// Response time converted to wall milliseconds under the server's
-    /// clock (identical to the sim response for virtual serving).
-    pub response_wall_ms: f64,
+pub enum Outcome {
+    /// The engine drove the transaction to a terminal state: committed
+    /// (deadline met or missed) or rejected at admission.
+    Finished {
+        /// The engine-side completion record (sim-time stamps).
+        completion: Completion,
+        /// Response time converted to wall milliseconds under the
+        /// server's clock (identical to the sim response for virtual
+        /// serving).
+        response_wall_ms: f64,
+    },
+    /// Load shedding dropped the request at dequeue: by the time it
+    /// left the submission queue, its intended deadline
+    /// ([`TxnRequest::deadline_from`] of the *requested* arrival) was
+    /// already infeasible even on an idle system. Only produced when
+    /// [`crate::ServeConfig::shed_infeasible`] is on.
+    Shed {
+        /// Wall milliseconds the request spent queued (intended arrival
+        /// to shed decision).
+        response_wall_ms: f64,
+    },
+    /// The engine crashed while this request was in flight; the
+    /// supervisor resolved the ticket so no submitter hangs. The
+    /// transaction's effects are gone with the crashed engine state.
+    Poisoned,
 }
 
 impl Outcome {
     /// True iff the transaction committed (was not rejected at
-    /// admission).
+    /// admission, shed, or lost to a crash).
     pub fn accepted(&self) -> bool {
-        matches!(self.completion.kind, CompletionKind::Committed { .. })
+        matches!(
+            self,
+            Outcome::Finished {
+                completion: Completion {
+                    kind: CompletionKind::Committed { .. },
+                    ..
+                },
+                ..
+            }
+        )
     }
 
     /// True iff it committed past its deadline.
     pub fn missed(&self) -> bool {
         matches!(
-            self.completion.kind,
-            CompletionKind::Committed { missed: true }
+            self,
+            Outcome::Finished {
+                completion: Completion {
+                    kind: CompletionKind::Committed { missed: true },
+                    ..
+                },
+                ..
+            }
         )
+    }
+
+    /// True iff load shedding dropped the request at dequeue.
+    pub fn shed(&self) -> bool {
+        matches!(self, Outcome::Shed { .. })
+    }
+
+    /// True iff the request was lost to an engine crash.
+    pub fn poisoned(&self) -> bool {
+        matches!(self, Outcome::Poisoned)
+    }
+
+    /// The engine-side completion record, when the engine finished the
+    /// transaction.
+    pub fn completion(&self) -> Option<&Completion> {
+        match self {
+            Outcome::Finished { completion, .. } => Some(completion),
+            _ => None,
+        }
+    }
+
+    /// The wall-clock response time, when one is defined (finished or
+    /// shed; a poisoned request has none).
+    pub fn response_wall_ms(&self) -> Option<f64> {
+        match self {
+            Outcome::Finished {
+                response_wall_ms, ..
+            }
+            | Outcome::Shed { response_wall_ms } => Some(*response_wall_ms),
+            Outcome::Poisoned => None,
+        }
     }
 }

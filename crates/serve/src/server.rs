@@ -1,12 +1,13 @@
 //! The in-process transaction server: concurrent submitters, a bounded
-//! queue, one engine thread.
+//! queue, one supervised engine thread.
 //!
 //! # Architecture
 //!
 //! ```text
 //!  client threads ──submit()──▶ bounded queue ──▶ engine thread
-//!       ▲                                          │  StepEngine
-//!       └────────── Ticket::wait() ◀── outcomes ◀──┘  + LiveMetrics
+//!       ▲                                          │  supervisor
+//!       │                                          │   └ StepEngine
+//!       └────────── Ticket::wait() ◀── outcomes ◀──┘     + LiveMetrics
 //! ```
 //!
 //! A [`Server`] owns one engine thread that drives a
@@ -14,8 +15,8 @@
 //! simulator, stepped incrementally. Any number of client threads submit
 //! [`TxnRequest`]s through a bounded queue; each submission returns a
 //! [`Ticket`] that resolves to the transaction's terminal [`Outcome`]
-//! (committed, with deadline met or missed, or rejected by admission
-//! control — the same front-door feasibility test batch runs use).
+//! (committed with deadline met or missed, rejected by admission
+//! control, shed at dequeue, or poisoned by an engine crash).
 //!
 //! # Clock modes
 //!
@@ -29,16 +30,41 @@
 //!   them, and latency percentiles are reported in real milliseconds.
 //!   Throughput and timing are machine-dependent — benchmarked, never
 //!   byte-gated.
+//!
+//! # Overload and failure semantics
+//!
+//! The serving layer degrades gracefully rather than falling over:
+//!
+//! * **Back-pressure** — the bounded queue blocks [`Server::submit`]
+//!   when full; wall mode additionally throttles intake at
+//!   [`ServeConfig::max_in_engine`] unterminated transactions.
+//! * **Admission control** — `cfg.system.admission` applies the paper's
+//!   feasibility test at the front door; with
+//!   [`rtx_rtdb::AdmissionConfig::Adaptive`] the safety factor tracks
+//!   the engine's windowed miss ratio, tightening under overload and
+//!   relaxing after the burst passes.
+//! * **Load shedding** — with [`ServeConfig::shed_infeasible`] on, a
+//!   request whose *intended* deadline is already unreachable when it
+//!   leaves the queue is dropped immediately ([`Outcome::Shed`]) instead
+//!   of wasting engine time on a guaranteed miss.
+//! * **Supervision** — the engine runs under `catch_unwind`. On a panic
+//!   the supervisor resolves every in-flight [`Ticket`] to
+//!   [`Outcome::Poisoned`] (no submitter ever hangs on a crashed
+//!   engine), then restarts a fresh engine up to
+//!   [`ServeConfig::max_restarts`] times; queued-but-not-yet-admitted
+//!   requests survive into the next incarnation. [`ServeReport::crashes`]
+//!   counts the panics.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use rtx_rtdb::{CompletionKind, Policy, RunError, RunSummary, SimConfig, StepEngine};
-use rtx_sim::{Clock, SimTime};
+use rtx_rtdb::{CompletionKind, ConfigError, Policy, RunError, RunSummary, SimConfig, StepEngine};
+use rtx_sim::{Clock, SimDuration, SimTime};
 
-use crate::metrics::{LiveMetrics, MetricsSnapshot};
+use crate::metrics::{LiveMetrics, MetricsSnapshot, WindowSnapshot};
 use crate::request::{Outcome, TxnRequest};
 
 /// Which time regime the server runs under.
@@ -75,30 +101,88 @@ pub struct ServeConfig {
     /// door are stamped when they actually enter. Virtual serving
     /// ignores it — the deterministic replay gate already paces intake.
     pub max_in_engine: usize,
+    /// Deadline-aware load shedding: drop a request at dequeue when its
+    /// *intended* deadline ([`TxnRequest::deadline_from`] of the
+    /// requested arrival) can no longer be met even on an idle engine
+    /// (`stamp + resource_time > intended deadline`). The dropped
+    /// request resolves to [`Outcome::Shed`] and is counted in
+    /// [`MetricsSnapshot::shed`]. Bites in wall mode, where queueing
+    /// delays the stamp past the intended arrival; a well-formed
+    /// virtual-mode trace is never shed (its stamps equal its intended
+    /// arrivals).
+    pub shed_infeasible: bool,
+    /// Fault-injection hook for the chaos harness: panic the engine
+    /// thread once its `N`th `Arrival` event has fired (a deterministic
+    /// event-sequence position under the virtual clock). Applies to the
+    /// first engine incarnation only — restarted engines run clean.
+    pub panic_at_arrival: Option<u64>,
+    /// How many times the supervisor restarts the engine after a crash
+    /// before giving up. Past the limit the server closes: in-flight
+    /// *and* still-queued requests resolve to [`Outcome::Poisoned`] and
+    /// further submissions return [`SubmitError::Closed`].
+    pub max_restarts: u32,
 }
 
 impl ServeConfig {
     /// Deterministic virtual-clock serving; 1-second windows, 1024-deep
-    /// queue.
+    /// queue, no shedding, no restarts.
     pub fn virtual_mode() -> Self {
         ServeConfig {
             clock: ClockMode::Virtual,
             queue_capacity: 1024,
             window_secs: 1.0,
             max_in_engine: usize::MAX,
+            shed_infeasible: false,
+            panic_at_arrival: None,
+            max_restarts: 0,
         }
     }
 
     /// Wall-clock serving at `scale` sim microseconds per wall
     /// microsecond; 1-second windows, 1024-deep queue, engine population
-    /// capped at 1024.
+    /// capped at 1024, no shedding, no restarts.
     pub fn wall(scale: f64) -> Self {
         ServeConfig {
             clock: ClockMode::Wall { scale },
             queue_capacity: 1024,
             window_secs: 1.0,
             max_in_engine: 1024,
+            shed_infeasible: false,
+            panic_at_arrival: None,
+            max_restarts: 0,
         }
+    }
+
+    /// Check the serving knobs, mirroring what
+    /// [`rtx_rtdb::SimConfig::validate`] does for the engine's.
+    ///
+    /// # Errors
+    /// [`ConfigError::BadServe`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::BadServe(
+                "queue_capacity must be positive".into(),
+            ));
+        }
+        if self.max_in_engine == 0 {
+            return Err(ConfigError::BadServe(
+                "max_in_engine must be positive".into(),
+            ));
+        }
+        if !self.window_secs.is_finite() || self.window_secs <= 0.0 {
+            return Err(ConfigError::BadServe(format!(
+                "window_secs must be positive and finite (got {})",
+                self.window_secs
+            )));
+        }
+        if let ClockMode::Wall { scale } = self.clock {
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(ConfigError::BadServe(format!(
+                    "wall clock scale must be positive and finite (got {scale})"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -126,7 +210,11 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// A handle to one submitted request; resolves to its terminal
-/// [`Outcome`] when the engine commits or rejects the transaction.
+/// [`Outcome`] when the engine commits, rejects, sheds or loses the
+/// transaction. Waiting never hangs on a crashed engine: the supervisor
+/// resolves every outstanding ticket (to [`Outcome::Poisoned`]) before
+/// restarting or giving up, and the waits below shrug off poisoned
+/// mutexes from panicking peers.
 #[derive(Debug, Clone)]
 pub struct Ticket {
     state: Arc<TicketState>,
@@ -135,16 +223,53 @@ pub struct Ticket {
 impl Ticket {
     /// Block until the transaction terminates and return its outcome.
     pub fn wait(&self) -> Outcome {
-        let mut slot = self.state.slot.lock().unwrap();
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while slot.is_none() {
-            slot = self.state.cv.wait(slot).unwrap();
+            slot = self
+                .state
+                .cv
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         slot.unwrap()
     }
 
+    /// Block until the transaction terminates or `timeout` elapses;
+    /// `None` on timeout (the ticket remains valid — a later
+    /// [`Ticket::wait`] still resolves).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while slot.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(slot, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+        }
+        Some(slot.unwrap())
+    }
+
     /// The outcome, if the transaction has already terminated.
     pub fn try_get(&self) -> Option<Outcome> {
-        *self.state.slot.lock().unwrap()
+        *self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -152,6 +277,12 @@ impl Ticket {
 struct TicketState {
     slot: Mutex<Option<Outcome>>,
     cv: Condvar,
+}
+
+/// Publish `outcome` into a ticket and wake its waiters.
+fn resolve_ticket(state: &TicketState, outcome: Outcome) {
+    *state.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+    state.cv.notify_all();
 }
 
 struct QueueState {
@@ -170,22 +301,40 @@ struct Shared {
     latest: Mutex<MetricsSnapshot>,
 }
 
+impl Shared {
+    fn lock_q(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// Everything a finished serving run produced.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// The engine's batch-style summary — for virtual replay, bit-equal
     /// to what [`rtx_rtdb::run_simulation_from`] returns on the same
-    /// trace.
+    /// trace. After engine crashes it covers the *last* incarnation only
+    /// (earlier incarnations' state died with them).
     pub summary: RunSummary,
-    /// The final cumulative metrics snapshot.
+    /// The final cumulative metrics snapshot (survives crashes — the
+    /// supervisor owns it).
     pub metrics: MetricsSnapshot,
+    /// Engine panics caught by the supervisor over the server's life.
+    pub crashes: u32,
+    /// Every completed metrics window, in order (deterministic for
+    /// virtual serving). The chaos harness compares windowed miss ratios
+    /// across admission policies from this.
+    pub windows: Vec<WindowSnapshot>,
 }
 
+/// What the supervisor thread hands back at join time: the batch-style
+/// summary, the final metrics, the crash count, and the window history.
+type EngineExit = (RunSummary, MetricsSnapshot, u32, Vec<WindowSnapshot>);
+
 /// An in-process transaction server. See the [module docs](self) for the
-/// architecture and clock-mode semantics.
+/// architecture, clock-mode and failure semantics.
 pub struct Server {
     shared: Arc<Shared>,
-    engine: Option<JoinHandle<(RunSummary, MetricsSnapshot)>>,
+    engine: Option<JoinHandle<EngineExit>>,
 }
 
 impl Server {
@@ -197,15 +346,16 @@ impl Server {
     /// [`Server::shutdown`].
     ///
     /// # Errors
-    /// Returns `cfg`'s validation error, if any, without spawning.
+    /// Returns `cfg`'s validation error, or
+    /// [`ConfigError::BadServe`] for a malformed [`ServeConfig`],
+    /// without spawning.
     pub fn start(
         serve: ServeConfig,
         cfg: Arc<SimConfig>,
         policy: Arc<dyn Policy + Send + Sync>,
     ) -> Result<Server, RunError> {
         cfg.validate().map_err(RunError::from)?;
-        assert!(serve.queue_capacity > 0, "queue capacity must be positive");
-        assert!(serve.max_in_engine > 0, "engine cap must be positive");
+        serve.validate().map_err(RunError::from)?;
         let shared = Arc::new(Shared {
             q: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -266,6 +416,7 @@ impl Server {
     ///                 update_time: SimDuration::from_ms(2.0),
     ///                 slack: 2.0,
     ///                 arrival: SimTime::from_ms(10.0 * f64::from(i)),
+    ///                 io_pattern: vec![],
     ///             })
     ///             .unwrap()
     ///     })
@@ -276,9 +427,13 @@ impl Server {
     /// assert_eq!(report.summary.committed, 2);
     /// ```
     pub fn submit(&self, req: TxnRequest) -> Result<Ticket, SubmitError> {
-        let mut q = self.shared.q.lock().unwrap();
+        let mut q = self.shared.lock_q();
         while !q.closed && q.pending.len() >= self.shared.capacity {
-            q = self.shared.space_cv.wait(q).unwrap();
+            q = self
+                .shared
+                .space_cv
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         self.enqueue(q, req)
     }
@@ -290,7 +445,7 @@ impl Server {
     /// [`SubmitError::Closed`] once shutdown has begun; either way the
     /// request is handed back unenqueued.
     pub fn try_submit(&self, req: TxnRequest) -> Result<Ticket, SubmitError> {
-        let q = self.shared.q.lock().unwrap();
+        let q = self.shared.lock_q();
         if !q.closed && q.pending.len() >= self.shared.capacity {
             return Err(SubmitError::Full(req));
         }
@@ -318,27 +473,37 @@ impl Server {
     /// The latest published metrics snapshot (refreshed by the engine
     /// thread as it works; cheap to call from any thread).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.latest.lock().unwrap().clone()
+        self.shared
+            .latest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Graceful shutdown: close the queue to new submissions, let the
     /// engine drain every queued and in-flight transaction to a terminal
     /// state (flat-out — the drain does not wait for the wall clock),
     /// and return the final report. All outstanding [`Ticket`]s are
-    /// resolved before this returns.
+    /// resolved before this returns — including tickets poisoned by
+    /// engine crashes along the way.
     pub fn shutdown(mut self) -> ServeReport {
         self.close();
-        let (summary, metrics) = self
+        let (summary, metrics, crashes, windows) = self
             .engine
             .take()
             .expect("engine joined once")
             .join()
-            .expect("engine thread panicked");
-        ServeReport { summary, metrics }
+            .expect("supervisor thread panicked");
+        ServeReport {
+            summary,
+            metrics,
+            crashes,
+            windows,
+        }
     }
 
     fn close(&self) {
-        let mut q = self.shared.q.lock().unwrap();
+        let mut q = self.shared.lock_q();
         q.closed = true;
         drop(q);
         self.shared.work_cv.notify_all();
@@ -371,20 +536,109 @@ fn elapsed_secs(clock: &Clock, now: SimTime) -> f64 {
 /// ticket resolution and metrics publication stay responsive under load.
 const EVENT_BURST: u32 = 4096;
 
+/// The supervisor: runs engine incarnations under `catch_unwind`. Live
+/// metrics, the ticket registry and the arrival-stamp clamp all live
+/// here, *outside* the unwind boundary, so a crash loses only the engine
+/// state — every in-flight ticket is resolved to [`Outcome::Poisoned`]
+/// and (within [`ServeConfig::max_restarts`]) a fresh engine picks the
+/// queue back up.
 fn engine_main(
     shared: Arc<Shared>,
     cfg: Arc<SimConfig>,
     policy: Arc<dyn Policy + Send + Sync>,
     serve: ServeConfig,
-) -> (RunSummary, MetricsSnapshot) {
+) -> (RunSummary, MetricsSnapshot, u32, Vec<WindowSnapshot>) {
     let clock = match serve.clock {
         ClockMode::Virtual => Clock::virtual_clock(),
         ClockMode::Wall { scale } => Clock::wall(scale),
     };
-    let mut eng = StepEngine::new(&cfg, &*policy).expect("config validated in Server::start");
-    let mut tickets: HashMap<u32, Arc<TicketState>> = HashMap::new();
     let mut metrics = LiveMetrics::new(serve.window_secs);
+    let mut tickets: HashMap<u32, Arc<TicketState>> = HashMap::new();
     let mut last_arrival = SimTime::ZERO;
+    let mut crashes = 0u32;
+    let mut panic_at = serve.panic_at_arrival;
+
+    let (summary, final_elapsed) = loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            serve_incarnation(
+                &shared,
+                &cfg,
+                &*policy,
+                &serve,
+                &clock,
+                &mut metrics,
+                &mut tickets,
+                &mut last_arrival,
+                panic_at.take(),
+            )
+        }));
+        match attempt {
+            Ok(done) => break done,
+            Err(_) => {
+                crashes += 1;
+                // Every ticket still registered was in flight inside the
+                // crashed engine; its transaction state is gone. Resolve
+                // them all so no submitter hangs on the condvar.
+                let lost = tickets.len() as u64;
+                for (_, state) in tickets.drain() {
+                    resolve_ticket(&state, Outcome::Poisoned);
+                }
+                metrics.on_poisoned(lost);
+                if crashes <= serve.max_restarts {
+                    // Requests still in the shared queue were never
+                    // admitted; the fresh incarnation drains them.
+                    continue;
+                }
+                // Out of restarts: close the door and fail everything
+                // still queued, then report with an empty last-engine
+                // summary.
+                let drained: Vec<_> = {
+                    let mut q = shared.lock_q();
+                    q.closed = true;
+                    q.pending.drain(..).collect()
+                };
+                shared.work_cv.notify_all();
+                shared.space_cv.notify_all();
+                metrics.on_poisoned(drained.len() as u64);
+                for (_req, state) in drained {
+                    metrics.on_submit();
+                    resolve_ticket(&state, Outcome::Poisoned);
+                }
+                let elapsed = shared
+                    .latest
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .elapsed_secs;
+                let summary = StepEngine::new(&cfg, &*policy)
+                    .expect("config validated in Server::start")
+                    .finish();
+                break (summary, elapsed);
+            }
+        }
+    };
+
+    let final_snapshot = metrics.snapshot(final_elapsed, 0);
+    *shared.latest.lock().unwrap_or_else(PoisonError::into_inner) = final_snapshot.clone();
+    (summary, final_snapshot, crashes, metrics.windows().to_vec())
+}
+
+/// One engine incarnation: the serving loop proper, from a fresh
+/// [`StepEngine`] to a drained shutdown. Returns the engine's batch
+/// summary and the final elapsed-seconds reading. Panics propagate to
+/// the supervisor in [`engine_main`].
+#[allow(clippy::too_many_arguments)]
+fn serve_incarnation(
+    shared: &Shared,
+    cfg: &SimConfig,
+    policy: &(dyn Policy + Send + Sync),
+    serve: &ServeConfig,
+    clock: &Clock,
+    metrics: &mut LiveMetrics,
+    tickets: &mut HashMap<u32, Arc<TicketState>>,
+    last_arrival: &mut SimTime,
+    panic_at: Option<u64>,
+) -> (RunSummary, f64) {
+    let mut eng = StepEngine::new(cfg, policy).expect("config validated in Server::start");
 
     loop {
         // 1. Drain the submission queue into the engine, stamping
@@ -399,7 +653,7 @@ fn engine_main(
             serve.max_in_engine.saturating_sub(eng.in_flight() as usize)
         };
         let (batch, closed, throttled) = {
-            let mut q = shared.q.lock().unwrap();
+            let mut q = shared.lock_q();
             let take = q.pending.len().min(room);
             let batch: Vec<_> = q.pending.drain(..take).collect();
             (batch, q.closed, !q.pending.is_empty())
@@ -408,15 +662,40 @@ fn engine_main(
             shared.space_cv.notify_all();
         }
         for (req, state) in batch {
-            let id = eng.next_txn_id();
             let arrival = if clock.is_virtual() {
-                req.arrival.max(eng.now()).max(last_arrival)
+                req.arrival.max(eng.now()).max(*last_arrival)
             } else {
-                clock.now(eng.now()).max(last_arrival)
+                clock.now(eng.now()).max(*last_arrival)
             };
-            last_arrival = arrival;
-            tickets.insert(id.0, state);
+            *last_arrival = arrival;
             metrics.on_submit();
+            // Deadline-aware shedding: a request that cannot meet its
+            // intended deadline even uncontended is a guaranteed miss —
+            // fail it now, cheaply, instead of inside the engine.
+            if serve.shed_infeasible
+                && arrival + req.resource_time() > req.deadline_from(req.arrival)
+            {
+                let queued_for = if arrival >= req.arrival {
+                    arrival.since(req.arrival)
+                } else {
+                    SimDuration::ZERO
+                };
+                let at = if clock.is_virtual() {
+                    arrival.since(SimTime::ZERO).as_secs()
+                } else {
+                    elapsed_secs(clock, eng.now())
+                };
+                metrics.on_shed(at);
+                resolve_ticket(
+                    &state,
+                    Outcome::Shed {
+                        response_wall_ms: clock.to_wall_ms(queued_for),
+                    },
+                );
+                continue;
+            }
+            let id = eng.next_txn_id();
+            tickets.insert(id.0, state);
             eng.submit(req.into_transaction(id, arrival));
         }
 
@@ -434,6 +713,15 @@ fn engine_main(
                 Some(t) if closed || clock.due(t) => {
                     eng.step();
                     processed += 1;
+                    // Chaos hook: crash at a pinned event-sequence
+                    // position (the Nth arrival), so supervised recovery
+                    // is exercised at a reproducible point.
+                    if panic_at.is_some_and(|n| eng.arrivals_fired() >= n) {
+                        panic!(
+                            "injected engine panic after {} arrivals",
+                            eng.arrivals_fired()
+                        );
+                    }
                 }
                 Some(_) => break, // wall clock hasn't caught up yet
                 None => {
@@ -448,31 +736,45 @@ fn engine_main(
             }
         }
 
-        // 3. Resolve tickets and feed the live metrics.
+        // 3. Resolve tickets and feed the live metrics. Virtual mode
+        //    drives window rolls from each completion's *finish time* —
+        //    a pure function of the event sequence — never from how much
+        //    work this loop turn happened to batch, so the window
+        //    history replays deterministically.
         let now = eng.now();
-        let elapsed = elapsed_secs(&clock, now);
+        let elapsed = elapsed_secs(clock, now);
         for c in eng.drain_completions() {
             let wall_ms = clock.to_wall_ms(c.response());
+            let at = if clock.is_virtual() {
+                c.finish.since(SimTime::ZERO).as_secs()
+            } else {
+                elapsed
+            };
             match c.kind {
-                CompletionKind::Committed { missed } => metrics.on_commit(wall_ms, missed, elapsed),
-                CompletionKind::Rejected => metrics.on_reject(elapsed),
+                CompletionKind::Committed { missed } => metrics.on_commit(wall_ms, missed, at),
+                CompletionKind::Rejected => metrics.on_reject(at),
             }
             if let Some(state) = tickets.remove(&c.id.0) {
-                *state.slot.lock().unwrap() = Some(Outcome {
-                    completion: c,
-                    response_wall_ms: wall_ms,
-                });
-                state.cv.notify_all();
+                resolve_ticket(
+                    &state,
+                    Outcome::Finished {
+                        completion: c,
+                        response_wall_ms: wall_ms,
+                    },
+                );
             }
         }
-        metrics.maybe_roll(elapsed);
-        *shared.latest.lock().unwrap() = metrics.snapshot(elapsed, eng.in_flight());
+        if !clock.is_virtual() {
+            metrics.maybe_roll(elapsed);
+        }
+        *shared.latest.lock().unwrap_or_else(PoisonError::into_inner) =
+            metrics.snapshot(elapsed, eng.in_flight());
 
         // 4. Done? (Queue emptiness is re-checked under the lock in the
         //    wait below; anything enqueued before `closed` was set is
         //    still drained first.)
         if closed && eng.in_flight() == 0 {
-            let q = shared.q.lock().unwrap();
+            let q = shared.lock_q();
             if q.pending.is_empty() {
                 break;
             }
@@ -485,31 +787,39 @@ fn engine_main(
         //    something, so only the clock can make progress.
         if processed == 0 {
             let wait = eng.next_event_time().and_then(|t| clock.wall_wait(t));
-            let q = shared.q.lock().unwrap();
+            let q = shared.lock_q();
             if (q.pending.is_empty() || throttled) && !q.closed {
                 match wait {
                     // Wall clock: sleep until the next event is due (capped
                     // so queue wake-ups are never missed for long).
                     Some(d) if d > Duration::ZERO => {
                         let cap = d.min(Duration::from_millis(100));
-                        let _ = shared.work_cv.wait_timeout(q, cap).unwrap();
+                        let _ = shared
+                            .work_cv
+                            .wait_timeout(q, cap)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     // Due now (raced the clock) — loop again.
                     Some(_) => {}
                     // Virtual clock (or empty calendar): only new work or
                     // close can unblock us.
                     None => {
-                        drop(shared.work_cv.wait(q).unwrap());
+                        drop(
+                            shared
+                                .work_cv
+                                .wait(q)
+                                .unwrap_or_else(PoisonError::into_inner),
+                        );
                     }
                 }
             }
         }
     }
 
-    let final_snapshot = {
-        let now = eng.now();
-        metrics.snapshot(elapsed_secs(&clock, now), 0)
-    };
-    *shared.latest.lock().unwrap() = final_snapshot.clone();
-    (eng.finish(), final_snapshot)
+    // Close the trailing window at the final instant (deterministic in
+    // virtual mode: the last event's time), so the window history covers
+    // the whole run.
+    let final_elapsed = elapsed_secs(clock, eng.now());
+    metrics.maybe_roll(final_elapsed);
+    (eng.finish(), final_elapsed)
 }

@@ -91,6 +91,12 @@ pub struct TraceSpec {
     /// profile; arrivals continue at baseline past it if `txns` haven't
     /// been exhausted).
     pub day_secs: f64,
+    /// Probability each update performs a disk access before its CPU
+    /// burst (`0.0` = pure main-memory trace; anything above zero needs
+    /// a disk in the engine configuration). At exactly `0.0` the IO
+    /// stream draws no randomness, so pre-existing traces are
+    /// byte-identical.
+    pub io_prob: f64,
     /// Master seed; independent labelled streams are derived from it.
     pub seed: u64,
 }
@@ -106,6 +112,7 @@ impl TraceSpec {
             hot_keys: 100,
             hot_prob: 0.25,
             day_secs: 6.5 * 3600.0,
+            io_prob: 0.0,
             seed,
         }
     }
@@ -137,6 +144,10 @@ impl TraceSpec {
             self.hot_keys < self.db_size,
             "hot set must leave cold records"
         );
+        assert!(
+            (0.0..=1.0).contains(&self.io_prob),
+            "io_prob must be a probability"
+        );
         let largest = CLASSES.iter().map(|c| c.updates).max().unwrap() as u64;
         assert!(
             self.hot_keys >= largest && self.db_size - self.hot_keys >= largest,
@@ -151,6 +162,7 @@ impl TraceSpec {
             items: seeder.stream("serve-items"),
             slack: seeder.stream("serve-slack"),
             hot: seeder.stream("serve-hot"),
+            io: seeder.stream("serve-io"),
             clock: SimTime::ZERO,
             emitted: 0,
             base_rate,
@@ -187,6 +199,7 @@ pub struct TradingDayTrace {
     items: Xoshiro256,
     slack: Xoshiro256,
     hot: Xoshiro256,
+    io: Xoshiro256,
     clock: SimTime,
     emitted: usize,
     base_rate: f64,
@@ -239,6 +252,15 @@ impl Iterator for TradingDayTrace {
             .into_iter()
             .map(|x| ItemId((lo + x) as u32))
             .collect();
+        // Per-update IO pattern; skipped entirely (zero draws) for pure
+        // main-memory traces so their byte identity is untouched.
+        let io_pattern = if self.spec.io_prob > 0.0 {
+            (0..cls.updates)
+                .map(|_| bernoulli(&mut self.io, self.spec.io_prob))
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.emitted += 1;
         Some(TxnRequest {
             ty: TypeId(ty as u32),
@@ -246,6 +268,7 @@ impl Iterator for TradingDayTrace {
             update_time: SimDuration::from_ms(cls.update_ms),
             slack: uniform_range(&mut self.slack, cls.slack.0, cls.slack.1),
             arrival: self.clock,
+            io_pattern,
         })
     }
 
@@ -323,6 +346,36 @@ mod tests {
             saw_cold |= cold;
         }
         assert!(saw_hot && saw_cold);
+    }
+
+    #[test]
+    fn io_prob_is_an_independent_stream() {
+        // Turning IO on must not perturb any other draw (labelled
+        // streams), and at zero probability no pattern is materialized.
+        let mm = TraceSpec::trading_day(300, 11);
+        let mut io = mm.clone();
+        io.io_prob = 0.4;
+        let a: Vec<_> = mm
+            .stream()
+            .map(|r| (r.arrival, r.items.clone(), r.slack, r.io_pattern.clone()))
+            .collect();
+        let b: Vec<_> = io
+            .stream()
+            .map(|r| (r.arrival, r.items.clone(), r.slack, r.io_pattern.clone()))
+            .collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((&x.0, &x.1, &x.2), (&y.0, &y.1, &y.2));
+            assert!(x.3.is_empty());
+            assert_eq!(y.3.len(), y.1.len(), "pattern aligned with items");
+        }
+        assert!(
+            b.iter().flat_map(|r| &r.3).any(|&x| x),
+            "40% IO should surface"
+        );
+        assert!(
+            b.iter().flat_map(|r| &r.3).any(|&x| !x),
+            "and leave some updates pure-CPU"
+        );
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! workload streams — and a plan of [`FaultPlan::none()`] performs **no
 //! draws at all**, keeping fault-free runs byte-identical to runs built
 //! before this subsystem existed.
+//!
+//! The same model extends to the CPU: an optional [`CpuFaultPlan`]
+//! describes transient **stalls** (a compute burst runs to completion
+//! and then must be retried with backoff), **slowdowns** (a burst takes
+//! `slow_factor ×` its nominal time) and brownout windows. CPU verdicts
+//! come from a [`CpuFaultInjector`] on its own `"cpu-faults"` stream, so
+//! disk and CPU injection never perturb each other — and a plan without
+//! a CPU section draws nothing.
 
 use crate::dist::uniform_unit;
 use crate::rng::{StreamSeeder, Xoshiro256};
@@ -68,6 +76,9 @@ pub struct FaultPlan {
     pub backoff_cap_ms: f64,
     /// Optional recurring degraded-service window.
     pub brownout: Option<Brownout>,
+    /// Optional CPU-side fault section. `None` means the CPU never
+    /// misbehaves and no `"cpu-faults"` randomness is consumed.
+    pub cpu: Option<CpuFaultPlan>,
 }
 
 impl FaultPlan {
@@ -83,13 +94,29 @@ impl FaultPlan {
             backoff_base_ms: 1.0,
             backoff_cap_ms: 8.0,
             brownout: None,
+            cpu: None,
         }
     }
 
-    /// True iff this plan can never inject a fault (the engine skips the
-    /// injector entirely, consuming no randomness).
+    /// True iff this plan can never inject any fault — disk or CPU (the
+    /// engine skips both injectors entirely, consuming no randomness).
     pub fn is_none(&self) -> bool {
+        self.disk_is_none() && self.cpu_is_none()
+    }
+
+    /// True iff the *disk* section can never inject a fault (the engine
+    /// skips the disk injector, consuming no `"faults"` randomness).
+    pub fn disk_is_none(&self) -> bool {
         self.error_prob == 0.0 && self.spike_prob == 0.0 && self.brownout.is_none()
+    }
+
+    /// True iff the *CPU* section can never inject a fault (the engine
+    /// skips the CPU injector, consuming no `"cpu-faults"` randomness).
+    pub fn cpu_is_none(&self) -> bool {
+        match &self.cpu {
+            None => true,
+            Some(c) => c.stall_prob == 0.0 && c.slow_prob == 0.0 && c.brownout.is_none(),
+        }
     }
 
     /// The backoff delay before retry number `retries + 1`, i.e. after
@@ -125,27 +152,103 @@ impl FaultPlan {
             ));
         }
         if let Some(b) = &self.brownout {
-            if !b.period_ms.is_finite() || b.period_ms <= 0.0 {
-                return Err(format!("brownout period {} must be positive", b.period_ms));
-            }
-            if !b.duration_ms.is_finite() || b.duration_ms < 0.0 || b.duration_ms > b.period_ms {
-                return Err(format!(
-                    "brownout duration {} outside [0, period {}]",
-                    b.duration_ms, b.period_ms
-                ));
-            }
-            if !(0.0..=1.0).contains(&b.error_prob) {
-                return Err(format!(
-                    "brownout error_prob {} outside [0,1]",
-                    b.error_prob
-                ));
-            }
-            if !b.latency_factor.is_finite() || b.latency_factor < 1.0 {
-                return Err(format!(
-                    "brownout latency_factor {} must be ≥ 1",
-                    b.latency_factor
-                ));
-            }
+            validate_brownout(b)?;
+        }
+        if let Some(c) = &self.cpu {
+            c.validate()?;
+        }
+        Ok(())
+    }
+}
+
+fn validate_brownout(b: &Brownout) -> Result<(), String> {
+    if !b.period_ms.is_finite() || b.period_ms <= 0.0 {
+        return Err(format!("brownout period {} must be positive", b.period_ms));
+    }
+    if !b.duration_ms.is_finite() || b.duration_ms < 0.0 || b.duration_ms > b.period_ms {
+        return Err(format!(
+            "brownout duration {} outside [0, period {}]",
+            b.duration_ms, b.period_ms
+        ));
+    }
+    if !(0.0..=1.0).contains(&b.error_prob) {
+        return Err(format!(
+            "brownout error_prob {} outside [0,1]",
+            b.error_prob
+        ));
+    }
+    if !b.latency_factor.is_finite() || b.latency_factor < 1.0 {
+        return Err(format!(
+            "brownout latency_factor {} must be ≥ 1",
+            b.latency_factor
+        ));
+    }
+    Ok(())
+}
+
+/// The CPU section of a [`FaultPlan`]: transient stalls and slowdowns of
+/// compute bursts, mirroring the disk model attempt-for-attempt.
+///
+/// All probabilities are per compute-burst *attempt*. A stalled burst
+/// occupies the CPU for its full (possibly slowed) service time and then
+/// fails: the work is wasted and the transaction backs off and retries
+/// the burst, aborting-and-restarting once the retry budget is spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuFaultPlan {
+    /// Base probability that a compute burst stalls (completes without
+    /// making progress and must be retried).
+    pub stall_prob: f64,
+    /// Probability that a burst runs slowed.
+    pub slow_prob: f64,
+    /// Service-time multiplier of a slowed burst (`≥ 1`).
+    pub slow_factor: f64,
+    /// Maximum number of *retries* after the first stalled burst before
+    /// the transaction is aborted-and-restarted like an HP victim.
+    pub retry_budget: u32,
+    /// Backoff before the first retry, ms; doubles on every further retry.
+    pub backoff_base_ms: f64,
+    /// Upper bound on any single backoff delay, ms.
+    pub backoff_cap_ms: f64,
+    /// Optional recurring degraded-service window (`error_prob` is the
+    /// in-window stall probability, `latency_factor` slows bursts).
+    pub brownout: Option<Brownout>,
+}
+
+impl CpuFaultPlan {
+    /// The backoff delay before retry number `retries + 1`, i.e. after
+    /// `retries` prior stalls: `base × 2^retries`, capped.
+    pub fn backoff_after(&self, retries: u32) -> SimDuration {
+        let exp = retries.min(20); // 2^20 × base already dwarfs any cap
+        let raw = self.backoff_base_ms * f64::powi(2.0, exp as i32);
+        SimDuration::from_ms(raw.min(self.backoff_cap_ms))
+    }
+
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.stall_prob) {
+            return Err(format!("cpu stall_prob {} outside [0,1]", self.stall_prob));
+        }
+        if !(0.0..=1.0).contains(&self.slow_prob) {
+            return Err(format!("cpu slow_prob {} outside [0,1]", self.slow_prob));
+        }
+        if !self.slow_factor.is_finite() || self.slow_factor < 1.0 {
+            return Err(format!("cpu slow_factor {} must be ≥ 1", self.slow_factor));
+        }
+        if !self.backoff_base_ms.is_finite() || self.backoff_base_ms < 0.0 {
+            return Err(format!(
+                "cpu backoff_base_ms {} must be ≥ 0",
+                self.backoff_base_ms
+            ));
+        }
+        if !self.backoff_cap_ms.is_finite() || self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(format!(
+                "cpu backoff_cap_ms {} must be ≥ backoff_base_ms {}",
+                self.backoff_cap_ms, self.backoff_base_ms
+            ));
+        }
+        if let Some(b) = &self.brownout {
+            validate_brownout(b)?;
         }
         Ok(())
     }
@@ -224,6 +327,61 @@ impl FaultInjector {
     }
 }
 
+/// Draws per-burst fault verdicts from a [`CpuFaultPlan`] on the
+/// dedicated `"cpu-faults"` stream.
+///
+/// In the returned [`Attempt`], `failed` means the burst *stalls* and
+/// `spiked` means it runs slowed. Exactly two uniform draws are consumed
+/// per burst regardless of the outcome, keeping the stream aligned
+/// across plan-parameter changes that keep the burst sequence identical.
+#[derive(Debug, Clone)]
+pub struct CpuFaultInjector {
+    plan: CpuFaultPlan,
+    rng: Xoshiro256,
+}
+
+impl CpuFaultInjector {
+    /// A new injector drawing from the seeder's `"cpu-faults"` stream.
+    pub fn new(plan: CpuFaultPlan, seeder: &StreamSeeder) -> Self {
+        CpuFaultInjector {
+            plan,
+            rng: seeder.stream("cpu-faults"),
+        }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &CpuFaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of one compute burst starting at `now` whose
+    /// nominal service time is `nominal`.
+    pub fn attempt(&mut self, now: SimTime, nominal: SimDuration) -> Attempt {
+        let u_stall = uniform_unit(&mut self.rng);
+        let u_slow = uniform_unit(&mut self.rng);
+        let brown = self.plan.brownout.filter(|b| b.active_at(now));
+        let stall_prob = match &brown {
+            Some(b) => self.plan.stall_prob.max(b.error_prob),
+            None => self.plan.stall_prob,
+        };
+        let failed = u_stall < stall_prob;
+        let spiked = u_slow < self.plan.slow_prob;
+        let mut service = nominal;
+        if spiked {
+            service = service.scale(self.plan.slow_factor);
+        }
+        if let Some(b) = &brown {
+            service = service.scale(b.latency_factor);
+        }
+        Attempt {
+            failed,
+            spiked,
+            brownout: brown.is_some(),
+            service,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +394,19 @@ mod tests {
             retry_budget: 3,
             backoff_base_ms: 2.0,
             backoff_cap_ms: 16.0,
+            brownout: None,
+            cpu: None,
+        }
+    }
+
+    fn cpu_plan(stall: f64, slow: f64) -> CpuFaultPlan {
+        CpuFaultPlan {
+            stall_prob: stall,
+            slow_prob: slow,
+            slow_factor: 3.0,
+            retry_budget: 2,
+            backoff_base_ms: 1.0,
+            backoff_cap_ms: 4.0,
             brownout: None,
         }
     }
@@ -254,6 +425,22 @@ mod tests {
             latency_factor: 2.0,
         });
         assert!(!p.is_none());
+    }
+
+    #[test]
+    fn disk_and_cpu_sections_gate_independently() {
+        let mut p = FaultPlan::none();
+        assert!(p.disk_is_none() && p.cpu_is_none());
+        p.cpu = Some(cpu_plan(0.1, 0.0));
+        assert!(p.disk_is_none(), "cpu faults leave the disk section empty");
+        assert!(!p.cpu_is_none());
+        assert!(!p.is_none());
+        // A present-but-inert CPU section still counts as none: no draws.
+        p.cpu = Some(cpu_plan(0.0, 0.0));
+        assert!(p.cpu_is_none() && p.is_none());
+        p = plan(0.1, 0.0);
+        assert!(!p.disk_is_none());
+        assert!(p.cpu_is_none());
     }
 
     #[test]
@@ -298,6 +485,15 @@ mod tests {
             latency_factor: 1.0,
         });
         assert!(p.validate().is_err(), "duration exceeds period");
+        p = plan(0.0, 0.0);
+        p.cpu = Some(cpu_plan(1.5, 0.0));
+        assert!(p.validate().is_err(), "cpu section validated too");
+        let mut c = cpu_plan(0.1, 0.0);
+        c.slow_factor = 0.5;
+        assert!(c.validate().is_err());
+        c = cpu_plan(0.1, 0.0);
+        c.backoff_cap_ms = 0.1; // below base
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -365,6 +561,46 @@ mod tests {
         let outside = inj.attempt(SimTime::from_ms(500.0), SimDuration::from_ms(10.0));
         assert!(!outside.failed && !outside.brownout);
         assert_eq!(outside.service, SimDuration::from_ms(10.0));
+    }
+
+    #[test]
+    fn cpu_injector_mirrors_disk_model() {
+        let seeder = StreamSeeder::new(9);
+        let mut a = CpuFaultInjector::new(cpu_plan(0.3, 0.3), &seeder);
+        let mut b = CpuFaultInjector::new(cpu_plan(0.3, 0.3), &seeder);
+        for i in 0..200 {
+            let now = SimTime::from_ms(i as f64 * 7.0);
+            let nominal = SimDuration::from_ms(2.0);
+            assert_eq!(a.attempt(now, nominal), b.attempt(now, nominal));
+        }
+        // Certain stall, certain slowdown.
+        let mut inj = CpuFaultInjector::new(cpu_plan(1.0, 1.0), &seeder);
+        let att = inj.attempt(SimTime::ZERO, SimDuration::from_ms(2.0));
+        assert!(att.failed && att.spiked);
+        assert_eq!(att.service, SimDuration::from_ms(6.0));
+        // Backoff doubles and caps like the disk plan's.
+        let c = cpu_plan(0.1, 0.0);
+        assert_eq!(c.backoff_after(0), SimDuration::from_ms(1.0));
+        assert_eq!(c.backoff_after(1), SimDuration::from_ms(2.0));
+        assert_eq!(c.backoff_after(2), SimDuration::from_ms(4.0));
+        assert_eq!(c.backoff_after(9), SimDuration::from_ms(4.0), "capped");
+    }
+
+    #[test]
+    fn cpu_stream_is_independent_of_disk_stream() {
+        // Disk and CPU injectors over the same seeder draw from different
+        // labelled streams: interleaving draws on one never changes the
+        // other's verdicts.
+        let seeder = StreamSeeder::new(21);
+        let mut cpu_alone = CpuFaultInjector::new(cpu_plan(0.5, 0.5), &seeder);
+        let mut cpu_mixed = CpuFaultInjector::new(cpu_plan(0.5, 0.5), &seeder);
+        let mut disk = FaultInjector::new(plan(0.5, 0.5), &seeder);
+        for i in 0..100 {
+            let now = SimTime::from_ms(i as f64);
+            let d = SimDuration::from_ms(5.0);
+            let _ = disk.attempt(now, d);
+            assert_eq!(cpu_alone.attempt(now, d), cpu_mixed.attempt(now, d));
+        }
     }
 
     #[test]

@@ -219,6 +219,40 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = Histogram::for_latency_ms();
+        h.record(42.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!(h.max(), 42.0);
+        // With one observation, every quantile names the same bucket —
+        // reported to bucket precision.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let got = h.quantile(q);
+            assert!((got - 42.0).abs() / 42.0 < 0.02, "q={q}: got {got}");
+        }
+    }
+
+    #[test]
+    fn saturated_bucket_keeps_quantiles_flat() {
+        // Heavy identical load: a single bucket holds all the mass, so
+        // the whole quantile curve is flat at that bucket's midpoint and
+        // none of the cumulative walks overflow or fall off the end.
+        let mut h = Histogram::for_latency_ms();
+        for _ in 0..1_000_000 {
+            h.record(7.5);
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert_eq!(h.max(), 7.5);
+        let median = h.quantile(0.5);
+        assert!((median - 7.5).abs() / 7.5 < 0.02, "median {median}");
+        for q in [0.0, 0.1, 0.9, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), median, "flat curve at q={q}");
+        }
+        assert_eq!(h.zero_fraction(), 0.0);
+    }
+
+    #[test]
     fn merge_equals_combined() {
         let mut a = Histogram::for_latency_ms();
         let mut b = Histogram::for_latency_ms();

@@ -59,7 +59,7 @@ pub mod time;
 
 pub use calendar::{Calendar, EventHandle, Fired};
 pub use clock::Clock;
-pub use fault::{Attempt, Brownout, FaultInjector, FaultPlan};
+pub use fault::{Attempt, Brownout, CpuFaultInjector, CpuFaultPlan, FaultInjector, FaultPlan};
 pub use hist::Histogram;
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use stats::{Accumulator, Estimate, Replications, TimeWeighted};

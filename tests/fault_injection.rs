@@ -26,6 +26,7 @@ fn hostile_plan() -> FaultPlan {
             error_prob: 0.6,
             latency_factor: 2.0,
         }),
+        cpu: None,
     }
 }
 
@@ -95,7 +96,7 @@ fn admission_control_decomposes_outcomes() {
     // reject the tight-slack tail of the workload (slack is uniform on
     // [0.2, 8]; a 3× margin rejects slack below ~2 on arrival).
     let mut cfg = disk_cfg(200, 8.0);
-    cfg.system.admission = Some(AdmissionConfig { safety_factor: 3.0 });
+    cfg.system.admission = Some(AdmissionConfig::Static { safety_factor: 3.0 });
     let s = run_simulation_validated(&cfg, &Cca::base());
     assert!(s.rejected > 0, "overload must trigger rejections");
     assert_eq!(
@@ -167,6 +168,7 @@ fn fault_plan() -> impl Strategy<Value = FaultPlan> {
                     error_prob: err,
                     latency_factor,
                 }),
+                cpu: None,
             },
         )
 }

@@ -166,6 +166,7 @@ fn run_specs_mode(
                 error_prob: 0.5,
                 latency_factor: 2.0,
             }),
+            cpu: None,
         };
     }
     let txns = build(specs, &cfg, with_modes);
@@ -314,13 +315,14 @@ fn modes_agree_on_generated_workloads() {
             error_prob: 0.6,
             latency_factor: 2.0,
         }),
+        cpu: None,
     };
     configs.push((disk_faulty, "disk faults"));
 
     let mut disk_admission = SimConfig::disk_base();
     disk_admission.run.num_transactions = 200;
     disk_admission.run.arrival_rate_tps = 8.0;
-    disk_admission.system.admission = Some(AdmissionConfig { safety_factor: 3.0 });
+    disk_admission.system.admission = Some(AdmissionConfig::Static { safety_factor: 3.0 });
     configs.push((disk_admission, "disk admission"));
 
     for (cfg, label) in &configs {

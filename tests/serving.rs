@@ -101,6 +101,7 @@ fn concurrent_submitters_see_consistent_outcomes() {
             update_time: SimDuration::from_ms(5.0),
             slack: 10.0,
             arrival: SimTime::ZERO,
+            io_pattern: vec![],
         })
         .expect("server open");
 
@@ -115,6 +116,7 @@ fn concurrent_submitters_see_consistent_outcomes() {
         update_time: SimDuration::from_ms(1.0),
         slack: 0.2,
         arrival: SimTime::ZERO + SimDuration::from_ms(10.0 + 5.0 * k as f64),
+        io_pattern: vec![],
     };
 
     let tickets: Vec<_> = std::thread::scope(|scope| {
@@ -194,4 +196,167 @@ fn graceful_shutdown_drains_in_flight_transactions() {
     );
     assert_eq!(report.metrics.in_flight, 0, "nothing may remain in flight");
     assert_eq!(report.metrics.submitted, n as u64);
+}
+
+/// An engine panic mid-run must not strand a single submitter: the
+/// supervisor resolves every outstanding ticket (poisoning the ones the
+/// crashed engine held), records the crash, and — within the restart
+/// budget — a fresh engine picks the queue back up and finishes the
+/// trace.
+#[test]
+fn engine_panic_resolves_every_ticket_and_restarts() {
+    let mut serve = ServeConfig::virtual_mode();
+    serve.panic_at_arrival = Some(50);
+    serve.max_restarts = 2;
+    let server =
+        Server::start(serve, Arc::new(serve_cfg()), Arc::new(EdfHp)).expect("config is valid");
+
+    let n = 500;
+    let tickets: Vec<_> = trace(n, 80.0, 3)
+        .stream()
+        .map(|req| {
+            server
+                .submit(req)
+                .expect("queue never closes: restart budget covers the one injected panic")
+        })
+        .collect();
+    let report = server.shutdown();
+
+    assert_eq!(report.crashes, 1, "exactly the injected panic");
+    let mut poisoned = 0u64;
+    let mut finished = 0u64;
+    for ticket in &tickets {
+        // A bounded wait, so a supervisor bug shows up as a test failure
+        // rather than a hang.
+        let outcome = ticket
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("every ticket must resolve after a crash");
+        if outcome.poisoned() {
+            poisoned += 1;
+        } else {
+            finished += 1;
+        }
+    }
+    assert!(poisoned > 0, "the crash held transactions in flight");
+    assert!(finished > 0, "the restarted engine must drain the queue");
+    assert_eq!(poisoned, report.metrics.poisoned, "ticket/metrics tally");
+    assert_eq!(
+        report.metrics.committed + report.metrics.rejected + report.metrics.poisoned,
+        n as u64,
+        "every submission reaches exactly one terminal outcome"
+    );
+}
+
+/// Past the restart budget the server fails closed: all outstanding and
+/// queued tickets poison, and further submissions are refused rather
+/// than silently dropped.
+#[test]
+fn crash_past_restart_budget_closes_the_server() {
+    let mut serve = ServeConfig::virtual_mode();
+    serve.panic_at_arrival = Some(10);
+    serve.max_restarts = 0;
+    let server =
+        Server::start(serve, Arc::new(serve_cfg()), Arc::new(EdfHp)).expect("config is valid");
+
+    let n = 300;
+    let mut tickets = Vec::new();
+    let mut refused = 0u64;
+    for req in trace(n, 80.0, 3).stream() {
+        match server.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(rtx::serve::SubmitError::Closed(_)) => refused += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let report = server.shutdown();
+
+    assert_eq!(report.crashes, 1);
+    let mut resolved = 0u64;
+    for ticket in &tickets {
+        assert!(
+            ticket
+                .wait_timeout(std::time::Duration::from_secs(30))
+                .is_some(),
+            "no ticket may hang on a dead server"
+        );
+        resolved += 1;
+    }
+    assert_eq!(resolved + refused, n as u64);
+    assert!(
+        report.metrics.poisoned > 0,
+        "in-flight work at the terminal crash must be poisoned"
+    );
+}
+
+/// `Ticket::wait_timeout` times out (returning `None`) while the
+/// transaction is genuinely still pending, and the same ticket still
+/// resolves later.
+#[test]
+fn ticket_wait_timeout_expires_then_resolves() {
+    let server = Server::start(
+        ServeConfig::virtual_mode(),
+        Arc::new(serve_cfg()),
+        Arc::new(EdfHp),
+    )
+    .expect("config is valid");
+
+    // Virtual replay holds an arrival until its successor shows up or
+    // the stream closes, so a lone submission stays pending.
+    let ticket = server
+        .submit(TxnRequest {
+            ty: TypeId(0),
+            items: vec![ItemId(1), ItemId(2)],
+            update_time: SimDuration::from_ms(1.0),
+            slack: 2.0,
+            arrival: SimTime::ZERO,
+            io_pattern: vec![],
+        })
+        .expect("server open");
+    assert_eq!(
+        ticket.wait_timeout(std::time::Duration::from_millis(50)),
+        None,
+        "pending ticket must time out, not resolve"
+    );
+    let report = server.shutdown();
+    assert!(ticket
+        .wait_timeout(std::time::Duration::from_secs(30))
+        .expect("shutdown resolves the ticket")
+        .accepted());
+    assert_eq!(report.summary.committed, 1);
+}
+
+/// Malformed serving configurations are rejected at `Server::start`
+/// instead of panicking inside the engine thread.
+#[test]
+fn bad_serve_configs_are_rejected_at_start() {
+    let cases: Vec<(&str, ServeConfig)> = vec![
+        ("zero queue", {
+            let mut c = ServeConfig::virtual_mode();
+            c.queue_capacity = 0;
+            c
+        }),
+        ("zero engine cap", {
+            let mut c = ServeConfig::wall(100.0);
+            c.max_in_engine = 0;
+            c
+        }),
+        ("zero window", {
+            let mut c = ServeConfig::virtual_mode();
+            c.window_secs = 0.0;
+            c
+        }),
+        ("NaN window", {
+            let mut c = ServeConfig::virtual_mode();
+            c.window_secs = f64::NAN;
+            c
+        }),
+        ("zero wall scale", ServeConfig::wall(0.0)),
+        ("infinite wall scale", ServeConfig::wall(f64::INFINITY)),
+    ];
+    for (what, serve) in cases {
+        assert!(
+            Server::start(serve, Arc::new(serve_cfg()), Arc::new(EdfHp)).is_err(),
+            "{what} must be rejected"
+        );
+    }
 }
