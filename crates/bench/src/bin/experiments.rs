@@ -17,9 +17,13 @@
 //!
 //! `--bench-profile` runs the scheduler-overhead profile (incremental
 //! engine vs the always-recompute oracle, wall-clock timed) and writes
-//! `<out>/BENCH_scheduling.json`. It may be given alone or alongside
-//! experiment ids; with `--quick` it profiles only a small MPL-64 burst
-//! (the CI regression smoke) instead of the full policy × MPL sweep.
+//! `<out>/BENCH_scheduling.json`. Both JSON documents are stamped with
+//! the current git commit, and every run appends one row per scenario
+//! to `<out>/bench-history.csv` (epoch seconds + commit + headline
+//! counters), so regressions can be traced across commits. It may be
+//! given alone or alongside experiment ids; with `--quick` it profiles
+//! only the small CI regression-smoke bursts instead of the full
+//! policy × MPL sweep.
 //!
 //! `serve` is the wall-clock serving benchmark (not an experiment id —
 //! its numbers are machine-dependent, so it never joins `all`): it
@@ -53,6 +57,66 @@ use rtx_bench::experiments::{run_group_with, GroupReport, ALL_IDS};
 use rtx_bench::plot::render_chart;
 use rtx_bench::Scale;
 use rtx_rtdb::runner::{Parallelism, ReplicationOptions};
+
+/// The current git revision (short), or `"unknown"` outside a checkout
+/// — the bench documents are stamped with it so numbers stay traceable
+/// to the code that produced them.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append one row per profiled scenario to the bench history CSV,
+/// writing the header first when the file does not exist yet.
+fn append_bench_history(
+    path: &std::path::Path,
+    commit: &str,
+    rows: &[rtx_bench::ScenarioSummary],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if fresh {
+        writeln!(
+            f,
+            "epoch_s,commit,scenario,policy,mpl,cached_pick_ns,sched_speedup,\
+             heap_stale_pops,index_migrations,migrations_batched,\
+             pair_cache_evictions,pair_cache_probes,frozen_compactions"
+        )?;
+    }
+    for r in rows {
+        writeln!(
+            f,
+            "{epoch},{commit},{},{},{},{:.1},{:.2},{},{},{},{},{},{}",
+            r.name,
+            r.policy,
+            r.mpl,
+            r.cached_pick_ns,
+            r.sched_speedup,
+            r.heap_stale_pops,
+            r.index_migrations,
+            r.migrations_batched,
+            r.pair_cache_evictions,
+            r.pair_cache_probes,
+            r.frozen_compactions,
+        )?;
+    }
+    Ok(())
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -242,7 +306,9 @@ fn main() -> ExitCode {
     }
 
     if bench_profile {
-        let (json, summary) = rtx_bench::bench_profile_docs(matches!(scale, Scale::Quick));
+        let commit = git_commit();
+        let (json, summary, rows) =
+            rtx_bench::bench_profile_docs(matches!(scale, Scale::Quick), &commit);
         let path = out_dir.join("BENCH_scheduling.json");
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
             eprintln!("failed to create {}: {e}", out_dir.display());
@@ -262,6 +328,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("bench summary -> {}", summary_path.display());
+        let history_path = out_dir.join("bench-history.csv");
+        if let Err(e) = append_bench_history(&history_path, &commit, &rows) {
+            eprintln!("failed to append {}: {e}", history_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench history -> {}", history_path.display());
         if ids.is_empty() {
             return ExitCode::SUCCESS;
         }

@@ -58,10 +58,11 @@ fn burst(mpl: usize) -> SimConfig {
 
 fn scenarios(quick: bool) -> Vec<Scenario> {
     if quick {
-        // CI smoke: one small and one mid-size burst — enough to catch a
+        // CI smoke: small, mid-size and deep bursts — enough to catch a
         // pick-path regression (cached slower than the oracle, stale-pop
-        // blowup) in seconds. The MPL-256 cell is what the CI regression
-        // gate compares against its checked-in baseline.
+        // blowup, migration or eviction volume creeping back up) in
+        // seconds. The MPL-256 and MPL-1024 cells are what the CI
+        // regression gate compares against its checked-in baselines.
         return vec![
             Scenario {
                 name: "mm_cca_burst_mpl64",
@@ -74,6 +75,12 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 policy: Box::new(Cca::base()),
                 cfg: burst(256),
                 reps: 2,
+            },
+            Scenario {
+                name: "mm_cca_burst_mpl1024",
+                policy: Box::new(Cca::base()),
+                cfg: burst(1024),
+                reps: 1,
             },
         ];
     }
@@ -178,6 +185,9 @@ fn run_cell(
         cell.sched.clear_repair_clears += s.sched.clear_repair_clears;
         cell.sched.clear_repair_visits += s.sched.clear_repair_visits;
         cell.sched.index_migrations += s.sched.index_migrations;
+        cell.sched.migrations_batched += s.sched.migrations_batched;
+        cell.sched.pair_cache_probes += s.sched.pair_cache_probes;
+        cell.sched.frozen_compactions += s.sched.frozen_compactions;
         cell.sched.verify_checks += s.sched.verify_checks;
         cell.sched.sched_wall_ns += s.sched.sched_wall_ns;
         cell.committed += s.committed;
@@ -196,8 +206,10 @@ fn cell_json(cell: &Cell, indent: &str) -> String {
          {indent}  \"pair_checks\": {},\n{indent}  \"pair_cache_hits\": {},\n\
          {indent}  \"heap_pushes\": {},\n{indent}  \"heap_stale_pops\": {},\n\
          {indent}  \"heap_validated_picks\": {},\n{indent}  \"pair_invalidations\": {},\n\
-         {indent}  \"pair_cache_evictions\": {},\n{indent}  \"clear_repair_clears\": {},\n\
+         {indent}  \"pair_cache_evictions\": {},\n{indent}  \"pair_cache_probes\": {},\n\
+         {indent}  \"clear_repair_clears\": {},\n\
          {indent}  \"clear_repair_visits\": {},\n{indent}  \"index_migrations\": {},\n\
+         {indent}  \"migrations_batched\": {},\n{indent}  \"frozen_compactions\": {},\n\
          {indent}  \"committed\": {}\n{indent}}}",
         cell.sched.sched_wall_ns,
         cell.pick_ns(),
@@ -211,25 +223,61 @@ fn cell_json(cell: &Cell, indent: &str) -> String {
         cell.sched.heap_validated_picks,
         cell.sched.pair_invalidations,
         cell.sched.pair_cache_evictions,
+        cell.sched.pair_cache_probes,
         cell.sched.clear_repair_clears,
         cell.sched.clear_repair_visits,
         cell.sched.index_migrations,
+        cell.sched.migrations_batched,
+        cell.sched.frozen_compactions,
         cell.committed,
     )
 }
 
+/// One scenario's headline numbers, as they land in `BENCH_sched.json`
+/// — handed back to the caller so `--bench-profile` can append the run
+/// to `results/bench-history.csv` without re-parsing its own JSON.
+pub struct ScenarioSummary {
+    /// Scenario name (`mm_cca_burst_mpl1024`, …).
+    pub name: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Transactions in the burst (the effective MPL).
+    pub mpl: usize,
+    /// Mean wall ns per `pick_next` under the incremental engine
+    /// (machine-dependent).
+    pub cached_pick_ns: f64,
+    /// Oracle wall / incremental wall (machine-dependent).
+    pub sched_speedup: f64,
+    /// Deterministic counters from the incremental cell.
+    pub heap_stale_pops: u64,
+    /// Timed-half membership walks actually performed.
+    pub index_migrations: u64,
+    /// Compute bursts whose membership walk was skipped entirely.
+    pub migrations_batched: u64,
+    /// Pair-cache entries dropped to make room.
+    pub pair_cache_evictions: u64,
+    /// Pair-cache victim-way probes after a primary-way miss.
+    pub pair_cache_probes: u64,
+    /// Timed-half frozen-entry compaction passes.
+    pub frozen_compactions: u64,
+}
+
 /// Run the scheduler-overhead profile and render both JSON documents:
 /// the full per-mode counter dump (`BENCH_scheduling.json`) and the
-/// per-scenario summary committed at the repo root (`BENCH_sched.json`).
+/// per-scenario summary committed at the repo root (`BENCH_sched.json`),
+/// plus the structured per-scenario rows for history appends. Both
+/// documents carry `commit` verbatim (pass the current git revision, or
+/// a placeholder when unknown).
 ///
 /// `quick` restricts the profile to the CI regression smoke cells; the
 /// full profile sweeps policy × MPL plus the steady states. Panics if
 /// any scenario's incremental trajectory diverges from the recompute
 /// oracle — the profile doubles as an end-to-end equivalence check at
 /// realistic scales.
-pub fn bench_profile_docs(quick: bool) -> (String, String) {
+pub fn bench_profile_docs(quick: bool, commit: &str) -> (String, String, Vec<ScenarioSummary>) {
     let mut entries = Vec::new();
     let mut summaries = Vec::new();
+    let mut rows = Vec::new();
     for sc in scenarios(quick) {
         eprintln!("profiling {} ({} reps x 2 modes)…", sc.name, sc.reps);
         let policy = sc.policy.as_ref();
@@ -270,7 +318,8 @@ pub fn bench_profile_docs(quick: bool) -> (String, String) {
              \"oracle_pick_ns\": {:.1},\n      \"sched_speedup\": {:.2},\n      \
              \"heap_stale_pops\": {},\n      \"clear_repair_clears\": {},\n      \
              \"clear_repair_visits\": {},\n      \"index_migrations\": {},\n      \
-             \"pair_cache_evictions\": {}\n    }}",
+             \"migrations_batched\": {},\n      \"pair_cache_evictions\": {},\n      \
+             \"pair_cache_probes\": {},\n      \"frozen_compactions\": {}\n    }}",
             sc.name,
             policy.name(),
             sc.cfg.run.num_transactions,
@@ -281,25 +330,43 @@ pub fn bench_profile_docs(quick: bool) -> (String, String) {
             cached.sched.clear_repair_clears,
             cached.sched.clear_repair_visits,
             cached.sched.index_migrations,
+            cached.sched.migrations_batched,
             cached.sched.pair_cache_evictions,
+            cached.sched.pair_cache_probes,
+            cached.sched.frozen_compactions,
         ));
+        rows.push(ScenarioSummary {
+            name: sc.name.to_string(),
+            policy: policy.name().to_string(),
+            mpl: sc.cfg.run.num_transactions,
+            cached_pick_ns: cached.pick_ns(),
+            sched_speedup: speedup,
+            heap_stale_pops: cached.sched.heap_stale_pops,
+            index_migrations: cached.sched.index_migrations,
+            migrations_batched: cached.sched.migrations_batched,
+            pair_cache_evictions: cached.sched.pair_cache_evictions,
+            pair_cache_probes: cached.sched.pair_cache_probes,
+            frozen_compactions: cached.sched.frozen_compactions,
+        });
     }
     let full = format!(
         "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
+         \"commit\": \"{commit}\",\n  \
          \"note\": \"sched_wall_ns/pick_ns are machine-dependent; counters and identity flags are deterministic\",\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let summary = format!(
         "{{\n  \"generated_by\": \"experiments --bench-profile\",\n  \
+         \"commit\": \"{commit}\",\n  \
          \"note\": \"pick latencies are machine-dependent; counters are deterministic\",\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         summaries.join(",\n")
     );
-    (full, summary)
+    (full, summary, rows)
 }
 
 /// The full profile document alone — see [`bench_profile_docs`].
-pub fn bench_profile_json(quick: bool) -> String {
-    bench_profile_docs(quick).0
+pub fn bench_profile_json(quick: bool, commit: &str) -> String {
+    bench_profile_docs(quick, commit).0
 }

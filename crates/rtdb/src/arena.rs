@@ -1,0 +1,166 @@
+//! Dense per-transaction scheduler state.
+//!
+//! The scheduler's hot loops — peek-validate-demote picks, clear-repair
+//! walks, pair-predicate version gates — used to chase four separate
+//! version vectors plus a priority-cache vector, paying one cache line
+//! per structure per transaction touched. This module packs all of that
+//! per-transaction state into a single 64-byte [`SlotState`] record in
+//! one arena, indexed by a compact [`TxnSlot`]: validating one candidate
+//! now reads exactly one cache line, and a repair walk streams
+//! contiguous lines instead of gathering across five allocations.
+//!
+//! The arena holds *redundant acceleration state only*: every field is
+//! reconstructible from the transactions themselves, and the `Verify`
+//! cache mode asserts the derived values against scan-based oracles at
+//! every pick.
+
+use std::cell::Cell;
+
+use rtx_sim::time::SimTime;
+
+use crate::policy::Priority;
+use crate::txn::TxnId;
+
+/// Compact arena index for a transaction. Transaction ids are dense
+/// (arrival order, starting at 0), so the slot is the id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct TxnSlot(pub(crate) u32);
+
+impl From<TxnId> for TxnSlot {
+    #[inline]
+    fn from(id: TxnId) -> Self {
+        TxnSlot(id.0)
+    }
+}
+
+/// One transaction's hot scheduler state, packed into a single cache
+/// line: the cached priority with the stamps it was computed from, and
+/// the conflict-bookkeeping version counters that gate the pair caches.
+///
+/// Field semantics mirror the structures this replaces (the engine's
+/// `PriEntry` vector and the accelerator's four version vectors);
+/// see the field docs. Validity of the cached priority is encoded in
+/// `pri_stamp`: [`SlotState::NO_PRI`] means "never computed" (real
+/// stamps count up from 0 and can never reach it).
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+pub(crate) struct SlotState {
+    /// Cached priority value (policy-dependent upper bound or exact;
+    /// see `EngineState::priority_of`).
+    pub pri_value: Priority,
+    /// Simulation time the value was computed at (`TimeAndSelf` key).
+    pub pri_at: SimTime,
+    /// `pair_stamp` at computation time (`ConflictState` key), or
+    /// [`SlotState::NO_PRI`] when no priority has been cached yet.
+    pub pri_stamp: u64,
+    /// `own_version` at computation time.
+    pub pri_own: u64,
+    /// Per-transaction conflict stamp: bumped for exactly the
+    /// transactions whose unsafe/conditionally-unsafe partial set (the
+    /// input of a `ConflictState` priority) changed.
+    pub pair_stamp: u64,
+    /// Bumped on *any* own-state change that could move this
+    /// transaction's priority (progress, restarts, set changes).
+    pub own_version: u64,
+    /// Bumped when the `accessed`/`written` sets grow or are cleared.
+    /// Gates the dynamic unsafe-pair cache.
+    pub access_version: u64,
+    /// Bumped when `might_access` is reassigned (decision narrowing,
+    /// restart re-widening). Gates the static pair cache.
+    pub might_version: u64,
+}
+
+const _: () = assert!(
+    std::mem::size_of::<SlotState>() == 64,
+    "SlotState must stay one cache line"
+);
+
+impl SlotState {
+    /// `pri_stamp` sentinel marking "no cached priority". Stamps are
+    /// bumped at most once per simulation event, so they never reach it.
+    pub const NO_PRI: u64 = u64::MAX;
+
+    /// A freshly registered transaction: zero versions, no priority.
+    pub const EMPTY: SlotState = SlotState {
+        pri_value: Priority::MIN,
+        pri_at: SimTime::ZERO,
+        pri_stamp: Self::NO_PRI,
+        pri_own: 0,
+        pair_stamp: 0,
+        own_version: 0,
+        access_version: 0,
+        might_version: 0,
+    };
+
+    /// Has a priority ever been cached for this transaction?
+    #[inline]
+    pub fn pri_valid(&self) -> bool {
+        self.pri_stamp != Self::NO_PRI
+    }
+}
+
+/// The slot arena: one [`SlotState`] cache line per registered
+/// transaction, readable and writable through shared references (the
+/// pick paths run under `&self`).
+pub(crate) struct SchedArena {
+    slots: Vec<Cell<SlotState>>,
+}
+
+impl SchedArena {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        SchedArena {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Register the next dense slot (ids arrive in order).
+    pub(crate) fn register(&mut self) {
+        self.slots.push(Cell::new(SlotState::EMPTY));
+    }
+
+    /// Copy out a slot's state (one cache-line read).
+    #[inline]
+    pub(crate) fn get(&self, slot: TxnSlot) -> SlotState {
+        self.slots[slot.0 as usize].get()
+    }
+
+    /// Read-modify-write a slot in place.
+    #[inline]
+    pub(crate) fn update(&self, slot: TxnSlot, f: impl FnOnce(&mut SlotState)) {
+        let cell = &self.slots[slot.0 as usize];
+        let mut s = cell.get();
+        f(&mut s);
+        cell.set(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_state_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<SlotState>(), 64);
+        assert_eq!(std::mem::align_of::<SlotState>(), 64);
+    }
+
+    #[test]
+    fn empty_slot_has_no_priority() {
+        let s = SlotState::EMPTY;
+        assert!(!s.pri_valid());
+        let mut arena = SchedArena::with_capacity(2);
+        arena.register();
+        arena.register();
+        assert_eq!(arena.len(), 2);
+        arena.update(TxnSlot(1), |s| {
+            s.pair_stamp += 1;
+            s.pri_stamp = s.pair_stamp;
+        });
+        assert!(arena.get(TxnSlot(1)).pri_valid());
+        assert!(!arena.get(TxnSlot(0)).pri_valid());
+    }
+}

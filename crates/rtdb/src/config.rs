@@ -325,6 +325,13 @@ pub struct SystemConfig {
     pub faults: FaultPlan,
     /// Feasibility-based admission control; `None` admits everything.
     pub admission: Option<AdmissionConfig>,
+    /// Run the split priority index's anchor-migration walks eagerly at
+    /// every compute-burst start instead of deferring them until the
+    /// first pick inside the burst (the batched default skips the walks
+    /// entirely for bursts no pick interrupts). Results are
+    /// bit-identical either way — this is the ablation/test hook the
+    /// batched-vs-eager equivalence proptest toggles.
+    pub eager_migrations: bool,
 }
 
 impl SystemConfig {
@@ -384,6 +391,7 @@ impl SimConfig {
                 starvation_threshold: 100,
                 faults: FaultPlan::none(),
                 admission: None,
+                eager_migrations: false,
             },
             run: RunConfig {
                 arrival_rate_tps: 5.0,
@@ -428,6 +436,7 @@ impl SimConfig {
                 starvation_threshold: 100,
                 faults: FaultPlan::none(),
                 admission: None,
+                eager_migrations: false,
             },
             run: RunConfig {
                 arrival_rate_tps: 4.0,

@@ -69,33 +69,6 @@ enum Started {
     Blocked,
 }
 
-/// One cached priority value, stamped with the inputs it was computed
-/// from. Which stamps must match for the entry to be reused depends on
-/// the policy's declared [`PriorityDeps`].
-#[derive(Clone, Copy)]
-struct PriEntry {
-    value: Priority,
-    /// Simulation time the value was computed at (`TimeAndSelf` key).
-    at: SimTime,
-    /// The transaction's per-pair conflict stamp at computation time
-    /// (`ConflictState` key) — see [`ConflictAccel::pair_stamp`].
-    stamp: u64,
-    /// The transaction's own-state version at computation time.
-    own: u64,
-    /// False until first computed.
-    valid: bool,
-}
-
-impl PriEntry {
-    const INVALID: PriEntry = PriEntry {
-        value: Priority::MIN,
-        at: SimTime::ZERO,
-        stamp: 0,
-        own: 0,
-        valid: false,
-    };
-}
-
 /// One lazy priority-index entry. Ordered exactly like the scan's
 /// tie-break — `(Priority, Reverse(arrival), Reverse(id))` — so the index
 /// maximum is the scan winner bit-for-bit. The key (`pri`) is an **upper
@@ -150,23 +123,14 @@ impl PartialOrd for HeapEntry {
 struct PriorityIndex {
     /// The heap slots (max-heap by [`HeapEntry::cmp`]).
     slots: Vec<HeapEntry>,
-    /// Transaction id → slot position + 1; 0 = not in the index. Dense,
-    /// grown by [`PriorityIndex::register`] at arrival.
+    /// Transaction id → slot position + 1; 0 = not in the index. Grown
+    /// on demand at insert (bands only ever see a subset of ids).
     pos: Vec<u32>,
 }
 
 impl PriorityIndex {
-    /// Register a newly arrived transaction id (dense, in order).
-    fn register(&mut self) {
-        self.pos.push(0);
-    }
-
-    fn len(&self) -> usize {
-        self.slots.len()
-    }
-
     fn contains(&self, id: TxnId) -> bool {
-        self.pos[id.0 as usize] != 0
+        self.pos.get(id.0 as usize).is_some_and(|&p| p != 0)
     }
 
     /// The maximum entry, if any. O(1).
@@ -176,25 +140,32 @@ impl PriorityIndex {
 
     /// `id`'s current key, if indexed. O(1); used by consistency checks.
     fn key_of(&self, id: TxnId) -> Option<Priority> {
-        match self.pos[id.0 as usize] {
+        match self.pos.get(id.0 as usize).copied().unwrap_or(0) {
             0 => None,
             p => Some(self.slots[(p - 1) as usize].pri),
         }
     }
 
-    /// Insert an entry for a transaction not currently indexed.
+    /// Insert an entry for a transaction not currently indexed. Grows
+    /// the position vector on demand — indexes created after ids were
+    /// issued (the lazily-materialized slack bands) never saw a
+    /// [`PriorityIndex::register`] for them.
     fn insert(&mut self, e: HeapEntry) {
         debug_assert!(!self.contains(e.id), "{} already indexed", e.id);
+        let slot = e.id.0 as usize;
+        if self.pos.len() <= slot {
+            self.pos.resize(slot + 1, 0);
+        }
         let i = self.slots.len();
         self.slots.push(e);
-        self.pos[e.id.0 as usize] = i as u32 + 1;
+        self.pos[slot] = i as u32 + 1;
         self.sift_up(i);
     }
 
     /// Remove `id`'s entry (a departed transaction). Returns whether it
     /// was present.
     fn remove(&mut self, id: TxnId) -> bool {
-        let p = self.pos[id.0 as usize];
+        let p = self.pos.get(id.0 as usize).copied().unwrap_or(0);
         if p == 0 {
             return false;
         }
@@ -217,7 +188,7 @@ impl PriorityIndex {
     /// Reposition `id` under a new key (raise or lower). Returns whether
     /// it was present.
     fn set_key(&mut self, id: TxnId, pri: Priority) -> bool {
-        let p = self.pos[id.0 as usize];
+        let p = self.pos.get(id.0 as usize).copied().unwrap_or(0);
         if p == 0 {
             return false;
         }
@@ -278,6 +249,95 @@ impl PriorityIndex {
     }
 }
 
+/// One deadline band of the slack index (see [`SlackBands`]).
+#[derive(Default)]
+struct SlackBand {
+    index: PriorityIndex,
+    /// Largest |K| ever stored in this band and largest member deadline
+    /// (ms): together with the clock, every magnitude its members'
+    /// priority-rounding chains touch. Never shrinks — the scale backs
+    /// soundness, not tightness.
+    key_scale: Cell<f64>,
+}
+
+impl SlackBand {
+    /// The nudge scale for this band's effective bounds at clock
+    /// `now_ms`: 32 ulp of it dominates the few-ulp difference between
+    /// `now_ms + K` and the policy's actually-rounded priority for any
+    /// member — all of a member's own magnitudes (its deadline, its key,
+    /// the clock) are covered.
+    fn eff_scale(&self, now_ms: f64) -> f64 {
+        self.key_scale.get().max(now_ms).max(1.0)
+    }
+}
+
+/// The slack index, partitioned by deadline band: each band is a heap
+/// over time-invariant keys `K` with its *own* magnitude scale for the
+/// validation nudge, so one far-future deadline (a huge `|K|`) no longer
+/// loosens the effective bound of every entry in the run — only of its
+/// own band. Entries never migrate: a transaction's band is a pure
+/// function of its (immutable) deadline.
+#[derive(Default)]
+struct SlackBands {
+    /// Lazily materialized; a band is created the first time an entry
+    /// lands in it.
+    bands: Vec<SlackBand>,
+    /// Total entries across bands (O(1) coverage check for
+    /// `slack_in_use`).
+    len: usize,
+}
+
+impl SlackBands {
+    /// The band for a transaction: the log2 bucket of its absolute
+    /// deadline in ms. Integer bit-ops only — no libm calls — so band
+    /// assignment is bit-deterministic across platforms. (Banding never
+    /// affects *results* either way — picks validate exact priorities —
+    /// only which band's scale a bound is nudged by.)
+    fn band_of(deadline: SimTime) -> usize {
+        let ms = (deadline.as_ms() as u64).max(1);
+        (63 - ms.leading_zeros()) as usize
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The band, materializing it (and any gap below) on first use.
+    fn band_mut(&mut self, b: usize) -> &mut SlackBand {
+        if self.bands.len() <= b {
+            self.bands.resize_with(b + 1, SlackBand::default);
+        }
+        &mut self.bands[b]
+    }
+
+    /// (Re)key `e.id` in band `b`; inserts if absent.
+    fn upsert(&mut self, b: usize, e: HeapEntry) {
+        let band = self.band_mut(b);
+        if !band.index.set_key(e.id, e.pri) {
+            band.index.insert(e);
+            self.len += 1;
+        }
+    }
+
+    /// Remove `id` from band `b` (a departed transaction). Returns
+    /// whether it was present.
+    fn remove(&mut self, b: usize, id: TxnId) -> bool {
+        let Some(band) = self.bands.get_mut(b) else {
+            return false;
+        };
+        let removed = band.index.remove(id);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// `id`'s current key in band `b`, if indexed.
+    fn key_of(&self, b: usize, id: TxnId) -> Option<Priority> {
+        self.bands.get(b)?.index.key_of(id)
+    }
+}
+
 /// Which half of the [`SplitIndex`] an entry lives in.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Half {
@@ -305,50 +365,195 @@ enum Half {
 /// so one shared offset `A(now)` stands in for all of their falls. Keys
 /// migrate between halves only at structural events (anchor changes,
 /// cache writes), each migration O(log n) and counted.
+/// Tag bit marking a timed-half position in [`SplitIndex::pos`].
+const TIMED_TAG: u32 = 1 << 31;
+
 #[derive(Default)]
 struct SplitIndex {
-    free: PriorityIndex,
-    timed: PriorityIndex,
+    /// Free-half heap slots (max-heap by [`HeapEntry::cmp`]).
+    free: Vec<HeapEntry>,
+    /// Timed-half heap slots.
+    timed: Vec<HeapEntry>,
+    /// id → tagged slot position: 0 = absent, else `pos + 1` with
+    /// [`TIMED_TAG`] set for the timed half. One dense lane answers
+    /// presence, half, and position in a single lookup — the old
+    /// two-`PriorityIndex` layout paid a miss in one `pos` vector
+    /// before hitting the other on every cross-half question.
+    pos: Vec<u32>,
+}
+
+// Hole-based heap sifts over one half's slots and the shared tagged
+// position lane: parents/children shift into place one write each, and
+// the displaced entry lands once at the end.
+
+fn split_sift_up(slots: &mut [HeapEntry], pos: &mut [u32], tag: u32, mut i: usize) {
+    let e = slots[i];
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if e <= slots[parent] {
+            break;
+        }
+        slots[i] = slots[parent];
+        pos[slots[i].id.0 as usize] = (i as u32 + 1) | tag;
+        i = parent;
+    }
+    slots[i] = e;
+    pos[e.id.0 as usize] = (i as u32 + 1) | tag;
+}
+
+fn split_sift_down(slots: &mut [HeapEntry], pos: &mut [u32], tag: u32, mut i: usize) {
+    let e = slots[i];
+    loop {
+        let l = 2 * i + 1;
+        if l >= slots.len() {
+            break;
+        }
+        let r = l + 1;
+        let child = if r < slots.len() && slots[r] > slots[l] {
+            r
+        } else {
+            l
+        };
+        if slots[child] <= e {
+            break;
+        }
+        slots[i] = slots[child];
+        pos[slots[i].id.0 as usize] = (i as u32 + 1) | tag;
+        i = child;
+    }
+    slots[i] = e;
+    pos[e.id.0 as usize] = (i as u32 + 1) | tag;
 }
 
 impl SplitIndex {
     fn register(&mut self) {
-        self.free.register();
-        self.timed.register();
+        self.pos.push(0);
     }
 
     fn len(&self) -> usize {
         self.free.len() + self.timed.len()
     }
 
-    fn half_of(&self, id: TxnId) -> Option<Half> {
-        if self.free.contains(id) {
-            Some(Half::Free)
-        } else if self.timed.contains(id) {
-            Some(Half::Timed)
-        } else {
-            None
-        }
+    fn half_len(&self, h: Half) -> usize {
+        self.slots(h).len()
     }
 
-    fn half(&mut self, h: Half) -> &mut PriorityIndex {
+    fn slots(&self, h: Half) -> &[HeapEntry] {
         match h {
-            Half::Free => &mut self.free,
-            Half::Timed => &mut self.timed,
+            Half::Free => &self.free,
+            Half::Timed => &self.timed,
         }
     }
 
-    /// `id`'s stored key and half, if indexed.
+    /// One half's slots, the shared position lane, and the half's
+    /// position tag — the disjoint borrows every mutation needs.
+    fn parts(&mut self, h: Half) -> (&mut Vec<HeapEntry>, &mut Vec<u32>, u32) {
+        match h {
+            Half::Free => (&mut self.free, &mut self.pos, 0),
+            Half::Timed => (&mut self.timed, &mut self.pos, TIMED_TAG),
+        }
+    }
+
+    fn half_of(&self, id: TxnId) -> Option<Half> {
+        match self.pos[id.0 as usize] {
+            0 => None,
+            p if p & TIMED_TAG != 0 => Some(Half::Timed),
+            _ => Some(Half::Free),
+        }
+    }
+
+    /// The maximum entry of one half, if any. O(1).
+    fn peek(&self, h: Half) -> Option<HeapEntry> {
+        self.slots(h).first().copied()
+    }
+
+    /// All current entries of one half, heap order (used to enumerate a
+    /// half during anchor migration; order does not matter to callers).
+    fn entries(&self, h: Half) -> &[HeapEntry] {
+        self.slots(h)
+    }
+
+    /// `id`'s stored key and half, if indexed. One lookup.
     fn key_of(&self, id: TxnId) -> Option<(Priority, Half)> {
-        if let Some(p) = self.free.key_of(id) {
-            Some((p, Half::Free))
+        let p = self.pos[id.0 as usize];
+        if p == 0 {
+            return None;
+        }
+        let h = if p & TIMED_TAG != 0 {
+            Half::Timed
         } else {
-            self.timed.key_of(id).map(|p| (p, Half::Timed))
+            Half::Free
+        };
+        let i = ((p & !TIMED_TAG) - 1) as usize;
+        Some((self.slots(h)[i].pri, h))
+    }
+
+    /// `id`'s key if it lives in half `h` (migration walks enumerate a
+    /// half and then operate on its members).
+    fn key_in(&self, h: Half, id: TxnId) -> Option<Priority> {
+        match self.key_of(id) {
+            Some((k, half)) if half == h => Some(k),
+            _ => None,
         }
     }
 
+    /// Insert an entry for a transaction not currently indexed.
+    fn insert(&mut self, h: Half, e: HeapEntry) {
+        debug_assert!(self.half_of(e.id).is_none(), "{} already indexed", e.id);
+        let (slots, pos, tag) = self.parts(h);
+        let i = slots.len();
+        slots.push(e);
+        pos[e.id.0 as usize] = (i as u32 + 1) | tag;
+        split_sift_up(slots, pos, tag, i);
+    }
+
+    /// Remove `id`'s entry from whichever half holds it. Returns whether
+    /// it was present.
     fn remove(&mut self, id: TxnId) -> bool {
-        self.free.remove(id) || self.timed.remove(id)
+        let p = self.pos[id.0 as usize];
+        if p == 0 {
+            return false;
+        }
+        let h = if p & TIMED_TAG != 0 {
+            Half::Timed
+        } else {
+            Half::Free
+        };
+        let i = ((p & !TIMED_TAG) - 1) as usize;
+        self.pos[id.0 as usize] = 0;
+        let (slots, pos, tag) = self.parts(h);
+        let last = slots.len() - 1;
+        if i != last {
+            slots.swap(i, last);
+            pos[slots[i].id.0 as usize] = (i as u32 + 1) | tag;
+        }
+        slots.pop();
+        if i < slots.len() {
+            // The displaced entry can need to move either way.
+            split_sift_up(slots, pos, tag, i);
+            split_sift_down(slots, pos, tag, i);
+        }
+        true
+    }
+
+    /// Reposition `id` under a new key within its current half (raise or
+    /// lower). Returns whether it was present.
+    fn set_key(&mut self, id: TxnId, pri: Priority) -> bool {
+        let p = self.pos[id.0 as usize];
+        if p == 0 {
+            return false;
+        }
+        let h = if p & TIMED_TAG != 0 {
+            Half::Timed
+        } else {
+            Half::Free
+        };
+        let i = ((p & !TIMED_TAG) - 1) as usize;
+        let (slots, pos, tag) = self.parts(h);
+        slots[i].pri = pri;
+        split_sift_up(slots, pos, tag, i);
+        split_sift_down(slots, pos, tag, i);
+        true
     }
 }
 
@@ -415,24 +620,30 @@ struct EngineState<'p> {
     /// Number of active transactions in `TxnState::Ready`, maintained by
     /// [`Self::set_state`] — replaces the per-event ready-queue scan.
     ready_count: usize,
-    /// Per-transaction cached priorities (indexed by id), invalidated per
-    /// the policy's [`PriorityDeps`].
-    pri_cache: RefCell<Vec<PriEntry>>,
+    /// Dense copy of every transaction's scheduling state (indexed by
+    /// id), written wherever the authoritative `Transaction::state`
+    /// changes. The pick loops' runnability filters read this 1-byte
+    /// tag instead of dereferencing the full `Transaction` record —
+    /// at MPL ≥ 1024 the tag vector stays resident in a few cache lines
+    /// while the transaction structs span megabytes.
+    state_tags: Vec<TxnState>,
     /// The split lazy priority index over active transactions (used for
     /// `Static` and `ConflictState` policies outside `AlwaysRecompute`).
     /// Exactly one entry per active transaction across the two halves —
     /// seeded at arrival, repositioned in place whenever the cache is
     /// written, and removed at commit. Invariant: an active
-    /// transaction's *free*-half key is bit-identical to its `pri_cache`
-    /// value; a *timed*-half key folded back by the fall accumulator
-    /// (`key − A(now)`, with float slack) is an upper bound on it.
+    /// transaction's *free*-half key is bit-identical to its cached
+    /// priority in the accelerator's slot arena; a *timed*-half key
+    /// folded back by the fall accumulator (`key − A(now)`, with float
+    /// slack) is an upper bound on it.
     index: RefCell<SplitIndex>,
     /// Slack-ordered pick index for `TimeAndSelf` policies exposing a
     /// time-invariant key (`Policy::time_invariant_key`; LSF): keys hold
     /// `K` with `priority ≈ now + K`, so the order is the priority order
     /// at every instant and picks validate the top instead of rescanning
-    /// the active set.
-    slack: RefCell<PriorityIndex>,
+    /// the active set. Partitioned into per-deadline bands, each with
+    /// its own validation-nudge scale ([`SlackBands`]).
+    slack: RefCell<SlackBands>,
     /// The policy's declared runner fall rate (`ConflictState` policies;
     /// 0 elsewhere): priority units per ms of runner compute time.
     fall_rate: f64,
@@ -441,22 +652,35 @@ struct EngineState<'p> {
     /// while anchored at `t0`, else `offset_base`.
     offset_base: Cell<f64>,
     /// `Some((runner, t0))` while the runner's compute burst accrues
-    /// service: the timed half then holds exactly the active entries
-    /// unsafe w.r.t. that runner.
+    /// service: the timed half's effective bounds fall at `fall_rate`
+    /// from `t0` until the anchor is released.
     anchor: Cell<Option<(TxnId, SimTime)>>,
-    /// Largest deadline (ms) over all arrivals so far — the global
-    /// magnitude scale bounding the slack index's float error.
-    max_deadline_ms: Cell<f64>,
-    /// Largest |K| ever stored in the slack index (a `Criticality`
-    /// wrapper's class bands can dwarf every deadline): part of the
-    /// effective-bound scale in [`Self::slack_eff_scale`].
-    slack_key_scale: Cell<f64>,
+    /// The runner whose unsafe set the timed half currently mirrors
+    /// (set by the migration walks at [`Self::anchor_timed`]). When the
+    /// next anchored runner is the same transaction and no conflict
+    /// clear or decision narrowing intervened, the walks are skipped
+    /// wholesale — the timed membership is still a subset of the
+    /// runner's unsafe set, which is all soundness needs (the counter
+    /// `migrations_batched` tallies these reuses). Any event that can
+    /// *remove* an unsafe pair (a clear's repair walk, a narrowing)
+    /// resets this to `None`, forcing a fresh walk at the next anchor.
+    walked: Cell<Option<TxnId>>,
+    /// Consecutive anchor releases that left frozen entries lingering in
+    /// the timed half; at [`FROZEN_COMPACT_SPANS`] the half is scanned
+    /// and non-members folded out ([`Self::maybe_compact_frozen`]).
+    frozen_spans: Cell<u32>,
     /// Scratch buffer for filtered picks (IOwait-schedule): entries of
     /// unacceptable transactions are lifted out while scanning and
     /// re-inserted afterwards; reused to avoid per-pick allocation.
     scratch: RefCell<Vec<(HeapEntry, Half)>>,
+    /// Scratch for slack-band picks: popped entries tagged with their
+    /// band, re-inserted after the argmax settles.
+    slack_scratch: RefCell<Vec<(HeapEntry, usize)>>,
     /// Scratch buffer for the targeted pair-stamp walks.
     walk_buf: Vec<TxnId>,
+    /// Scratch buffer for the anchor-arming and compaction walks, which
+    /// run from `&self` pick paths and so cannot take `walk_buf`.
+    arm_buf: RefCell<Vec<TxnId>>,
     /// Scratch buffer for reverse-index sharer enumeration.
     sharer_buf: RefCell<Vec<TxnId>>,
     // Scheduler-overhead tallies (Cells: bumped from &self paths).
@@ -476,7 +700,20 @@ struct EngineState<'p> {
     /// Entries moved between split-index halves (anchor changes and
     /// cross-half cache writes).
     index_migrations: Cell<u64>,
+    /// Compute bursts that reused the previous walk's timed-half
+    /// membership — their migration walks were skipped entirely.
+    migrations_batched: Cell<u64>,
+    /// Timed-half drains performed by [`Self::maybe_compact_frozen`].
+    frozen_compactions: Cell<u64>,
 }
+
+/// How many consecutive anchor releases may pass before
+/// [`EngineState::maybe_compact_frozen`] scans the frozen timed half and
+/// folds out entries that are no longer members of the mirrored unsafe
+/// set. Bounds how long a leftover can linger (and with it the offset's
+/// monotone growth) in long mostly-idle runs where a handful of frozen
+/// entries would otherwise sit across thousands of spans.
+const FROZEN_COMPACT_SPANS: u32 = 256;
 
 /// `v` plus a floating-point safety margin: used when repairing a cached
 /// upper bound by an exact real-arithmetic delta, so the repaired key
@@ -550,9 +787,9 @@ impl<'p> EngineState<'p> {
             profile: false,
             accel: ConflictAccel::new(cfg.run.num_transactions, cfg.workload.db_size as usize),
             ready_count: 0,
-            pri_cache: RefCell::new(Vec::with_capacity(cfg.run.num_transactions)),
+            state_tags: Vec::with_capacity(cfg.run.num_transactions),
             index: RefCell::new(SplitIndex::default()),
-            slack: RefCell::new(PriorityIndex::default()),
+            slack: RefCell::new(SlackBands::default()),
             fall_rate: match policy.depends_on() {
                 PriorityDeps::ConflictState { runner_fall_rate } => {
                     assert!(
@@ -565,10 +802,12 @@ impl<'p> EngineState<'p> {
             },
             offset_base: Cell::new(0.0),
             anchor: Cell::new(None),
-            max_deadline_ms: Cell::new(0.0),
-            slack_key_scale: Cell::new(0.0),
+            walked: Cell::new(None),
+            frozen_spans: Cell::new(0),
             scratch: RefCell::new(Vec::new()),
+            slack_scratch: RefCell::new(Vec::new()),
             walk_buf: Vec::new(),
+            arm_buf: RefCell::new(Vec::new()),
             sharer_buf: RefCell::new(Vec::new()),
             pick_next_calls: Cell::new(0),
             priority_evals: Cell::new(0),
@@ -581,6 +820,8 @@ impl<'p> EngineState<'p> {
             clear_repair_clears: Cell::new(0),
             clear_repair_visits: Cell::new(0),
             index_migrations: Cell::new(0),
+            migrations_batched: Cell::new(0),
+            frozen_compactions: Cell::new(0),
         }
     }
 
@@ -623,20 +864,23 @@ impl<'p> EngineState<'p> {
         {
             return;
         }
-        let Some(k) = self.policy.time_invariant_key(self.txn(id)) else {
+        let t = self.txn(id);
+        let Some(k) = self.policy.time_invariant_key(t) else {
             return;
         };
-        self.slack_key_scale
-            .set(self.slack_key_scale.get().max(k.abs()));
+        let b = SlackBands::band_of(t.deadline);
         let mut slack = self.slack.borrow_mut();
-        let key = Priority(k);
-        if !slack.set_key(id, key) {
-            slack.insert(HeapEntry {
-                pri: key,
-                arrival: self.txn(id).arrival,
+        let band = slack.band_mut(b);
+        band.key_scale
+            .set(band.key_scale.get().max(k.abs()).max(t.deadline.as_ms()));
+        slack.upsert(
+            b,
+            HeapEntry {
+                pri: Priority(k),
+                arrival: t.arrival,
                 id,
-            });
-        }
+            },
+        );
         self.heap_pushes.set(self.heap_pushes.get() + 1);
     }
 
@@ -651,14 +895,31 @@ impl<'p> EngineState<'p> {
         }
     }
 
+    /// The runner whose unsafe set the timed half currently tracks: the
+    /// anchored runner while a burst is on the CPU, else the last-walked
+    /// runner whose membership the half still mirrors (the half stays
+    /// frozen — but valid — between the bursts of a runner's streak).
+    /// `None` disables timed enrollment.
+    #[inline]
+    fn timed_target(&self) -> Option<TxnId> {
+        self.anchor
+            .get()
+            .map(|(r, _)| r)
+            .or_else(|| self.walked.get())
+    }
+
     /// The key and half for `id`'s index entry given its cached bound
-    /// `value`: timed iff a compute burst is anchored and `id` is unsafe
-    /// w.r.t. the anchored runner (exactly the keys falling at
-    /// `fall_rate`), with the fall offset folded in so the stored key
-    /// holds still while the effective bound falls.
+    /// `value`: timed iff `id` is unsafe w.r.t. the timed half's target
+    /// runner (exactly the keys that fall at `fall_rate` while that
+    /// runner computes), with the fall offset folded in so the stored
+    /// key holds still while the effective bound falls. Enrolling while
+    /// the half is frozen (between a streak's bursts) is sound — the
+    /// effective bound equals `value` until the next anchor resumes the
+    /// fall — and is what lets boundary-pick re-parks rejoin the falling
+    /// band instead of going stale in the free half.
     fn entry_key_for(&self, id: TxnId, value: Priority) -> (Priority, Half) {
         if self.fall_rate > 0.0 {
-            if let Some((r, _)) = self.anchor.get() {
+            if let Some(r) = self.timed_target() {
                 if r != id && self.accel.is_unsafe(self.txn(r), self.txn(id)) {
                     let a = self.fall_offset_now();
                     let key = Priority(nudge_up(value.0 + a, value.0.abs().max(a)));
@@ -674,19 +935,68 @@ impl<'p> EngineState<'p> {
         Priority(nudge_up(key.0 - a, key.0.abs().max(a)))
     }
 
-    /// Anchor the timed half on runner `r`'s starting compute burst.
-    /// From now until the burst ends, `r`'s effective service — and with
-    /// it the fall accumulator — accrues, and exactly the priorities
-    /// unsafe w.r.t. `r` fall at `fall_rate`. (`is_unsafe(r, ·)` cannot
-    /// turn *off* mid-burst: `r`'s sets are frozen while it computes and
-    /// another transaction's `might_access` only re-widens, so timed
-    /// membership stays sound for the whole span.)
+    /// [`Self::entry_key_for`] for *cache-write* upserts: an entry not
+    /// already in the timed half enrolls only if the falling band can
+    /// still reach its bound — the band's top effective bound falls at
+    /// most `fall_rate ×` the target's remaining compute before the
+    /// streak ends and the next walk re-decides membership, so a write
+    /// that lands deeper than that would migrate an entry no pick can
+    /// observe in the band. Leaving it in the free half is sound (its
+    /// exact key holds still while the member priorities fall — stale
+    /// *high*), and cheap: most such writes are conflict-raise repairs of
+    /// far-from-the-top blocked transactions that get re-keyed again long
+    /// before they matter. Entries already enrolled keep their
+    /// membership, so the walks' mirror stays complete. The depth test is
+    /// a performance heuristic only — either outcome keeps every key an
+    /// upper bound.
+    fn entry_key_for_write(&self, id: TxnId, value: Priority) -> (Priority, Half) {
+        if self.fall_rate > 0.0 {
+            if let Some(r) = self.timed_target() {
+                if r != id && self.accel.is_unsafe(self.txn(r), self.txn(id)) {
+                    let enroll = {
+                        let index = self.index.borrow();
+                        match index.half_of(id) {
+                            Some(Half::Timed) => true,
+                            _ => match index.peek(Half::Timed) {
+                                None => true,
+                                Some(top) => {
+                                    let t = self.txn(r);
+                                    let rem = self.fall_rate
+                                        * (t.resource_time.as_ms() - t.service.as_ms()).max(0.0);
+                                    let band =
+                                        self.timed_effective(top.pri, self.fall_offset_now());
+                                    value.0 >= band.0 - rem
+                                }
+                            },
+                        }
+                    };
+                    if enroll {
+                        let a = self.fall_offset_now();
+                        let key = Priority(nudge_up(value.0 + a, value.0.abs().max(a)));
+                        return (key, Half::Timed);
+                    }
+                }
+            }
+        }
+        (value, Half::Free)
+    }
+
+    /// Anchor runner `r`'s starting compute burst: from now until the
+    /// burst ends, the fall accumulator accrues and exactly the
+    /// priorities unsafe w.r.t. `r` fall at `fall_rate`. The migration
+    /// walks that (re)populate the timed half run only when the half does
+    /// not already mirror `r`'s unsafe set — same runner as the last
+    /// walk, and no conflict-set clear or narrowing since (tracked by
+    /// `walked`). A runner committing or being preempted and re-granted
+    /// repeatedly — the high-MPL steady state — pays the walks once per
+    /// streak, not once per burst (`migrations_batched` counts the
+    /// skips). Reuse is sound: between walks `r`'s sets only grow
+    /// (missing pairs leave keys stale-*high*, which the validated pick
+    /// tolerates) and members only stop being unsafe on clears or
+    /// narrowings, which invalidate `walked`.
     ///
-    /// Migration is O(affected), not O(active): timed entries that are
-    /// not unsafe w.r.t. `r` fold back to the free half (their effective
-    /// bound is constant again), and the free entries to pull in are
-    /// enumerated through the item→transaction reverse index — any
-    /// transaction unsafe w.r.t. `r` shares an item with `r.accessed`.
+    /// `cfg.system.eager_migrations` disables reuse — every burst walks,
+    /// for the batched-vs-eager equivalence ablation.
     fn anchor_timed(&mut self, r: TxnId) {
         if self.fall_rate == 0.0 || !self.heap_in_use() {
             return;
@@ -697,40 +1007,36 @@ impl<'p> EngineState<'p> {
             "compute bursts only run after a lock grant"
         );
         self.anchor.set(Some((r, self.now())));
+        if !self.cfg.system.eager_migrations && self.walked.get() == Some(r) {
+            self.migrations_batched
+                .set(self.migrations_batched.get() + 1);
+            return;
+        }
+        self.run_migration_walks(r);
+        self.walked.set(Some(r));
+    }
+
+    /// The anchor's migration walks. O(affected), not O(active): timed
+    /// entries that are not unsafe w.r.t. `r` fold back to the free half
+    /// (their effective bound is constant again), and the free entries to
+    /// pull in are enumerated through the item→transaction reverse index
+    /// — any transaction unsafe w.r.t. `r` shares an item with
+    /// `r.accessed`.
+    fn run_migration_walks(&self, r: TxnId) {
         let a = self.offset_base.get();
-        let mut movers = std::mem::take(&mut self.walk_buf);
+        let mut movers = self.arm_buf.borrow_mut();
         movers.clear();
         {
             let index = self.index.borrow();
             let rt = self.txn(r);
-            for e in index.timed.entries() {
+            for e in index.entries(Half::Timed) {
                 if e.id == r || !self.accel.is_unsafe(rt, self.txn(e.id)) {
                     movers.push(e.id);
                 }
             }
         }
-        for &x in &movers {
-            // Fold the frozen bound back to a plain one; keep the cache
-            // bit-identical to the free-half key (both stay upper
-            // bounds — the write only loosens by the fold's ULP slack).
-            let mut index = self.index.borrow_mut();
-            let key = index.timed.key_of(x).expect("enumerated from timed half");
-            index.timed.remove(x);
-            let bound = self.timed_effective(key, a);
-            let mut cache = self.pri_cache.borrow_mut();
-            let e = &mut cache[x.0 as usize];
-            debug_assert!(e.valid, "{x}: indexed transaction without cache entry");
-            e.value = bound;
-            e.stamp = self.accel.pair_stamp(x);
-            e.own = self.accel.own_version(x);
-            e.at = self.now();
-            index.free.insert(HeapEntry {
-                pri: bound,
-                arrival: self.txn(x).arrival,
-                id: x,
-            });
-            self.index_migrations.set(self.index_migrations.get() + 1);
-        }
+        let dbg_fold = movers.len(); // TEMP
+        self.fold_out_timed(&movers, a);
         movers.clear();
         {
             let mut sharers = self.sharer_buf.borrow_mut();
@@ -738,38 +1044,158 @@ impl<'p> EngineState<'p> {
             let index = self.index.borrow();
             let rt = self.txn(r);
             for &x in sharers.iter() {
-                if x != r && index.free.contains(x) && self.accel.is_unsafe(rt, self.txn(x)) {
+                if x != r
+                    && index.half_of(x) == Some(Half::Free)
+                    && self.accel.is_unsafe(rt, self.txn(x))
+                {
                     movers.push(x);
                 }
             }
         }
-        for &x in &movers {
+        for &x in movers.iter() {
             let mut index = self.index.borrow_mut();
-            let bound = index.free.key_of(x).expect("enumerated from free half");
-            index.free.remove(x);
+            let bound = index
+                .key_in(Half::Free, x)
+                .expect("enumerated from free half");
+            index.remove(x);
             let key = Priority(nudge_up(bound.0 + a, bound.0.abs().max(a)));
-            index.timed.insert(HeapEntry {
-                pri: key,
-                arrival: self.txn(x).arrival,
-                id: x,
-            });
+            index.insert(
+                Half::Timed,
+                HeapEntry {
+                    pri: key,
+                    arrival: self.txn(x).arrival,
+                    id: x,
+                },
+            );
             self.index_migrations.set(self.index_migrations.get() + 1);
         }
+        if std::env::var_os("RTX_MIGR_DEBUG").is_some() {
+            eprintln!(
+                "MIGRDBG fold {} pull {} half {}",
+                dbg_fold,
+                movers.len(),
+                self.index.borrow().half_len(Half::Timed)
+            ); // TEMP
+        }
         movers.clear();
-        self.walk_buf = movers;
+    }
+
+    /// Fold the listed timed-half entries back to the free half at fall
+    /// offset `a`, rewriting each cache entry to the folded bound so the
+    /// cache stays bit-identical to the free-half key (both stay upper
+    /// bounds — the write only loosens by the fold's ULP slack).
+    fn fold_out_timed(&self, ids: &[TxnId], a: f64) {
+        for &x in ids {
+            let mut index = self.index.borrow_mut();
+            let key = index
+                .key_in(Half::Timed, x)
+                .expect("enumerated from timed half");
+            index.remove(x);
+            let bound = self.timed_effective(key, a);
+            debug_assert!(
+                self.accel.slot(x).pri_valid(),
+                "{x}: indexed transaction without cache entry"
+            );
+            self.accel.write_pri(x, bound, self.now());
+            index.insert(
+                Half::Free,
+                HeapEntry {
+                    pri: bound,
+                    arrival: self.txn(x).arrival,
+                    id: x,
+                },
+            );
+            self.index_migrations.set(self.index_migrations.get() + 1);
+        }
     }
 
     /// End the anchored compute span (burst completion or preemption):
-    /// fold the span's fall into `offset_base` and release the anchor.
-    /// Timed entries stay where they are — their effective bounds simply
-    /// stop falling, which keeps them sound — and drain back to the free
-    /// half lazily at the next anchor or cache write.
+    /// fold the span's fall into `offset_base`. Timed entries stay where
+    /// they are — their effective bounds simply stop falling, which keeps
+    /// them sound and lets the next burst by the same runner reuse them —
+    /// and drain back to the free half lazily at the next walk or cache
+    /// write, with [`Self::maybe_compact_frozen`] as the backstop against
+    /// unbounded lingering.
     fn freeze_timed(&self) {
-        if let Some((_, t0)) = self.anchor.get() {
+        if let Some((_, t0)) = self.anchor.take() {
             self.offset_base
                 .set(self.offset_base.get() + self.fall_rate * self.now().since(t0).as_ms());
-            self.anchor.set(None);
+            self.maybe_compact_frozen();
         }
+    }
+
+    /// Bound stale-offset accumulation from lazily-drained frozen
+    /// entries. Called at each anchor release: with the timed half empty
+    /// no key encodes the accumulated offset, so it re-zeroes for free;
+    /// otherwise every [`FROZEN_COMPACT_SPANS`] releases the half is
+    /// scanned and entries that are no longer members of the mirrored
+    /// unsafe set — all of them, when no target is mirrored — fold back
+    /// to the free half. The walks keep the live mirror exact, so the
+    /// scan normally moves nothing; it is the backstop against lingering
+    /// should an enrollment path ever outpace the walks. Membership and
+    /// the offset survive a scan that leaves entries behind, so a
+    /// runner's batching streak is not interrupted; the offset re-zeroes
+    /// only when the half drains empty. All of this is invisible to
+    /// results — folds and effective-bound reads always pair a key with
+    /// the offset it was written under.
+    fn maybe_compact_frozen(&self) {
+        if self.index.borrow().half_len(Half::Timed) == 0 {
+            self.offset_base.set(0.0);
+            self.frozen_spans.set(0);
+            self.walked.set(None);
+            return;
+        }
+        let spans = self.frozen_spans.get() + 1;
+        if spans < FROZEN_COMPACT_SPANS {
+            self.frozen_spans.set(spans);
+            return;
+        }
+        self.frozen_spans.set(0);
+        let a = self.offset_base.get();
+        let mut movers = self.arm_buf.borrow_mut();
+        movers.clear();
+        match self.timed_target() {
+            // No target: the half mirrors nobody, so every frozen entry
+            // is a leftover.
+            None => {
+                movers.extend(
+                    self.index
+                        .borrow()
+                        .entries(Half::Timed)
+                        .iter()
+                        .map(|e| e.id),
+                );
+            }
+            // Live mirror: fold out only entries that stopped being
+            // members (the walks keep this set empty in the common case,
+            // so the scan is a cheap amortized verification).
+            Some(r) => {
+                let index = self.index.borrow();
+                let rt = self.txn(r);
+                for e in index.entries(Half::Timed) {
+                    if e.id == r || !self.accel.is_unsafe(rt, self.txn(e.id)) {
+                        movers.push(e.id);
+                    }
+                }
+            }
+        }
+        if std::env::var_os("RTX_MIGR_DEBUG").is_some() {
+            eprintln!(
+                "COMPDBG target {:?} drained {} half {}",
+                self.timed_target(),
+                movers.len(),
+                self.index.borrow().half_len(Half::Timed)
+            ); // TEMP
+        }
+        self.fold_out_timed(&movers, a);
+        movers.clear();
+        drop(movers);
+        if self.index.borrow().half_len(Half::Timed) == 0 {
+            self.offset_base.set(0.0);
+            self.walked.set(None);
+        }
+        self.frozen_compactions
+            .set(self.frozen_compactions.get() + 1);
     }
 
     /// Record a trace event if tracing is enabled.
@@ -808,6 +1234,20 @@ impl<'p> EngineState<'p> {
             self.ready_count += 1;
         }
         self.txn_mut(id).state = new;
+        self.state_tags[id.0 as usize] = new;
+    }
+
+    /// Runnability from the dense tag vector — one byte instead of a
+    /// `Transaction` dereference in the pick loops' accept closures.
+    #[inline]
+    fn runnable_tag(&self, id: TxnId) -> bool {
+        let r = self.state_tags[id.0 as usize].is_runnable();
+        debug_assert_eq!(
+            r,
+            self.txn(id).is_runnable(),
+            "{id}: state tag diverged from the transaction record"
+        );
+        r
     }
 
     /// Do conflict events perform targeted per-pair invalidation? Only
@@ -849,6 +1289,15 @@ impl<'p> EngineState<'p> {
             self.repair_unsafe_against(id);
         }
         self.accel.note_sets_cleared(id);
+        // A clear shrinks only the unsafe pairs in which the cleared
+        // transaction is the *partial* — `is_unsafe(r, x)` reads `r`'s
+        // accessed/written sets but only `x`'s `might_access`, which a
+        // clear leaves alone. So the walked timed-half membership (pairs
+        // with the last-walked runner as partial) stays valid unless the
+        // cleared transaction *is* that runner.
+        if self.walked.get() == Some(id) {
+            self.walked.set(None);
+        }
     }
 
     /// The targeted per-pair walk on a clear: for every active
@@ -926,25 +1375,21 @@ impl<'p> EngineState<'p> {
                 _ => None,
             };
             let bound = {
-                let mut cache = self.pri_cache.borrow_mut();
-                let e = &mut cache[x.0 as usize];
+                let s = self.accel.slot(x);
                 debug_assert!(
-                    e.valid && e.value.0.is_finite(),
+                    s.pri_valid() && s.pri_value.0.is_finite(),
                     "{x}: active ConflictState transaction without a seeded cache entry"
                 );
                 debug_assert!(raise >= 0.0, "clear-raise bound must be nonnegative");
+                let mut value = s.pri_value;
                 if let Some(f) = folded {
-                    if f < e.value {
-                        e.value = f;
+                    if f < value {
+                        value = f;
                     }
                 }
-                let bound = Priority(nudge_up(e.value.0 + raise, e.value.0.abs().max(raise)));
-                e.value = bound;
-                e.stamp = self.accel.pair_stamp(x);
-                e.own = self.accel.own_version(x);
-                e.at = self.now();
-                bound
+                Priority(nudge_up(value.0 + raise, value.0.abs().max(raise)))
             };
+            self.accel.write_pri(x, bound, self.now());
             self.index_upsert(x, bound);
         }
         affected.clear();
@@ -1003,16 +1448,15 @@ impl<'p> EngineState<'p> {
                 self.policy.priority(self.txn(id), &self.view())
             } else {
                 let now = self.now();
-                let stamp = self.accel.pair_stamp(id);
-                let own = self.accel.own_version(id);
-                let idx = id.0 as usize;
-                let cached = self.pri_cache.borrow()[idx];
-                let hit = cached.valid
+                // One cache-line read covers both the cached priority
+                // and the live versions it is keyed against.
+                let s = self.accel.slot(id);
+                let hit = s.pri_valid()
                     && match deps {
                         PriorityDeps::Static => true,
-                        PriorityDeps::TimeAndSelf => cached.at == now && cached.own == own,
+                        PriorityDeps::TimeAndSelf => s.pri_at == now && s.pri_own == s.own_version,
                         PriorityDeps::ConflictState { .. } => {
-                            cached.stamp == stamp && cached.own == own
+                            s.pri_stamp == s.pair_stamp && s.pri_own == s.own_version
                         }
                         PriorityDeps::Volatile => unreachable!("handled above"),
                     };
@@ -1020,17 +1464,11 @@ impl<'p> EngineState<'p> {
                     upper_bound_hit = matches!(deps, PriorityDeps::ConflictState { .. });
                     self.priority_cache_hits
                         .set(self.priority_cache_hits.get() + 1);
-                    cached.value
+                    s.pri_value
                 } else {
                     self.priority_evals.set(self.priority_evals.get() + 1);
                     let value = self.policy.priority(self.txn(id), &self.view());
-                    self.pri_cache.borrow_mut()[idx] = PriEntry {
-                        value,
-                        at: now,
-                        stamp,
-                        own,
-                        valid: true,
-                    };
+                    self.accel.write_pri(id, value, now);
                     if self.heap_in_use() {
                         self.index_upsert(id, value);
                     }
@@ -1099,28 +1537,17 @@ impl<'p> EngineState<'p> {
         }
         let value = self.policy.priority(self.txn(id), &self.view());
         let now = self.now();
-        let stamp = self.accel.pair_stamp(id);
-        let own = self.accel.own_version(id);
-        let idx = id.0 as usize;
-        let confirmed = {
-            let cached = self.pri_cache.borrow()[idx];
-            cached.valid
-                && cached.stamp == stamp
-                && cached.own == own
-                && cached.value.0.to_bits() == value.0.to_bits()
-        };
+        let s = self.accel.slot(id);
+        let confirmed = s.pri_valid()
+            && s.pri_stamp == s.pair_stamp
+            && s.pri_own == s.own_version
+            && s.pri_value.0.to_bits() == value.0.to_bits();
         if confirmed {
             self.priority_cache_hits
                 .set(self.priority_cache_hits.get() + 1);
         } else {
             self.priority_evals.set(self.priority_evals.get() + 1);
-            self.pri_cache.borrow_mut()[idx] = PriEntry {
-                value,
-                at: now,
-                stamp,
-                own,
-                valid: true,
-            };
+            self.accel.write_pri(id, value, now);
             if write_index && self.heap_in_use() {
                 self.index_upsert(id, value);
             }
@@ -1145,27 +1572,33 @@ impl<'p> EngineState<'p> {
     /// runner anchor that flipped its membership) and migrates if
     /// needed. O(log n) sift; never creates a duplicate entry.
     fn index_upsert(&self, id: TxnId, value: Priority) {
-        let (key, half) = self.entry_key_for(id, value);
+        let (key, half) = self.entry_key_for_write(id, value);
         let mut index = self.index.borrow_mut();
         match index.half_of(id) {
             Some(h) if h == half => {
-                index.half(h).set_key(id, key);
+                index.set_key(id, key);
             }
-            Some(h) => {
-                index.half(h).remove(id);
-                index.half(half).insert(HeapEntry {
-                    pri: key,
-                    arrival: self.txn(id).arrival,
-                    id,
-                });
+            Some(_) => {
+                index.remove(id);
+                index.insert(
+                    half,
+                    HeapEntry {
+                        pri: key,
+                        arrival: self.txn(id).arrival,
+                        id,
+                    },
+                );
                 self.index_migrations.set(self.index_migrations.get() + 1);
             }
             None => {
-                index.half(half).insert(HeapEntry {
-                    pri: key,
-                    arrival: self.txn(id).arrival,
-                    id,
-                });
+                index.insert(
+                    half,
+                    HeapEntry {
+                        pri: key,
+                        arrival: self.txn(id).arrival,
+                        id,
+                    },
+                );
             }
         }
         self.heap_pushes.set(self.heap_pushes.get() + 1);
@@ -1182,11 +1615,7 @@ impl<'p> EngineState<'p> {
         // version/cache vectors stay dense. Arrival changes no conflict
         // state (a fresh transaction holds nothing), so no epoch bump.
         self.accel.register(id);
-        self.pri_cache.borrow_mut().push(PriEntry::INVALID);
         self.index.borrow_mut().register();
-        self.slack.borrow_mut().register();
-        self.max_deadline_ms
-            .set(self.max_deadline_ms.get().max(deadline.as_ms()));
         if self.cfg.system.admission.is_some() {
             self.adm_maybe_roll();
             if !self.feasible(&txn) {
@@ -1196,6 +1625,7 @@ impl<'p> EngineState<'p> {
                 let (arrival, restarts) = (txn.arrival, txn.restarts);
                 self.txns.push(txn);
                 self.secondary.push(false);
+                self.state_tags.push(TxnState::Rejected);
                 self.metrics.record_rejection();
                 self.emit(|| TraceEvent::Rejected { txn: id, deadline });
                 if let Some(sink) = &mut self.completions {
@@ -1214,6 +1644,7 @@ impl<'p> EngineState<'p> {
         debug_assert_eq!(txn.state, TxnState::Ready);
         self.txns.push(txn);
         self.secondary.push(false);
+        self.state_tags.push(TxnState::Ready);
         self.active.push(id);
         self.ready_count += 1;
         // Enter the reverse index under the admitted footprint (only
@@ -1395,6 +1826,10 @@ impl<'p> EngineState<'p> {
                     if self.heap_in_use() {
                         self.priority_exact(id);
                     }
+                    // The narrowed might-access set can drop this
+                    // transaction out of a runner's unsafe set — timed
+                    // membership may no longer be reusable.
+                    self.walked.set(None);
                 }
                 self.slack_upsert(id);
                 if self.txn(id).progress == self.txn(id).total_updates() {
@@ -1979,7 +2414,8 @@ impl<'p> EngineState<'p> {
         if self.heap_in_use() {
             self.index.borrow_mut().remove(id);
         }
-        self.slack.borrow_mut().remove(id);
+        let band = SlackBands::band_of(self.txn(id).deadline);
+        self.slack.borrow_mut().remove(band, id);
         self.update_queue_metrics();
         self.reschedule(); // tr-finish-schedule
     }
@@ -2105,7 +2541,7 @@ impl<'p> EngineState<'p> {
             debug_assert!(self.active.is_empty(), "index lost an active entry");
             return None;
         };
-        if self.txn(th).is_runnable() {
+        if self.runnable_tag(th) {
             return Some((th, false));
         }
         // TH blocked on IO: IOwait-schedule (same short-circuit as the
@@ -2116,7 +2552,7 @@ impl<'p> EngineState<'p> {
         }
         let restrict = self.policy.iowait_restrict();
         let pick = self.split_best(|id| {
-            self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))
+            self.runnable_tag(id) && (!restrict || self.compatible_with_plist(id))
         });
         if self.mode == CacheMode::Verify {
             self.verify_checks.set(self.verify_checks.get() + 1);
@@ -2164,10 +2600,9 @@ impl<'p> EngineState<'p> {
         {
             let top = {
                 let index = self.index.borrow();
-                let free = index.free.peek().map(|e| (e.pri, e.arrival, e.id));
+                let free = index.peek(Half::Free).map(|e| (e.pri, e.arrival, e.id));
                 let timed = index
-                    .timed
-                    .peek()
+                    .peek(Half::Timed)
                     .map(|e| (self.timed_effective(e.pri, a), e.arrival, e.id));
                 match (free, timed) {
                     (Some(f), None) => Some(f),
@@ -2205,10 +2640,9 @@ impl<'p> EngineState<'p> {
         loop {
             let top = {
                 let index = self.index.borrow();
-                let free = index.free.peek().map(|e| (e.pri, e, Half::Free));
+                let free = index.peek(Half::Free).map(|e| (e.pri, e, Half::Free));
                 let timed = index
-                    .timed
-                    .peek()
+                    .peek(Half::Timed)
                     .map(|e| (self.timed_effective(e.pri, a), e, Half::Timed));
                 match (free, timed) {
                     (None, None) => None,
@@ -2230,9 +2664,24 @@ impl<'p> EngineState<'p> {
                 }
             }
             let id = entry.id;
-            self.index.borrow_mut().half(half).remove(id);
+            self.index.borrow_mut().remove(id);
             if !accept(id) {
-                scratch.push((entry, half));
+                // A lifted free-half conflicter re-parks into the timed
+                // half (bound carried over, now falling): frozen at its
+                // stale key it would stick above the falling band and be
+                // lifted again at every subsequent pick.
+                let parked = if half == Half::Free && self.fall_rate > 0.0 {
+                    match self.timed_target() {
+                        Some(r) if r != id && self.accel.is_unsafe(self.txn(r), self.txn(id)) => {
+                            let key = Priority(nudge_up(entry.pri.0 + a, entry.pri.0.abs().max(a)));
+                            (HeapEntry { pri: key, ..entry }, Half::Timed)
+                        }
+                        _ => (entry, half),
+                    }
+                } else {
+                    (entry, half)
+                };
+                scratch.push(parked);
                 continue;
             }
             let exact = self.priority_exact_detached(id);
@@ -2267,7 +2716,7 @@ impl<'p> EngineState<'p> {
         {
             let mut index = self.index.borrow_mut();
             for (e, h) in scratch.drain(..) {
-                index.half(h).insert(e);
+                index.insert(h, e);
             }
         }
         if best.is_some() {
@@ -2284,9 +2733,10 @@ impl<'p> EngineState<'p> {
     /// now_ms + K`, with `K` the policy's time-invariant key), so ordering the
     /// stored keys orders the priorities at any instant. The validated-
     /// argmax protocol of [`Self::split_best`] applies with the effective
-    /// bound `nudge_up(now_ms + K, S)` — the run-global scale `S` keeps
-    /// the bounds monotone in `K`, so the break condition stays sound
-    /// across entries.
+    /// bound `nudge_up(now_ms + K, S_b)` — each deadline band's scale
+    /// `S_b` is shared by all its entries, keeping the bounds monotone
+    /// in `K` *within* the band, and the pick takes the max effective
+    /// tuple across band tops, so the break condition stays sound.
     fn pick_next_slack(&self) -> Option<(TxnId, bool)> {
         let th = self.slack_best(|_| true);
         if self.mode == CacheMode::Verify {
@@ -2301,7 +2751,7 @@ impl<'p> EngineState<'p> {
             debug_assert!(self.active.is_empty(), "slack index lost an active entry");
             return None;
         };
-        if self.txn(th).is_runnable() {
+        if self.runnable_tag(th) {
             return Some((th, false));
         }
         if self.ready_count == 0 && self.running.is_none() {
@@ -2309,7 +2759,7 @@ impl<'p> EngineState<'p> {
         }
         let restrict = self.policy.iowait_restrict();
         let pick = self.slack_best(|id| {
-            self.txn(id).is_runnable() && (!restrict || self.compatible_with_plist(id))
+            self.runnable_tag(id) && (!restrict || self.compatible_with_plist(id))
         });
         if self.mode == CacheMode::Verify {
             self.verify_checks.set(self.verify_checks.get() + 1);
@@ -2324,37 +2774,46 @@ impl<'p> EngineState<'p> {
         pick.map(|id| (id, true))
     }
 
-    /// The scale for slack-index effective bounds: covers every magnitude
-    /// the policy's own rounding chain touches (deadlines, the clock, the
-    /// keys themselves — a `Criticality` wrapper's class bands dwarf the
-    /// rest), so 32 ulp of it dominates the few-ulp difference between
-    /// `now_ms + K` and the policy's actually-rounded priority.
-    fn slack_eff_scale(&self) -> f64 {
-        self.max_deadline_ms
-            .get()
-            .max(self.now().as_ms())
-            .max(self.slack_key_scale.get())
-            .max(1.0)
-    }
-
-    /// [`Self::split_best`]'s protocol over the slack index. Validated
-    /// entries re-park under their *unchanged* key — `K` moves only on
-    /// own-state events, never inside a pick — and validation itself is a
-    /// [`Self::priority_of`] call, which is exact (and cached at this
-    /// instant) for `TimeAndSelf` policies.
+    /// [`Self::split_best`]'s protocol over the banded slack index.
+    /// Each round takes the max *effective* tuple over the band tops —
+    /// every unpopped entry is dominated by its own band's top under
+    /// that band's scale — pops it, and validates it by exact
+    /// recomputation. Validated entries re-park under their *unchanged*
+    /// key — `K` moves only on own-state events, never inside a pick —
+    /// and validation itself is a [`Self::priority_of`] call, which is
+    /// exact (and cached at this instant) for `TimeAndSelf` policies.
     fn slack_best(&self, accept: impl Fn(TxnId) -> bool) -> Option<TxnId> {
         use std::cmp::Reverse;
         let now_ms = self.now().as_ms();
-        let scale = self.slack_eff_scale();
-        let mut scratch = self.scratch.borrow_mut();
+        let mut scratch = self.slack_scratch.borrow_mut();
         debug_assert!(scratch.is_empty());
         let mut best: Option<(Priority, SimTime, TxnId)> = None;
         let mut validations: u64 = 0;
         loop {
-            let Some(entry) = self.slack.borrow().peek() else {
+            let top = {
+                let slack = self.slack.borrow();
+                let mut top: Option<(Priority, HeapEntry, usize)> = None;
+                for (b, band) in slack.bands.iter().enumerate() {
+                    let Some(e) = band.index.peek() else {
+                        continue;
+                    };
+                    let eff = Priority(nudge_up(now_ms + e.pri.0, band.eff_scale(now_ms)));
+                    let better = match &top {
+                        None => true,
+                        Some((teff, te, _)) => {
+                            (eff, Reverse(e.arrival), Reverse(e.id))
+                                > (*teff, Reverse(te.arrival), Reverse(te.id))
+                        }
+                    };
+                    if better {
+                        top = Some((eff, e, b));
+                    }
+                }
+                top
+            };
+            let Some((eff, entry, band)) = top else {
                 break;
             };
-            let eff = Priority(nudge_up(now_ms + entry.pri.0, scale));
             if let Some((bp, ba, bi)) = best {
                 if (bp, Reverse(ba), Reverse(bi)) > (eff, Reverse(entry.arrival), Reverse(entry.id))
                 {
@@ -2362,8 +2821,8 @@ impl<'p> EngineState<'p> {
                 }
             }
             let id = entry.id;
-            self.slack.borrow_mut().remove(id);
-            scratch.push((entry, Half::Free));
+            self.slack.borrow_mut().remove(band, id);
+            scratch.push((entry, band));
             if !accept(id) {
                 continue;
             }
@@ -2387,8 +2846,8 @@ impl<'p> EngineState<'p> {
         }
         {
             let mut slack = self.slack.borrow_mut();
-            for (e, _) in scratch.drain(..) {
-                slack.insert(e);
+            for (e, b) in scratch.drain(..) {
+                slack.upsert(b, e);
             }
         }
         if best.is_some() {
@@ -2452,18 +2911,14 @@ impl<'p> EngineState<'p> {
         }
         let view = self.fresh_view();
         let now = self.now();
-        let cache = self.pri_cache.borrow();
         for &id in &self.active {
-            let cached = cache[id.0 as usize];
-            let hit = cached.valid
+            let s = self.accel.slot(id);
+            let hit = s.pri_valid()
                 && match deps {
                     PriorityDeps::Static => true,
-                    PriorityDeps::TimeAndSelf => {
-                        cached.at == now && cached.own == self.accel.own_version(id)
-                    }
+                    PriorityDeps::TimeAndSelf => s.pri_at == now && s.pri_own == s.own_version,
                     PriorityDeps::ConflictState { .. } => {
-                        cached.stamp == self.accel.pair_stamp(id)
-                            && cached.own == self.accel.own_version(id)
+                        s.pri_stamp == s.pair_stamp && s.pri_own == s.own_version
                     }
                     PriorityDeps::Volatile => unreachable!("handled above"),
                 };
@@ -2472,18 +2927,18 @@ impl<'p> EngineState<'p> {
                 self.verify_checks.set(self.verify_checks.get() + 1);
                 if matches!(deps, PriorityDeps::ConflictState { .. }) {
                     assert!(
-                        cached.value >= fresh,
+                        s.pri_value >= fresh,
                         "{id}: surviving cache entry {} < fresh {} \
                          (a priority rise escaped the clear walk)",
-                        cached.value.0,
+                        s.pri_value.0,
                         fresh.0
                     );
                 } else {
                     assert_eq!(
-                        cached.value.0.to_bits(),
+                        s.pri_value.0.to_bits(),
                         fresh.0.to_bits(),
                         "{id}: surviving cache entry {} != fresh {} (invalidation too narrow)",
-                        cached.value.0,
+                        s.pri_value.0,
                         fresh.0
                     );
                 }
@@ -2496,16 +2951,16 @@ impl<'p> EngineState<'p> {
         if self.heap_in_use() {
             let a = self.fall_offset_now();
             let index = self.index.borrow();
-            for e in index.free.entries() {
+            for e in index.entries(Half::Free) {
                 self.verify_checks.set(self.verify_checks.get() + 1);
                 assert_eq!(
                     e.pri.0.to_bits(),
-                    cache[e.id.0 as usize].value.0.to_bits(),
+                    self.accel.slot(e.id).pri_value.0.to_bits(),
                     "{}: free-half key and cached priority disagree",
                     e.id
                 );
             }
-            for e in index.timed.entries() {
+            for e in index.entries(Half::Timed) {
                 let fresh = self.policy.priority(self.txn(e.id), &view);
                 self.verify_checks.set(self.verify_checks.get() + 1);
                 assert!(
@@ -2519,29 +2974,37 @@ impl<'p> EngineState<'p> {
         }
         if self.slack_in_use() {
             let now_ms = now.as_ms();
-            let scale = self.slack_eff_scale();
             let slack = self.slack.borrow();
-            for e in slack.entries() {
-                let t = self.txn(e.id);
-                let k = self
-                    .policy
-                    .time_invariant_key(t)
-                    .expect("slack-indexed policy stopped exposing keys");
-                let fresh = self.policy.priority(t, &view);
-                self.verify_checks.set(self.verify_checks.get() + 2);
-                assert_eq!(
-                    e.pri.0.to_bits(),
-                    k.to_bits(),
-                    "{}: slack key diverged from the policy's current key",
-                    e.id
-                );
-                assert!(
-                    Priority(nudge_up(now_ms + e.pri.0, scale)) >= fresh,
-                    "{}: slack effective bound {} < fresh {}",
-                    e.id,
-                    nudge_up(now_ms + e.pri.0, scale),
-                    fresh.0
-                );
+            for (b, band) in slack.bands.iter().enumerate() {
+                let scale = band.eff_scale(now_ms);
+                for e in band.index.entries() {
+                    let t = self.txn(e.id);
+                    debug_assert_eq!(
+                        b,
+                        SlackBands::band_of(t.deadline),
+                        "{}: slack entry in the wrong deadline band",
+                        e.id
+                    );
+                    let k = self
+                        .policy
+                        .time_invariant_key(t)
+                        .expect("slack-indexed policy stopped exposing keys");
+                    let fresh = self.policy.priority(t, &view);
+                    self.verify_checks.set(self.verify_checks.get() + 2);
+                    assert_eq!(
+                        e.pri.0.to_bits(),
+                        k.to_bits(),
+                        "{}: slack key diverged from the policy's current key",
+                        e.id
+                    );
+                    assert!(
+                        Priority(nudge_up(now_ms + e.pri.0, scale)) >= fresh,
+                        "{}: slack effective bound {} < fresh {}",
+                        e.id,
+                        nudge_up(now_ms + e.pri.0, scale),
+                        fresh.0
+                    );
+                }
             }
         }
     }
@@ -2814,12 +3277,17 @@ impl<'p> EngineState<'p> {
             .filter(|&&id| self.txn(id).state == TxnState::Ready)
             .count();
         assert_eq!(self.ready_count, ready_scan, "ready counter diverged");
+        // The dense state-tag vector mirrors the authoritative per-
+        // transaction state exactly (every id, not just active ones).
+        assert_eq!(self.state_tags.len(), self.txns.len(), "tag vector size");
+        for (i, t) in self.txns.iter().enumerate() {
+            assert_eq!(self.state_tags[i], t.state, "state tag diverged at txn {i}");
+        }
         // The priority index holds exactly one entry per active
         // transaction, keyed bit-identically to its cached value.
         if self.heap_in_use() {
             let index = self.index.borrow();
             assert_eq!(index.len(), self.active.len(), "index size diverged");
-            let cache = self.pri_cache.borrow();
             let a = self.fall_offset_now();
             let view = self.fresh_view();
             for &id in &self.active {
@@ -2827,7 +3295,7 @@ impl<'p> EngineState<'p> {
                 match half {
                     Half::Free => assert_eq!(
                         key.0.to_bits(),
-                        cache[id.0 as usize].value.0.to_bits(),
+                        self.accel.slot(id).pri_value.0.to_bits(),
                         "{id}: free-half key and cached priority disagree"
                     ),
                     Half::Timed => {
@@ -2854,7 +3322,8 @@ impl<'p> EngineState<'p> {
         if self.slack_in_use() {
             let slack = self.slack.borrow();
             for &id in &self.active {
-                let key = slack.key_of(id).expect("active but not slack-indexed");
+                let b = SlackBands::band_of(self.txn(id).deadline);
+                let key = slack.key_of(b, id).expect("active but not slack-indexed");
                 let k = self
                     .policy
                     .time_invariant_key(self.txn(id))
@@ -3105,6 +3574,9 @@ impl EngineState<'_> {
             clear_repair_clears: self.clear_repair_clears.get(),
             clear_repair_visits: self.clear_repair_visits.get(),
             index_migrations: self.index_migrations.get(),
+            migrations_batched: self.migrations_batched.get(),
+            pair_cache_probes: self.accel.pair_cache_probes(),
+            frozen_compactions: self.frozen_compactions.get(),
             verify_checks: self.verify_checks.get(),
             sched_wall_ns: self.sched_wall_ns.get(),
         });
@@ -3422,15 +3894,12 @@ impl<'p> PickHarness<'p> {
             );
             assert!(txn.is_active(), "harness transactions must be active");
             st.accel.register(id);
-            st.pri_cache.borrow_mut().push(PriEntry::INVALID);
             st.index.borrow_mut().register();
-            st.slack.borrow_mut().register();
-            st.max_deadline_ms
-                .set(st.max_deadline_ms.get().max(txn.deadline.as_ms()));
             let partial = txn.is_partially_executed();
             if txn.state == TxnState::Ready {
                 st.ready_count += 1;
             }
+            st.state_tags.push(txn.state);
             st.txns.push(txn);
             st.secondary.push(false);
             st.active.push(id);
@@ -3489,6 +3958,9 @@ impl<'p> PickHarness<'p> {
             clear_repair_clears: self.st.clear_repair_clears.get(),
             clear_repair_visits: self.st.clear_repair_visits.get(),
             index_migrations: self.st.index_migrations.get(),
+            migrations_batched: self.st.migrations_batched.get(),
+            pair_cache_probes: self.st.accel.pair_cache_probes(),
+            frozen_compactions: self.st.frozen_compactions.get(),
             verify_checks: self.st.verify_checks.get(),
             sched_wall_ns: self.st.sched_wall_ns.get(),
         }

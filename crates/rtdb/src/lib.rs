@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 pub mod config;
 pub mod disk;
 pub mod engine;

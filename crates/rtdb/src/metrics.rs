@@ -62,6 +62,17 @@ pub struct SchedStats {
     /// Entries moved between the split priority index's halves (runner
     /// anchor changes and cross-half cache writes).
     pub index_migrations: u64,
+    /// Compute bursts whose anchor migration walks were skipped entirely
+    /// because no pick happened during the burst (deferred-arming
+    /// batching; 0 when `eager_migrations` forces the per-burst walks).
+    pub migrations_batched: u64,
+    /// Secondary-way (victim-slot) lookups performed by the two-way pair
+    /// caches after a primary-slot key miss.
+    pub pair_cache_probes: u64,
+    /// Timed-half compactions: frozen entries drained back to the free
+    /// half and the shared fall offset re-zeroed, bounding stale-offset
+    /// accumulation in long mostly-idle runs.
+    pub frozen_compactions: u64,
     /// Verify-mode divergence checks performed (cache-vs-fresh
     /// assertions that ran and passed; 0 outside `CacheMode::Verify`).
     pub verify_checks: u64,

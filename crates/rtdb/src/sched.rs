@@ -29,7 +29,10 @@
 use std::cell::Cell;
 
 use rtx_preanalysis::sets::DataSet;
+use rtx_sim::time::SimTime;
 
+use crate::arena::{SchedArena, SlotState, TxnSlot};
+use crate::policy::Priority;
 use crate::txn::{is_unsafe_with, Transaction, TxnId};
 
 /// How the engine evaluates priorities and conflict relations.
@@ -77,15 +80,23 @@ impl PairSlot {
     };
 }
 
-/// log2 of the pair-cache slot count. 8192 slots × 32 B = 256 KiB per
-/// cache — small enough to stay cache-resident, large enough that the
-/// hot working set (partials × candidates) rarely collides.
-const PAIR_CACHE_BITS: u32 = 13;
+/// Smallest pair-cache size: 2^13 = 8192 slots × 32 B = 256 KiB per
+/// cache — the original fixed table, still right for small MPLs.
+const PAIR_CACHE_MIN_BITS: u32 = 13;
 
-/// Direct-mapped, lossy pair-verdict cache.
+/// Largest pair-cache size: 2^18 slots × 32 B = 8 MiB per cache. Beyond
+/// this the table stops being cache-resident and bigger only buys
+/// compulsory misses.
+const PAIR_CACHE_MAX_BITS: u32 = 18;
+
+/// Two-way (primary + victim slot), lossy pair-verdict cache, sized by
+/// MPL.
 ///
-/// Each packed pair key hashes to exactly one slot; a colliding pair
-/// simply overwrites it. Losing an entry only costs a recomputation —
+/// Each packed pair key hashes to a primary slot `s`; its victim way is
+/// the adjacent slot `s ^ 1`, so both ways share one 64-byte cache line.
+/// A colliding pair displaces the primary occupant into the victim way
+/// instead of dropping it, which halves thrash between two hot pairs
+/// that hash together. Losing an entry only costs a recomputation —
 /// verdicts are pure functions of the two transactions' sets, so a
 /// lossy cache cannot change results, only hit rates. Compared to a
 /// `HashMap` memo this removes probe chains, occupancy bookkeeping and
@@ -93,50 +104,117 @@ const PAIR_CACHE_BITS: u32 = 13;
 /// in high-contention bursts, where version churn drives the hit rate
 /// toward zero and every check would otherwise pay full map overhead for
 /// nothing. `Cell` slots keep lookups `&self` without `RefCell` traffic.
+///
+/// The slot count is the next power of two covering a `4 × MPL²` pair
+/// budget, clamped to `[2^13, 2^18]`: the hot working set is
+/// partials × candidates, which grows quadratically with MPL, and the
+/// fixed 8192-slot table was the dominant eviction source at MPL 1024
+/// (~2.1 M evictions per burst run).
 struct PairCache {
     slots: Box<[Cell<PairSlot>]>,
-    /// Times `put` displaced a live entry for a *different* pair — the
-    /// direct-mapped cache's collision/thrash signal. Refreshing a slot
-    /// that already holds the same pair (version churn) is not an
-    /// eviction.
+    /// `64 - log2(slot count)`: `slot_of` takes the top bits of the
+    /// mixed key.
+    shift: u32,
+    /// Times `put` dropped a live entry for a *different* pair from the
+    /// cache entirely (displaced out of the victim way) — the collision/
+    /// thrash signal. Refreshing a slot that already holds the same pair
+    /// (version churn) is not an eviction, and neither is the
+    /// primary→victim displacement itself.
     evictions: Cell<u64>,
+    /// Victim-way lookups performed after a primary-slot key miss.
+    probes: Cell<u64>,
 }
 
 impl PairCache {
-    fn new() -> Self {
+    fn with_bits(bits: u32) -> Self {
+        debug_assert!((1..=63).contains(&bits));
         PairCache {
-            slots: vec![Cell::new(PairSlot::EMPTY); 1 << PAIR_CACHE_BITS].into_boxed_slice(),
+            slots: vec![Cell::new(PairSlot::EMPTY); 1 << bits].into_boxed_slice(),
+            shift: 64 - bits,
             evictions: Cell::new(0),
+            probes: Cell::new(0),
         }
     }
 
+    /// Slot-count bits for a run admitting at most `capacity` concurrent
+    /// transactions: next power of two ≥ the `4 × capacity²` pair
+    /// budget, clamped to `[PAIR_CACHE_MIN_BITS, PAIR_CACHE_MAX_BITS]`.
+    fn bits_for_capacity(capacity: usize) -> u32 {
+        let budget = capacity
+            .saturating_mul(capacity)
+            .saturating_mul(4)
+            .max(1)
+            .next_power_of_two();
+        budget
+            .trailing_zeros()
+            .clamp(PAIR_CACHE_MIN_BITS, PAIR_CACHE_MAX_BITS)
+    }
+
+    fn sized_for(capacity: usize) -> Self {
+        Self::with_bits(Self::bits_for_capacity(capacity))
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
     #[inline]
-    fn slot_of(key: u64) -> usize {
-        (mix64(key) >> (64 - PAIR_CACHE_BITS)) as usize
+    fn slot_of(&self, key: u64) -> usize {
+        (mix64(key) >> self.shift) as usize
     }
 
     #[inline]
     fn get(&self, key: u64, versions: (u64, u64)) -> Option<bool> {
-        let s = self.slots[Self::slot_of(key)].get();
-        (s.key == key && s.versions == versions).then_some(s.result)
+        let s = self.slot_of(key);
+        let a = self.slots[s].get();
+        if a.key == key {
+            return (a.versions == versions).then_some(a.result);
+        }
+        // Primary way holds a different pair: probe the victim way.
+        self.probes.set(self.probes.get() + 1);
+        let b = self.slots[s ^ 1].get();
+        (b.key == key && b.versions == versions).then_some(b.result)
     }
 
     #[inline]
     fn put(&self, key: u64, versions: (u64, u64), result: bool) {
-        let slot = &self.slots[Self::slot_of(key)];
-        let old = slot.get().key;
-        if old != u64::MAX && old != key {
-            self.evictions.set(self.evictions.get() + 1);
-        }
-        slot.set(PairSlot {
+        let fresh = PairSlot {
             key,
             versions,
             result,
-        });
+        };
+        let s = self.slot_of(key);
+        let primary = &self.slots[s];
+        if primary.get().key == key {
+            primary.set(fresh);
+            return;
+        }
+        let victim = &self.slots[s ^ 1];
+        if victim.get().key == key {
+            victim.set(fresh);
+            return;
+        }
+        if primary.get().key == u64::MAX {
+            primary.set(fresh);
+            return;
+        }
+        // Displace the primary occupant into the victim way; whatever
+        // lived there leaves the cache.
+        let dropped = victim.get().key;
+        victim.set(primary.get());
+        primary.set(fresh);
+        if dropped != u64::MAX {
+            self.evictions.set(self.evictions.get() + 1);
+        }
     }
 
     fn evictions(&self) -> u64 {
         self.evictions.get()
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes.get()
     }
 }
 
@@ -156,23 +234,15 @@ pub struct ConflictAccel {
     /// the engine's `active` list is always in arrival = id order, this
     /// reproduces the exact iteration order of the full-scan P-list.
     plist: Vec<TxnId>,
-    /// Bumped when a transaction's `might_access` is reassigned (decision
-    /// narrowing, restart re-widening). Gates the static pair cache.
-    might_version: Vec<u64>,
-    /// Bumped when a transaction's `accessed`/`written` sets grow or are
-    /// cleared. Gates the dynamic unsafe-pair cache.
-    access_version: Vec<u64>,
-    /// Bumped on *any* own-state change that could move this
-    /// transaction's priority (progress, restarts, set changes). Part of
-    /// the priority-cache key.
-    own_version: Vec<u64>,
-    /// Per-transaction conflict stamp: bumped for exactly the
-    /// transactions whose *unsafe/conditionally-unsafe partial set* (the
-    /// input of a [`crate::policy::PriorityDeps::ConflictState`]
-    /// priority) changed. The engine computes the affected set at every
-    /// conflict event — it owns the transaction slots the pair tests
-    /// need — and calls [`Self::bump_pair_stamp`] per member.
-    pair_stamp: Vec<u64>,
+    /// Dense per-transaction hot state: the version counters gating the
+    /// pair caches (`might_version`, `access_version`, `own_version`),
+    /// the per-transaction conflict stamp (`pair_stamp` — bumped by the
+    /// engine's targeted walks via [`Self::bump_pair_stamp`] for exactly
+    /// the transactions whose unsafe-partial set changed), and the
+    /// engine's cached priority with its validity stamps — one 64-byte
+    /// [`SlotState`] line per transaction instead of five scattered
+    /// vectors.
+    arena: SchedArena,
     /// Total pair-stamp bumps (targeted invalidations) performed.
     pair_invalidations: Cell<u64>,
     static_pairs: PairCache,
@@ -196,13 +266,10 @@ impl ConflictAccel {
     pub(crate) fn new(capacity: usize, db_size: usize) -> Self {
         ConflictAccel {
             plist: Vec::new(),
-            might_version: Vec::with_capacity(capacity),
-            access_version: Vec::with_capacity(capacity),
-            own_version: Vec::with_capacity(capacity),
-            pair_stamp: Vec::with_capacity(capacity),
+            arena: SchedArena::with_capacity(capacity),
             pair_invalidations: Cell::new(0),
-            static_pairs: PairCache::new(),
-            unsafe_pairs: PairCache::new(),
+            static_pairs: PairCache::sized_for(capacity),
+            unsafe_pairs: PairCache::sized_for(capacity),
             pair_checks: Cell::new(0),
             pair_cache_hits: Cell::new(0),
             item_txns: vec![Vec::new(); db_size],
@@ -213,11 +280,8 @@ impl ConflictAccel {
     /// Register a newly arrived transaction (ids are dense and arrive in
     /// order, so this is a push).
     pub(crate) fn register(&mut self, id: TxnId) {
-        debug_assert_eq!(id.0 as usize, self.might_version.len());
-        self.might_version.push(0);
-        self.access_version.push(0);
-        self.own_version.push(0);
-        self.pair_stamp.push(0);
+        debug_assert_eq!(id.0 as usize, self.arena.len());
+        self.arena.register();
         self.indexed_items.push(DataSet::new());
     }
 
@@ -283,27 +347,44 @@ impl ConflictAccel {
         out.dedup();
     }
 
+    /// One cache-line copy of `id`'s hot scheduler state (versions,
+    /// conflict stamp, cached priority).
+    #[inline]
+    pub(crate) fn slot(&self, id: TxnId) -> SlotState {
+        self.arena.get(TxnSlot::from(id))
+    }
+
+    /// Cache `value` as `id`'s priority, stamped with the slot's
+    /// *current* versions (callers evaluate the policy and write in the
+    /// same event, with no version bump in between).
+    #[inline]
+    pub(crate) fn write_pri(&self, id: TxnId, value: Priority, at: SimTime) {
+        self.arena.update(TxnSlot::from(id), |s| {
+            s.pri_value = value;
+            s.pri_at = at;
+            s.pri_stamp = s.pair_stamp;
+            s.pri_own = s.own_version;
+        });
+    }
+
     /// The conflict stamp of `id` — the per-transaction replacement for
     /// the old global conflict epoch. Part of the priority-cache key for
     /// `ConflictState` policies.
+    #[cfg(test)]
     pub(crate) fn pair_stamp(&self, id: TxnId) -> u64 {
-        self.pair_stamp[id.0 as usize]
+        self.arena.get(TxnSlot::from(id)).pair_stamp
     }
 
     /// The unsafe-partial set of `id` changed: invalidate its cached
     /// `ConflictState` priority (and only its).
     pub(crate) fn bump_pair_stamp(&mut self, id: TxnId) {
-        self.pair_stamp[id.0 as usize] += 1;
+        self.arena.update(TxnSlot::from(id), |s| s.pair_stamp += 1);
         self.pair_invalidations
             .set(self.pair_invalidations.get() + 1);
     }
 
-    pub(crate) fn own_version(&self, id: TxnId) -> u64 {
-        self.own_version[id.0 as usize]
-    }
-
     pub(crate) fn bump_own(&mut self, id: TxnId) {
-        self.own_version[id.0 as usize] += 1;
+        self.arena.update(TxnSlot::from(id), |s| s.own_version += 1);
     }
 
     /// A lock grant grew `id`'s `accessed`/`written` sets. Joins the
@@ -316,8 +397,10 @@ impl ConflictAccel {
     /// and revalidates on pop. Only clears — which *raise* priorities —
     /// get an eager walk (see [`Self::note_sets_cleared`]).
     pub(crate) fn note_access_growth(&mut self, id: TxnId, was_partial: bool) {
-        self.access_version[id.0 as usize] += 1;
-        self.own_version[id.0 as usize] += 1;
+        self.arena.update(TxnSlot::from(id), |s| {
+            s.access_version += 1;
+            s.own_version += 1;
+        });
         if !was_partial {
             let pos = self.plist.binary_search(&id).unwrap_err();
             self.plist.insert(pos, id);
@@ -332,9 +415,11 @@ impl ConflictAccel {
     /// call, while `id`'s sets (and the memoized verdicts keyed on their
     /// versions) still describe the contribution being removed.
     pub(crate) fn note_sets_cleared(&mut self, id: TxnId) {
-        self.access_version[id.0 as usize] += 1;
-        self.might_version[id.0 as usize] += 1;
-        self.own_version[id.0 as usize] += 1;
+        self.arena.update(TxnSlot::from(id), |s| {
+            s.access_version += 1;
+            s.might_version += 1;
+            s.own_version += 1;
+        });
         let pos = self
             .plist
             .binary_search(&id)
@@ -350,7 +435,8 @@ impl ConflictAccel {
     /// `ConflictState` priority it can move is `id`'s own: one stamp
     /// bump, no walk.
     pub(crate) fn note_narrowed(&mut self, id: TxnId) {
-        self.might_version[id.0 as usize] += 1;
+        self.arena
+            .update(TxnSlot::from(id), |s| s.might_version += 1);
         self.bump_pair_stamp(id);
     }
 
@@ -369,8 +455,8 @@ impl ConflictAccel {
     pub(crate) fn is_unsafe(&self, partial: &Transaction, candidate: &Transaction) -> bool {
         self.pair_checks.set(self.pair_checks.get() + 1);
         let versions = (
-            self.access_version[partial.id.0 as usize],
-            self.might_version[candidate.id.0 as usize],
+            self.arena.get(TxnSlot::from(partial.id)).access_version,
+            self.arena.get(TxnSlot::from(candidate.id)).might_version,
         );
         let key = pair_key(partial.id, candidate.id);
         if let Some(result) = self.unsafe_pairs.get(key, versions) {
@@ -388,8 +474,8 @@ impl ConflictAccel {
         self.pair_checks.set(self.pair_checks.get() + 1);
         let (lo, hi) = if a.id <= b.id { (a, b) } else { (b, a) };
         let versions = (
-            self.might_version[lo.id.0 as usize],
-            self.might_version[hi.id.0 as usize],
+            self.arena.get(TxnSlot::from(lo.id)).might_version,
+            self.arena.get(TxnSlot::from(hi.id)).might_version,
         );
         let key = pair_key(lo.id, hi.id);
         if let Some(result) = self.static_pairs.get(key, versions) {
@@ -413,10 +499,16 @@ impl ConflictAccel {
         self.pair_invalidations.get()
     }
 
-    /// Live entries displaced from the two direct-mapped pair caches by
-    /// colliding pairs (thrash signal; see [`PairCache`]).
+    /// Live entries dropped from the two pair caches by colliding pairs
+    /// (thrash signal; see [`PairCache`]).
     pub(crate) fn pair_cache_evictions(&self) -> u64 {
         self.static_pairs.evictions() + self.unsafe_pairs.evictions()
+    }
+
+    /// Victim-way lookups performed by the two pair caches after a
+    /// primary-slot miss (see [`PairCache`]).
+    pub(crate) fn pair_cache_probes(&self) -> u64 {
+        self.static_pairs.probes() + self.unsafe_pairs.probes()
     }
 }
 
@@ -577,19 +669,75 @@ mod tests {
 
     #[test]
     fn pair_cache_counts_evictions() {
-        let c = PairCache::new();
+        let c = PairCache::with_bits(PAIR_CACHE_MIN_BITS);
         let k1 = 1u64;
-        let target = PairCache::slot_of(k1);
-        let k2 = (2u64..)
-            .find(|&k| PairCache::slot_of(k) == target)
-            .expect("direct-mapped cache has colliding keys");
+        let target = c.slot_of(k1);
+        let mut colliding = (2u64..).filter(|&k| c.slot_of(k) == target);
+        let k2 = colliding.next().expect("lossy cache has colliding keys");
+        let k3 = colliding.next().expect("lossy cache has colliding keys");
         c.put(k1, (0, 0), true);
         assert_eq!(c.evictions(), 0);
         // Refreshing the same pair under new versions is not an eviction.
         c.put(k1, (1, 0), false);
         assert_eq!(c.evictions(), 0);
-        // A different pair landing on the slot is.
+        // A colliding pair displaces k1 into the (empty) victim way:
+        // nothing leaves the cache yet, and k1 is still readable there.
         c.put(k2, (0, 0), true);
+        assert_eq!(c.evictions(), 0);
+        let probes = c.probes();
+        assert_eq!(c.get(k1, (1, 0)), Some(false), "victim way serves k1");
+        assert!(c.probes() > probes, "victim-way lookups are counted");
+        // A third colliding pair finally drops one of them.
+        c.put(k3, (0, 0), true);
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn pair_cache_capacity_is_mpl_derived_power_of_two() {
+        // The budget is 4 × capacity², clamped to [2^13, 2^18] slots.
+        for (capacity, bits) in [
+            (0, 13),
+            (1, 13),
+            (45, 13),
+            (64, 14),
+            (128, 16),
+            (256, 18),
+            (1024, 18),
+            (1_000_000, 18),
+        ] {
+            let got = PairCache::bits_for_capacity(capacity);
+            assert_eq!(got, bits, "capacity {capacity}");
+            let cache = PairCache::sized_for(capacity);
+            assert!(cache.len().is_power_of_two());
+            assert_eq!(cache.len(), 1 << bits);
+        }
+        // The accel sizes both of its caches from the admitted-transaction
+        // capacity.
+        let a = ConflictAccel::new(1024, 64);
+        assert_eq!(a.static_pairs.len(), 1 << PAIR_CACHE_MAX_BITS);
+        assert_eq!(a.unsafe_pairs.len(), 1 << PAIR_CACHE_MAX_BITS);
+    }
+
+    #[test]
+    fn pair_cache_victim_way_shares_the_bucket() {
+        let c = PairCache::with_bits(PAIR_CACHE_MIN_BITS);
+        let k1 = 1u64;
+        let target = c.slot_of(k1);
+        let k2 = (2u64..)
+            .find(|&k| c.slot_of(k) == target)
+            .expect("lossy cache has colliding keys");
+        c.put(k1, (0, 0), true);
+        c.put(k2, (7, 7), false);
+        // Both colliding pairs are live at once — one per way.
+        assert_eq!(c.get(k1, (0, 0)), Some(true));
+        assert_eq!(c.get(k2, (7, 7)), Some(false));
+        // Version-stale entries still miss in either way.
+        assert_eq!(c.get(k1, (0, 1)), None);
+        assert_eq!(c.get(k2, (7, 8)), None);
+        // Refreshing the displaced pair updates it in place (no eviction).
+        c.put(k1, (0, 1), false);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(k1, (0, 1)), Some(false));
+        assert_eq!(c.get(k2, (7, 7)), Some(false));
     }
 }

@@ -65,6 +65,15 @@ pub enum TxnState {
     Committed,
 }
 
+impl TxnState {
+    /// Eligible for the CPU — what the pick loops accept. The engine's
+    /// dense state-tag vector tests this on the bare tag without
+    /// dereferencing the full transaction record.
+    pub fn is_runnable(self) -> bool {
+        matches!(self, TxnState::Ready | TxnState::Running)
+    }
+}
+
 /// A decision point in an instance's execution (the §3.2.2 extension the
 /// paper leaves to future work: "we didn't simulate the effects of
 /// conditionally unsafe and conditionally conflict").
@@ -178,7 +187,7 @@ impl Transaction {
 
     /// True iff the transaction can be put on the CPU right now.
     pub fn is_runnable(&self) -> bool {
-        matches!(self.state, TxnState::Ready | TxnState::Running)
+        self.state.is_runnable()
     }
 
     /// True iff the transaction has partially executed — it holds locks

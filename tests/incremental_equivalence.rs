@@ -145,11 +145,25 @@ fn run_specs_mode(
     faults: bool,
     mode: CacheMode,
 ) -> RunSummary {
+    run_specs_mode_eager(specs, policy, disk, with_modes, faults, mode, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_specs_mode_eager(
+    specs: &[TxnSpec],
+    policy: &dyn Policy,
+    disk: bool,
+    with_modes: bool,
+    faults: bool,
+    mode: CacheMode,
+    eager_migrations: bool,
+) -> RunSummary {
     let mut cfg = if disk {
         SimConfig::disk_base()
     } else {
         SimConfig::mm_base()
     };
+    cfg.system.eager_migrations = eager_migrations;
     cfg.workload.db_size = DB;
     cfg.run.num_transactions = specs.len();
     if faults && disk {
@@ -445,6 +459,105 @@ fn mpl256_burst_heap_determinism() {
         "slack index never picked"
     );
     assert_eq!(oracle.sched.heap_validated_picks, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Migration batching is an index-maintenance strategy, not a policy
+    /// change: with `eager_migrations` the engine re-walks the runner's
+    /// unsafe set at every compute burst (no membership reuse), while the
+    /// default batched path skips the walk when the timed half already
+    /// mirrors that runner. Both must produce bit-identical trajectories
+    /// on arbitrary workloads — including faults, shared locks, and
+    /// decision narrowing — and both must match the recompute oracle.
+    #[test]
+    fn batched_migrations_match_eager_walks(
+        specs in proptest::collection::vec(txn_spec(), 1..25),
+        disk in any::<bool>(),
+        with_modes in any::<bool>(),
+        faults in any::<bool>(),
+        which in 0usize..4,
+    ) {
+        let p = policy_by_index(which);
+        let eager = run_specs_mode_eager(
+            &specs, p.as_ref(), disk, with_modes, faults, CacheMode::Incremental, true);
+        let batched = run_specs_mode_eager(
+            &specs, p.as_ref(), disk, with_modes, faults, CacheMode::Incremental, false);
+        let oracle = run_specs_mode_eager(
+            &specs, p.as_ref(), disk, with_modes, faults, CacheMode::AlwaysRecompute, false);
+        prop_assert_eq!(
+            batched.sans_sched_stats(),
+            eager.sans_sched_stats(),
+            "batched anchor migrations diverged from eager re-walks under {}",
+            p.name()
+        );
+        prop_assert_eq!(
+            batched.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "batched migrations diverged from the recompute oracle under {}",
+            p.name()
+        );
+        // Eager mode never reuses a walk, so it reports no batching.
+        prop_assert_eq!(eager.sched.migrations_batched, 0, "{}", p.name());
+    }
+}
+
+/// A sustained CCA burst freezes and resumes the timed half thousands of
+/// times; the frozen entries left behind by picks and repairs must be
+/// compacted away while the half is idle, and compaction must not perturb
+/// the trajectory. Mirrors the bench profile's `mm_cca_burst_mpl64`
+/// scenario, where compaction engages reliably.
+#[test]
+fn frozen_compaction_engages_on_bursts() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 64;
+    cfg.run.arrival_rate_tps = 2_000.0;
+
+    let oracle = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::AlwaysRecompute);
+    let inc = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::Incremental);
+    assert_eq!(
+        inc.sans_sched_stats(),
+        oracle.sans_sched_stats(),
+        "frozen compaction perturbed the trajectory"
+    );
+    assert!(
+        inc.sched.frozen_compactions > 0,
+        "burst workload never compacted the frozen timed half \
+         (got {} compactions)",
+        inc.sched.frozen_compactions
+    );
+    assert!(
+        inc.sched.migrations_batched > 0,
+        "consecutive bursts by the same runner never reused a walk"
+    );
+    // The oracle maintains no index at all.
+    assert_eq!(oracle.sched.frozen_compactions, 0);
+    assert_eq!(oracle.sched.migrations_batched, 0);
+    assert_eq!(oracle.sched.index_migrations, 0);
+}
+
+/// MPL-1024 burst under `CacheMode::Verify`: every cached priority the
+/// pick path consults is bit-checked against a fresh evaluation, and the
+/// maintained P-list and ready counts are checked against full scans, at
+/// the contention level where migration batching and the pair cache work
+/// hardest. Slow (minutes) — run explicitly in CI via `--ignored`.
+#[test]
+#[ignore = "verify-mode smoke at MPL 1024 is slow; CI runs it explicitly"]
+fn mpl1024_verify_smoke() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 1024;
+    cfg.run.arrival_rate_tps = 2_000.0;
+
+    let oracle = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::AlwaysRecompute);
+    let verified = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::Verify);
+    assert_eq!(
+        verified.sans_sched_stats(),
+        oracle.sans_sched_stats(),
+        "MPL-1024: verify mode diverged from the recompute oracle"
+    );
+    assert!(verified.sched.verify_checks > 0);
+    assert!(verified.sched.migrations_batched > 0);
 }
 
 /// Profiled runs populate the wall-clock counter without perturbing the
