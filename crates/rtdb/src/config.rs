@@ -332,6 +332,13 @@ pub struct SystemConfig {
     /// bit-identical either way — this is the ablation/test hook the
     /// batched-vs-eager equivalence proptest toggles.
     pub eager_migrations: bool,
+    /// Number of contiguous item-range shards the lock table and conflict
+    /// state are partitioned into (`1..=8`). At `1` the engine runs the
+    /// exact serial path; at `N > 1` conflict epochs whose candidate sets
+    /// are large enough are evaluated by `N` scoped worker threads, one
+    /// per shard, with a deterministic ascending-id merge at the epoch
+    /// barrier — outcomes are bit-identical for every shard count.
+    pub shards: usize,
 }
 
 impl SystemConfig {
@@ -392,6 +399,7 @@ impl SimConfig {
                 faults: FaultPlan::none(),
                 admission: None,
                 eager_migrations: false,
+                shards: 1,
             },
             run: RunConfig {
                 arrival_rate_tps: 5.0,
@@ -437,6 +445,7 @@ impl SimConfig {
                 faults: FaultPlan::none(),
                 admission: None,
                 eager_migrations: false,
+                shards: 1,
             },
             run: RunConfig {
                 arrival_rate_tps: 4.0,
@@ -497,6 +506,11 @@ impl SimConfig {
         }
         if let Some(a) = &self.system.admission {
             a.validate()?;
+        }
+        if !(1..=8).contains(&self.system.shards) {
+            return Err(ConfigError::BadShardCount {
+                shards: self.system.shards,
+            });
         }
         if self.run.arrival_rate_tps <= 0.0 {
             return Err(ConfigError::NonPositiveArrivalRate);

@@ -76,6 +76,17 @@ pub struct SchedStats {
     /// Verify-mode divergence checks performed (cache-vs-fresh
     /// assertions that ran and passed; 0 outside `CacheMode::Verify`).
     pub verify_checks: u64,
+    /// Conflict-epoch barriers crossed by the sharded evaluation path:
+    /// one per repair epoch whose candidates were fanned out to per-shard
+    /// worker threads and merged back in ascending-id order. Always 0 at
+    /// `shards = 1`. Deterministic — a function of seeds and shard count,
+    /// not of the host machine.
+    pub shard_barriers: u64,
+    /// Conflicting transactions surfaced at an epoch barrier whose
+    /// access footprint spans more than one item-range shard (the
+    /// coordination cost ForeSight-style partitioning cannot elide).
+    /// Always 0 at `shards = 1`; deterministic for a given shard count.
+    pub cross_shard_conflicts: u64,
     /// Wall-clock nanoseconds spent inside `pick_next` (profiled runs
     /// only; 0 otherwise).
     pub sched_wall_ns: u64,

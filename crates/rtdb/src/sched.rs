@@ -260,6 +260,11 @@ pub struct ConflictAccel {
     /// `item_txns`, diffed on reindex so membership updates touch only
     /// the items that changed.
     indexed_items: Vec<DataSet>,
+    /// Transaction id → arena slot. Ids are dense and never reused, so
+    /// this is a push-only vector; slots of departed transactions are
+    /// recycled through the arena's free list and marked
+    /// [`TxnSlot::RELEASED`] here.
+    slot_map: Vec<TxnSlot>,
 }
 
 impl ConflictAccel {
@@ -274,15 +279,44 @@ impl ConflictAccel {
             pair_cache_hits: Cell::new(0),
             item_txns: vec![Vec::new(); db_size],
             indexed_items: Vec::with_capacity(capacity),
+            slot_map: Vec::with_capacity(capacity),
         }
     }
 
     /// Register a newly arrived transaction (ids are dense and arrive in
-    /// order, so this is a push).
+    /// order, so the slot-map entry is a push; the arena slot itself may
+    /// be a recycled one).
     pub(crate) fn register(&mut self, id: TxnId) {
-        debug_assert_eq!(id.0 as usize, self.arena.len());
-        self.arena.register();
+        debug_assert_eq!(id.0 as usize, self.slot_map.len());
+        let slot = self.arena.register();
+        self.slot_map.push(slot);
         self.indexed_items.push(DataSet::new());
+    }
+
+    /// `id` departed for good (commit or admission rejection): return its
+    /// arena slot to the free list. The id's pair-cache entries need no
+    /// sweep — ids are never reused, so those keys can never be probed
+    /// again.
+    pub(crate) fn release(&mut self, id: TxnId) {
+        let slot = std::mem::replace(&mut self.slot_map[id.0 as usize], TxnSlot::RELEASED);
+        debug_assert_ne!(slot, TxnSlot::RELEASED, "double release of {id}");
+        self.arena.release(slot);
+    }
+
+    /// Arena occupancy: (live slots, high-water mark). The mark tracks
+    /// the peak concurrent population, not the run's transaction count.
+    #[cfg(test)]
+    pub(crate) fn arena_occupancy(&self) -> (usize, usize) {
+        (self.arena.live(), self.arena.len())
+    }
+
+    /// `id`'s arena slot; panics in debug builds if the slot was
+    /// released (no scheduler path may touch a departed transaction).
+    #[inline]
+    fn slot_idx(&self, id: TxnId) -> TxnSlot {
+        let slot = self.slot_map[id.0 as usize];
+        debug_assert_ne!(slot, TxnSlot::RELEASED, "{id}: slot used after release");
+        slot
     }
 
     /// (Re)register `id` in the item→transaction reverse index under
@@ -351,7 +385,7 @@ impl ConflictAccel {
     /// conflict stamp, cached priority).
     #[inline]
     pub(crate) fn slot(&self, id: TxnId) -> SlotState {
-        self.arena.get(TxnSlot::from(id))
+        self.arena.get(self.slot_idx(id))
     }
 
     /// Cache `value` as `id`'s priority, stamped with the slot's
@@ -359,7 +393,7 @@ impl ConflictAccel {
     /// same event, with no version bump in between).
     #[inline]
     pub(crate) fn write_pri(&self, id: TxnId, value: Priority, at: SimTime) {
-        self.arena.update(TxnSlot::from(id), |s| {
+        self.arena.update(self.slot_idx(id), |s| {
             s.pri_value = value;
             s.pri_at = at;
             s.pri_stamp = s.pair_stamp;
@@ -372,19 +406,19 @@ impl ConflictAccel {
     /// `ConflictState` policies.
     #[cfg(test)]
     pub(crate) fn pair_stamp(&self, id: TxnId) -> u64 {
-        self.arena.get(TxnSlot::from(id)).pair_stamp
+        self.arena.get(self.slot_idx(id)).pair_stamp
     }
 
     /// The unsafe-partial set of `id` changed: invalidate its cached
     /// `ConflictState` priority (and only its).
     pub(crate) fn bump_pair_stamp(&mut self, id: TxnId) {
-        self.arena.update(TxnSlot::from(id), |s| s.pair_stamp += 1);
+        self.arena.update(self.slot_idx(id), |s| s.pair_stamp += 1);
         self.pair_invalidations
             .set(self.pair_invalidations.get() + 1);
     }
 
     pub(crate) fn bump_own(&mut self, id: TxnId) {
-        self.arena.update(TxnSlot::from(id), |s| s.own_version += 1);
+        self.arena.update(self.slot_idx(id), |s| s.own_version += 1);
     }
 
     /// A lock grant grew `id`'s `accessed`/`written` sets. Joins the
@@ -397,7 +431,7 @@ impl ConflictAccel {
     /// and revalidates on pop. Only clears — which *raise* priorities —
     /// get an eager walk (see [`Self::note_sets_cleared`]).
     pub(crate) fn note_access_growth(&mut self, id: TxnId, was_partial: bool) {
-        self.arena.update(TxnSlot::from(id), |s| {
+        self.arena.update(self.slot_idx(id), |s| {
             s.access_version += 1;
             s.own_version += 1;
         });
@@ -415,7 +449,7 @@ impl ConflictAccel {
     /// call, while `id`'s sets (and the memoized verdicts keyed on their
     /// versions) still describe the contribution being removed.
     pub(crate) fn note_sets_cleared(&mut self, id: TxnId) {
-        self.arena.update(TxnSlot::from(id), |s| {
+        self.arena.update(self.slot_idx(id), |s| {
             s.access_version += 1;
             s.might_version += 1;
             s.own_version += 1;
@@ -436,7 +470,7 @@ impl ConflictAccel {
     /// bump, no walk.
     pub(crate) fn note_narrowed(&mut self, id: TxnId) {
         self.arena
-            .update(TxnSlot::from(id), |s| s.might_version += 1);
+            .update(self.slot_idx(id), |s| s.might_version += 1);
         self.bump_pair_stamp(id);
     }
 
@@ -455,8 +489,8 @@ impl ConflictAccel {
     pub(crate) fn is_unsafe(&self, partial: &Transaction, candidate: &Transaction) -> bool {
         self.pair_checks.set(self.pair_checks.get() + 1);
         let versions = (
-            self.arena.get(TxnSlot::from(partial.id)).access_version,
-            self.arena.get(TxnSlot::from(candidate.id)).might_version,
+            self.arena.get(self.slot_idx(partial.id)).access_version,
+            self.arena.get(self.slot_idx(candidate.id)).might_version,
         );
         let key = pair_key(partial.id, candidate.id);
         if let Some(result) = self.unsafe_pairs.get(key, versions) {
@@ -474,8 +508,8 @@ impl ConflictAccel {
         self.pair_checks.set(self.pair_checks.get() + 1);
         let (lo, hi) = if a.id <= b.id { (a, b) } else { (b, a) };
         let versions = (
-            self.arena.get(TxnSlot::from(lo.id)).might_version,
-            self.arena.get(TxnSlot::from(hi.id)).might_version,
+            self.arena.get(self.slot_idx(lo.id)).might_version,
+            self.arena.get(self.slot_idx(hi.id)).might_version,
         );
         let key = pair_key(lo.id, hi.id);
         if let Some(result) = self.static_pairs.get(key, versions) {
@@ -509,6 +543,63 @@ impl ConflictAccel {
     /// primary-slot miss (see [`PairCache`]).
     pub(crate) fn pair_cache_probes(&self) -> u64 {
         self.static_pairs.probes() + self.unsafe_pairs.probes()
+    }
+}
+
+/// Partition of the item space `0..db_size` into `shards` contiguous
+/// ranges of near-equal width.
+///
+/// The map is a pure function of `(db_size, shards)` — `shard_of` is
+/// `item × shards / db_size`, monotone in the item id — so every engine
+/// structure that shards by item range (the lock table, the conflict
+/// epoch fan-out) derives the same partition and the same
+/// home-shard/cross-shard classification for any footprint, on any
+/// machine. Transactions whose `might_access` sets land in disjoint
+/// shards can be evaluated by different workers with no coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardMap {
+    db_size: u64,
+    shards: u64,
+}
+
+impl ShardMap {
+    pub(crate) fn new(db_size: u64, shards: usize) -> Self {
+        assert!(db_size > 0, "cannot shard an empty item space");
+        assert!(shards > 0, "need at least one shard");
+        ShardMap {
+            db_size,
+            shards: shards.min(db_size as usize) as u64,
+        }
+    }
+
+    /// Number of shards (≤ db_size; a shard needs at least one item).
+    pub(crate) fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `item`. Items at or past `db_size` (possible only
+    /// for misconfigured footprints) clamp to the last shard.
+    pub(crate) fn shard_of(&self, item: rtx_preanalysis::ItemId) -> usize {
+        let i = (item.0 as u64).min(self.db_size - 1);
+        (i * self.shards / self.db_size) as usize
+    }
+
+    /// The shard of a footprint's lowest item — the worker that evaluates
+    /// a candidate in the parallel conflict epoch. Empty footprints are
+    /// homed on shard 0.
+    pub(crate) fn home_shard(&self, items: &DataSet) -> usize {
+        items.iter().next().map_or(0, |i| self.shard_of(i))
+    }
+
+    /// True iff the footprint touches more than one shard. Shards are
+    /// contiguous and `shard_of` monotone, so the lowest and highest set
+    /// items decide.
+    pub(crate) fn is_cross_shard(&self, items: &DataSet) -> bool {
+        let mut iter = items.iter();
+        match (iter.next(), iter.last()) {
+            (Some(lo), Some(hi)) => self.shard_of(lo) != self.shard_of(hi),
+            _ => false,
+        }
     }
 }
 
@@ -639,6 +730,38 @@ mod tests {
     }
 
     #[test]
+    fn released_slots_recycle_through_the_accel() {
+        let mut a = ConflictAccel::new(4, 64);
+        // A departing wave of transactions keeps the arena at the peak
+        // *concurrent* population, not the total registered count.
+        for i in 0..100u32 {
+            a.register(TxnId(i));
+            a.note_access_growth(TxnId(i), false);
+            let (live, high) = a.arena_occupancy();
+            assert_eq!(live, 2.min(i as usize + 1));
+            assert!(high <= 2, "arena grew past the concurrent peak: {high}");
+            if i > 0 {
+                a.note_sets_cleared(TxnId(i - 1));
+                a.release(TxnId(i - 1));
+            }
+        }
+        // Recycled slots read as fresh for their new owner.
+        assert_eq!(a.pair_stamp(TxnId(99)), 0);
+        a.bump_pair_stamp(TxnId(99));
+        assert_eq!(a.pair_stamp(TxnId(99)), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "slot used after release")]
+    fn released_slot_access_is_caught_in_debug() {
+        let mut a = ConflictAccel::new(2, 64);
+        a.register(TxnId(0));
+        a.release(TxnId(0));
+        a.bump_pair_stamp(TxnId(0));
+    }
+
+    #[test]
     fn reverse_index_tracks_footprints() {
         let mut a = ConflictAccel::new(3, 64);
         for i in 0..3 {
@@ -739,5 +862,53 @@ mod tests {
         assert_eq!(c.evictions(), 0);
         assert_eq!(c.get(k1, (0, 1)), Some(false));
         assert_eq!(c.get(k2, (7, 7)), Some(false));
+    }
+
+    #[test]
+    fn shard_map_covers_every_item_contiguously() {
+        for &(db, shards) in &[(30u64, 1usize), (30, 4), (30, 8), (13, 4), (7, 8), (1, 8)] {
+            let m = ShardMap::new(db, shards);
+            assert!(m.shards() <= shards);
+            assert!(m.shards() as u64 <= db);
+            // Monotone, contiguous, onto: every shard owns a nonempty
+            // range and shard ids never decrease with the item id.
+            let mut prev = 0;
+            let mut seen = vec![false; m.shards()];
+            for i in 0..db {
+                let s = m.shard_of(ItemId(i as u32));
+                assert!(s >= prev && s < m.shards(), "db={db} shards={shards} i={i}");
+                prev = s;
+                seen[s] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "db={db} shards={shards}: empty shard"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_map_agrees_with_lock_table_geometry() {
+        // The lock table's per-shard ranges and the ShardMap must place
+        // every item in the same shard — the parallel epoch relies on it.
+        for &(db, shards) in &[(30u64, 4usize), (13, 4), (100, 8)] {
+            let m = ShardMap::new(db, shards);
+            let lt = crate::locks::LockTable::with_shards(db, shards);
+            assert_eq!(m.shards(), lt.shards());
+        }
+    }
+
+    #[test]
+    fn shard_map_home_and_cross() {
+        let m = ShardMap::new(30, 4);
+        let low = DataSet::from_items([ItemId(0), ItemId(2)]);
+        assert_eq!(m.home_shard(&low), 0);
+        assert!(!m.is_cross_shard(&low));
+        let wide = DataSet::from_items([ItemId(0), ItemId(2), ItemId(29)]);
+        assert_eq!(m.home_shard(&wide), 0);
+        assert!(m.is_cross_shard(&wide));
+        let empty = DataSet::new();
+        assert_eq!(m.home_shard(&empty), 0);
+        assert!(!m.is_cross_shard(&empty));
     }
 }

@@ -1,0 +1,221 @@
+//! The component scheduling model: everything that evolves over time —
+//! CPUs, disks, the scheduler itself — is a [`Component`] with a notion
+//! of when it next wants to run (`next_tick`) and a method to advance
+//! (`tick`). A [`ComponentHeap`] keyed by `(next_tick, ComponentId)`
+//! picks the globally earliest component, which is exactly the
+//! discrete-event main loop generalized from "events" to "actors".
+//!
+//! The RTDB engine uses this through its `ComponentCalendar`: each lane
+//! (scheduler, CPU, disk) is a component whose key is the `(time, seq)`
+//! of its earliest pending event, so the merged pop order reproduces the
+//! single-calendar order bit for bit while keeping per-device state
+//! separable — the precondition for sharded parallel advancement.
+
+use std::cmp::Ordering;
+
+use crate::time::SimTime;
+
+/// Identifies one component registered with a [`ComponentHeap`].
+///
+/// Ids double as the deterministic tie-break: two components wanting the
+/// same tick time fire in id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+/// An actor in the simulation: a CPU, a disk, a scheduler — anything
+/// with its own timeline.
+///
+/// `next_tick` returning `None` means the component is idle (nothing
+/// pending); the driving loop skips it until some interaction re-arms
+/// it. `tick` advances the component to `now` and performs whatever
+/// work fires there.
+pub trait Component {
+    /// The next simulation time this component wants control, or `None`
+    /// if it is idle.
+    fn next_tick(&self) -> Option<SimTime>;
+    /// Advance to `now`, performing the work that fires at that instant.
+    fn tick(&mut self, now: SimTime);
+}
+
+/// One heap entry: a component and the key it is currently scheduled
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot<K> {
+    key: K,
+    id: ComponentId,
+}
+
+impl<K: Ord> PartialOrd for Slot<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// Min-heap by (key, id): BinaryHeap is a max-heap, so invert.
+impl<K: Ord> Ord for Slot<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A min-heap of components keyed by when each next wants to run.
+///
+/// Keys are generic (`(SimTime, u64)` event keys, plain times, base
+/// cycles…) so the same structure drives both the RTDB lane calendar and
+/// plain tick loops. Updates are lazy: `set_key` pushes a fresh entry and
+/// stale ones are discarded on pop against the `current` table, keeping
+/// every operation `O(log n)` without a decrease-key primitive.
+///
+/// ```
+/// use rtx_sim::component::{ComponentHeap, ComponentId};
+///
+/// let mut heap: ComponentHeap<u64> = ComponentHeap::new(3);
+/// heap.set_key(ComponentId(0), 40);
+/// heap.set_key(ComponentId(1), 25);
+/// heap.set_key(ComponentId(2), 25);
+/// assert_eq!(heap.peek_min(), Some((25, ComponentId(1)))); // id breaks ties
+/// heap.set_key(ComponentId(1), 60);
+/// assert_eq!(heap.peek_min(), Some((25, ComponentId(2))));
+/// heap.clear_key(ComponentId(2));
+/// assert_eq!(heap.peek_min(), Some((40, ComponentId(0))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComponentHeap<K> {
+    heap: std::collections::BinaryHeap<Slot<K>>,
+    /// The authoritative key per component; heap entries that disagree
+    /// are stale and skipped on pop. `None` = idle (not scheduled).
+    current: Vec<Option<K>>,
+}
+
+impl<K: Ord + Copy> ComponentHeap<K> {
+    /// A heap for components `0..n`, all initially idle.
+    pub fn new(n: usize) -> Self {
+        ComponentHeap {
+            heap: std::collections::BinaryHeap::new(),
+            current: vec![None; n],
+        }
+    }
+
+    /// Number of components registered (idle or not).
+    pub fn components(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Schedule (or reschedule) component `id` at `key`.
+    pub fn set_key(&mut self, id: ComponentId, key: K) {
+        let slot = &mut self.current[id.0 as usize];
+        if *slot == Some(key) {
+            return; // already scheduled there; avoid heap churn
+        }
+        *slot = Some(key);
+        self.heap.push(Slot { key, id });
+    }
+
+    /// Mark component `id` idle; its pending heap entries become stale.
+    pub fn clear_key(&mut self, id: ComponentId) {
+        self.current[id.0 as usize] = None;
+    }
+
+    /// The component's current key, or `None` if idle.
+    pub fn key_of(&self, id: ComponentId) -> Option<K> {
+        self.current[id.0 as usize]
+    }
+
+    /// The `(key, id)` of the earliest scheduled component, draining
+    /// stale entries from the top. `None` iff every component is idle.
+    pub fn peek_min(&mut self) -> Option<(K, ComponentId)> {
+        while let Some(top) = self.heap.peek() {
+            if self.current[top.id.0 as usize] == Some(top.key) {
+                return Some((top.key, top.id));
+            }
+            self.heap.pop(); // stale: superseded or idled
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_min_key_with_id_tiebreak() {
+        let mut h: ComponentHeap<u64> = ComponentHeap::new(4);
+        h.set_key(ComponentId(3), 10);
+        h.set_key(ComponentId(1), 10);
+        h.set_key(ComponentId(0), 20);
+        assert_eq!(h.peek_min(), Some((10, ComponentId(1))));
+    }
+
+    #[test]
+    fn reschedule_supersedes_old_entry() {
+        let mut h: ComponentHeap<u64> = ComponentHeap::new(2);
+        h.set_key(ComponentId(0), 5);
+        h.set_key(ComponentId(1), 8);
+        h.set_key(ComponentId(0), 12); // CPU got new, later work
+        assert_eq!(h.peek_min(), Some((8, ComponentId(1))));
+        h.clear_key(ComponentId(1));
+        assert_eq!(h.peek_min(), Some((12, ComponentId(0))));
+    }
+
+    #[test]
+    fn clear_key_idles_component() {
+        let mut h: ComponentHeap<u64> = ComponentHeap::new(1);
+        h.set_key(ComponentId(0), 7);
+        h.clear_key(ComponentId(0));
+        assert_eq!(h.peek_min(), None);
+        assert_eq!(h.key_of(ComponentId(0)), None);
+    }
+
+    #[test]
+    fn redundant_set_key_is_noop() {
+        let mut h: ComponentHeap<u64> = ComponentHeap::new(1);
+        h.set_key(ComponentId(0), 3);
+        h.set_key(ComponentId(0), 3);
+        assert_eq!(h.peek_min(), Some((3, ComponentId(0))));
+        assert_eq!(h.key_of(ComponentId(0)), Some(3));
+    }
+
+    #[test]
+    fn tuple_keys_order_lexicographically() {
+        // The RTDB lane calendar keys lanes by (head time, head seq):
+        // equal times must resolve by sequence, reproducing the single
+        // global calendar's FIFO-of-simultaneous-events order.
+        let mut h: ComponentHeap<(u64, u64)> = ComponentHeap::new(3);
+        h.set_key(ComponentId(0), (50, 9));
+        h.set_key(ComponentId(1), (50, 2));
+        h.set_key(ComponentId(2), (60, 0));
+        assert_eq!(h.peek_min(), Some(((50, 2), ComponentId(1))));
+    }
+
+    #[test]
+    fn interleaved_stress_matches_linear_scan() {
+        let mut h: ComponentHeap<u64> = ComponentHeap::new(8);
+        let mut model: Vec<Option<u64>> = vec![None; 8];
+        // Deterministic pseudo-random walk over set/clear operations.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = (x >> 33) as usize % 8;
+            if x.is_multiple_of(5) {
+                model[id] = None;
+                h.clear_key(ComponentId(id as u32));
+            } else {
+                let key = (x >> 7) % 1000;
+                model[id] = Some(key);
+                h.set_key(ComponentId(id as u32), key);
+            }
+            let want = model
+                .iter()
+                .enumerate()
+                .filter_map(|(i, k)| k.map(|k| (k, ComponentId(i as u32))))
+                .min();
+            assert_eq!(h.peek_min(), want);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Shard-count invariance of the range-sharded engine.
+//!
+//! The engine shards its lock table and conflict-epoch evaluation by
+//! contiguous item ranges (`system.shards`). Sharding is a *parallelism*
+//! strategy, never a semantics change: the per-shard workers compute the
+//! same pair predicate the serial walk computes and their verdicts are
+//! merged back in the serial walk's order, so a run's trajectory and
+//! metrics must be bit-identical for every shard count — and identical
+//! to the `AlwaysRecompute` oracle, which has no acceleration state at
+//! all. These tests pin that invariance over random workloads (shared
+//! locks, decision narrowing, disk + CPU faults included) and over the
+//! high-MPL burst where the parallel epochs actually engage.
+
+use proptest::prelude::*;
+use rtx::policies::{Cca, EdfHp, EdfWait, Lsf};
+use rtx::preanalysis::{DataSet, ItemId, TypeId};
+use rtx::rtdb::engine::{run_simulation_from_mode, run_simulation_with_mode};
+use rtx::rtdb::locks::LockMode;
+use rtx::rtdb::{
+    CacheMode, DecisionSpec, Policy, ReplaySource, RunSummary, SimConfig, Stage, Transaction,
+    TxnId, TxnState,
+};
+use rtx::sim::fault::{Brownout, CpuFaultPlan};
+use rtx::sim::{SimDuration, SimTime};
+
+/// Specification of one random transaction (mirrors
+/// `incremental_equivalence.rs`).
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    gap_ms: f64,
+    items: Vec<u16>,
+    slack: f64,
+    io: Vec<bool>,
+    reads: Vec<bool>,
+    branch_at: Option<usize>,
+}
+
+const DB: u64 = 12;
+
+fn txn_spec() -> impl Strategy<Value = TxnSpec> {
+    (
+        0.1f64..50.0,
+        proptest::collection::vec(0u16..DB as u16, 1..8),
+        0.1f64..4.0,
+        proptest::collection::vec(any::<bool>(), 8),
+        proptest::collection::vec(any::<bool>(), 8),
+        proptest::option::of(0usize..4),
+    )
+        .prop_map(|(gap_ms, mut items, slack, io, reads, branch_at)| {
+            items.dedup();
+            TxnSpec {
+                gap_ms,
+                items,
+                slack,
+                io,
+                reads,
+                branch_at,
+            }
+        })
+}
+
+/// Materialize specs into engine transactions.
+fn build(specs: &[TxnSpec], cfg: &SimConfig, with_modes: bool) -> Vec<Transaction> {
+    let mut clock = SimTime::ZERO;
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            clock += SimDuration::from_ms(spec.gap_ms);
+            let items: Vec<ItemId> = spec.items.iter().map(|&x| ItemId(x as u32)).collect();
+            let update_time = SimDuration::from_ms(2.0);
+            let io_pattern: Vec<bool> = if cfg.system.disk.is_some() {
+                items.iter().zip(&spec.io).map(|(_, &b)| b).collect()
+            } else {
+                Vec::new()
+            };
+            let io_time =
+                SimDuration::from_ms(25.0) * io_pattern.iter().filter(|&&b| b).count() as u64;
+            let resource_time = update_time * items.len() as u64 + io_time;
+            let might: DataSet = items.iter().copied().collect();
+            let modes: Vec<LockMode> = if with_modes {
+                items
+                    .iter()
+                    .zip(&spec.reads)
+                    .map(|(_, &r)| {
+                        if r {
+                            LockMode::Shared
+                        } else {
+                            LockMode::Exclusive
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let decision = spec.branch_at.and_then(|at| {
+                (at + 1 < items.len()).then(|| DecisionSpec {
+                    after_update: at + 1,
+                    full: might.clone(),
+                    narrowed: might.clone(),
+                })
+            });
+            Transaction {
+                id: TxnId(i as u32),
+                ty: TypeId(0),
+                arrival: clock,
+                deadline: clock + resource_time.scale(1.0 + spec.slack),
+                resource_time,
+                items,
+                io_pattern,
+                modes,
+                update_time,
+                might_access: might,
+                state: TxnState::Ready,
+                progress: 0,
+                stage: Stage::Lock,
+                cpu_left: SimDuration::ZERO,
+                burst_start: SimTime::ZERO,
+                accessed: DataSet::new(),
+                written: DataSet::new(),
+                service: SimDuration::ZERO,
+                restarts: 0,
+                waiting_for: None,
+                decision,
+                criticality: 0,
+                doomed: false,
+                doomed_at: SimTime::ZERO,
+                io_retries: 0,
+                retry_token: 0,
+                finish: None,
+            }
+        })
+        .collect()
+}
+
+/// Run `specs` at the given shard count; faults inject both disk and CPU
+/// failure modes so the abort/restart clearing paths run under sharding.
+fn run_specs_sharded(
+    specs: &[TxnSpec],
+    policy: &dyn Policy,
+    disk: bool,
+    with_modes: bool,
+    faults: bool,
+    shards: usize,
+    mode: CacheMode,
+) -> RunSummary {
+    let mut cfg = if disk {
+        SimConfig::disk_base()
+    } else {
+        SimConfig::mm_base()
+    };
+    cfg.workload.db_size = DB;
+    cfg.run.num_transactions = specs.len();
+    cfg.system.shards = shards;
+    if faults {
+        cfg.system.faults.cpu = Some(CpuFaultPlan {
+            stall_prob: 0.1,
+            slow_prob: 0.1,
+            slow_factor: 2.0,
+            retry_budget: 2,
+            backoff_base_ms: 2.0,
+            backoff_cap_ms: 16.0,
+            brownout: None,
+        });
+        if disk {
+            cfg.system.faults.error_prob = 0.2;
+            cfg.system.faults.spike_prob = 0.15;
+            cfg.system.faults.spike_factor = 2.5;
+            cfg.system.faults.retry_budget = 2;
+            cfg.system.faults.backoff_base_ms = 2.0;
+            cfg.system.faults.backoff_cap_ms = 16.0;
+            cfg.system.faults.brownout = Some(Brownout {
+                period_ms: 1_500.0,
+                duration_ms: 250.0,
+                error_prob: 0.5,
+                latency_factor: 2.0,
+            });
+        }
+    }
+    let txns = build(specs, &cfg, with_modes);
+    let n = txns.len();
+    let mut source = ReplaySource::new(txns);
+    run_simulation_from_mode(&cfg, policy, &mut source, n, mode)
+}
+
+fn policy_by_index(which: usize) -> Box<dyn Policy> {
+    match which {
+        0 => Box::new(Cca::base()) as Box<dyn Policy>,
+        1 => Box::new(EdfHp),
+        2 => Box::new(EdfWait),
+        _ => Box::new(Lsf),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every shard count produces the serial engine's trajectory and
+    /// metrics on arbitrary workloads — including disk + CPU faults,
+    /// shared locks and decision narrowing — and the serial run equals
+    /// the recompute oracle.
+    #[test]
+    fn shard_counts_are_outcome_invariant(
+        specs in proptest::collection::vec(txn_spec(), 1..25),
+        disk in any::<bool>(),
+        with_modes in any::<bool>(),
+        faults in any::<bool>(),
+        which in 0usize..4,
+    ) {
+        let p = policy_by_index(which);
+        let serial = run_specs_sharded(
+            &specs, p.as_ref(), disk, with_modes, faults, 1, CacheMode::Incremental);
+        let oracle = run_specs_sharded(
+            &specs, p.as_ref(), disk, with_modes, faults, 1, CacheMode::AlwaysRecompute);
+        prop_assert_eq!(
+            serial.sans_sched_stats(),
+            oracle.sans_sched_stats(),
+            "serial run diverged from the recompute oracle under {}",
+            p.name()
+        );
+        for shards in [2usize, 4, 8] {
+            let sharded = run_specs_sharded(
+                &specs, p.as_ref(), disk, with_modes, faults, shards, CacheMode::Incremental);
+            prop_assert_eq!(
+                sharded.sans_sched_stats(),
+                serial.sans_sched_stats(),
+                "{} shards diverged from the serial engine under {}",
+                shards,
+                p.name()
+            );
+            // Reruns at the same shard count are bit-identical,
+            // instrumentation counters included.
+            let again = run_specs_sharded(
+                &specs, p.as_ref(), disk, with_modes, faults, shards, CacheMode::Incremental);
+            prop_assert_eq!(&sharded, &again, "{} shards: nondeterministic rerun", shards);
+        }
+    }
+}
+
+/// MPL-256 CCA burst across shard counts: enough concurrent transactions
+/// that the conflict epochs exceed the parallel fan-out threshold, so
+/// the per-shard workers and the deterministic merge actually run (the
+/// `shard_barriers` counter proves it) — and the trajectory still equals
+/// the serial engine's, bit for bit.
+#[test]
+fn mpl256_burst_parallel_epochs_match_serial() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 256;
+    cfg.run.arrival_rate_tps = 2_000.0;
+
+    for p in [&Cca::base() as &dyn Policy, &EdfWait] {
+        cfg.system.shards = 1;
+        let serial = run_simulation_with_mode(&cfg, p, CacheMode::Incremental);
+        assert_eq!(
+            serial.sched.shard_barriers,
+            0,
+            "{}: serial run must never hit a shard barrier",
+            p.name()
+        );
+        for shards in [2usize, 4, 8] {
+            cfg.system.shards = shards;
+            let sharded = run_simulation_with_mode(&cfg, p, CacheMode::Incremental);
+            assert_eq!(
+                sharded.sans_sched_stats(),
+                serial.sans_sched_stats(),
+                "{}: {} shards diverged from serial on the MPL-256 burst",
+                p.name(),
+                shards
+            );
+            assert!(
+                sharded.sched.shard_barriers > 0,
+                "{}: {} shards never fanned out a conflict epoch",
+                p.name(),
+                shards
+            );
+            let again = run_simulation_with_mode(&cfg, p, CacheMode::Incremental);
+            assert_eq!(sharded, again, "{}: sharded rerun diverged", p.name());
+        }
+    }
+}
+
+/// Verify mode under sharding: the in-engine oracle assertions (cached
+/// priorities bit-checked, repair walks compared against full active
+/// scans) must hold while the parallel epochs run, and the verified
+/// trajectory must equal the recompute oracle's.
+#[test]
+fn verify_mode_holds_under_sharding() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 256;
+    cfg.run.arrival_rate_tps = 2_000.0;
+    cfg.system.shards = 4;
+
+    let verified = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::Verify);
+    assert!(verified.sched.verify_checks > 0);
+    assert!(
+        verified.sched.shard_barriers > 0,
+        "verify run never exercised the parallel epochs"
+    );
+    cfg.system.shards = 1;
+    let oracle = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::AlwaysRecompute);
+    assert_eq!(
+        verified.sans_sched_stats(),
+        oracle.sans_sched_stats(),
+        "sharded verify run diverged from the recompute oracle"
+    );
+}
+
+/// The `cross_shard_conflicts` counter classifies barrier-surfaced
+/// conflicters by footprint span: with the paper's uniform 30-item
+/// footprints, most conflicters straddle a shard boundary, so the
+/// counter must move whenever barriers fire.
+#[test]
+fn cross_shard_conflicts_are_counted() {
+    let mut cfg = SimConfig::mm_base();
+    cfg.run.num_transactions = 256;
+    cfg.run.arrival_rate_tps = 2_000.0;
+    cfg.system.shards = 4;
+
+    let sharded = run_simulation_with_mode(&cfg, &Cca::base(), CacheMode::Incremental);
+    assert!(sharded.sched.shard_barriers > 0);
+    assert!(
+        sharded.sched.cross_shard_conflicts > 0,
+        "barriers fired but no conflicter was classified cross-shard"
+    );
+}
